@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: node presets per
+ * LLM (Table I pairings), serving-config construction and rate sweeps.
+ */
+
+#ifndef VLR_BENCH_BENCH_UTIL_H
+#define VLR_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/vectorliterag.h"
+
+namespace vlr::bench
+{
+
+/** The paper's model->node pairing: Llama3-8B on L40S, others on H100. */
+inline gpu::GpuSpec
+nodeGpuFor(const llm::LlmConfig &cfg)
+{
+    return cfg.tensorParallel > 1 ? gpu::h100Spec() : gpu::l40sSpec();
+}
+
+inline gpu::CpuSpec
+nodeCpuFor(const llm::LlmConfig &cfg)
+{
+    return cfg.tensorParallel > 1 ? gpu::xeon8462Spec()
+                                  : gpu::xeon6426Spec();
+}
+
+/** Serving config for one (dataset, model, system, rate) cell. */
+inline core::ServingConfig
+makeServingConfig(const wl::DatasetSpec &spec, const llm::LlmConfig &llm,
+                  core::RetrieverKind kind, double rate)
+{
+    core::ServingConfig cfg;
+    cfg.llmConfig = llm;
+    cfg.gpuSpec = nodeGpuFor(llm);
+    cfg.cpuSpec = nodeCpuFor(llm);
+    cfg.numGpus = 8;
+    cfg.retriever = kind;
+    cfg.arrivalRate = rate;
+    // Long enough for slightly-over-capacity rates to reach their
+    // saturated steady state (prefill-priority engines keep TTFT low
+    // during the transient while the decode backlog builds).
+    cfg.durationSeconds = 100.0;
+    cfg.warmupSeconds = 10.0;
+    cfg.drainSeconds = 40.0;
+    cfg.sloSearchOverride = spec.sloSearchSeconds;
+    return cfg;
+}
+
+/** Caches bare-LLM peak throughput per (model, gpu count) pair. */
+class PeakCache
+{
+  public:
+    double
+    peak(const core::ServingConfig &cfg)
+    {
+        const std::string key =
+            cfg.llmConfig.name + "/" + std::to_string(cfg.numGpus) +
+            "/" + cfg.gpuSpec.name + "/" +
+            std::to_string(cfg.promptTokens) + "/" +
+            std::to_string(cfg.outputTokens);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        const double v = core::measurePeak(cfg);
+        cache_[key] = v;
+        return v;
+    }
+
+  private:
+    std::map<std::string, double> cache_;
+};
+
+/** Evenly spread sweep rates up to a multiple of the peak throughput. */
+inline std::vector<double>
+sweepRates(double peak, std::size_t points = 6, double max_frac = 1.15)
+{
+    std::vector<double> rates;
+    for (std::size_t i = 1; i <= points; ++i)
+        rates.push_back(peak * max_frac * static_cast<double>(i) /
+                        static_cast<double>(points));
+    return rates;
+}
+
+inline const std::vector<core::RetrieverKind> kMainBaselines = {
+    core::RetrieverKind::CpuOnly,
+    core::RetrieverKind::DedicatedGpu,
+    core::RetrieverKind::AllGpu,
+    core::RetrieverKind::VectorLite,
+};
+
+} // namespace vlr::bench
+
+#endif // VLR_BENCH_BENCH_UTIL_H

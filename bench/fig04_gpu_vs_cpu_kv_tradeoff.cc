@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 4 reproduction.
+ *
+ * Left: CPU IVF fast-scan vs GPU IVF search time at paper scale (the
+ * calibrated cost models for a 64-core Xeon 8462Y+ and an H100) — the
+ * GPU wins by roughly an order of magnitude.
+ * Right: LLM throughput (Qwen3-30B MoE on two H100s) as a function of
+ * the KV-cache space left after a vector index displaces part of it —
+ * throughput collapses as KV space shrinks.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace vlr;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 4 (left): CPU fast scan vs GPU IVF search");
+
+    const auto spec = wl::wikiAllSpec();
+    gpu::CpuSearchModel cpu(gpu::xeon8462Spec(), spec.cpuParams);
+    gpu::GpuSearchModel gpu_model(gpu::h100Spec());
+
+    TextTable left({"engine", "batch", "search time (ms)"});
+    const std::size_t batch = 8;
+    const double t_cpu = cpu.searchSeconds(batch, 0.0);
+    // GPU scan: full nprobe worth of kernel blocks; bytes = the probed
+    // share of the index per query (nprobe / nlist of the footprint).
+    const double probe_frac =
+        static_cast<double>(spec.nprobe) /
+        static_cast<double>(spec.numClusters);
+    const double bytes_per_query =
+        probe_frac * static_cast<double>(spec.paperIndexBytes);
+    const double pairs =
+        static_cast<double>(batch * spec.paperNprobe);
+    const double t_gpu = gpu_model.shardSeconds(
+        static_cast<std::size_t>(pairs), batch * bytes_per_query);
+    left.addRow({"CPU IVF fast scan (Xeon 8462Y+)",
+                 std::to_string(batch), TextTable::num(t_cpu * 1e3, 1)});
+    left.addRow({"GPU IVF search (H100)", std::to_string(batch),
+                 TextTable::num(t_gpu * 1e3, 1)});
+    left.print(std::cout);
+    std::cout << "speedup: " << TextTable::num(t_cpu / t_gpu, 1)
+              << "x (paper: GPU outperforms fast scan by nearly an "
+                 "order of magnitude)\n\n";
+
+    printBanner(std::cout,
+                "Figure 4 (right): KV-cache space vs LLM throughput");
+    std::cout << "model: Qwen3-30B-A3B MoE on 2x H100 (TP2), 1024/256 "
+                 "tokens\n\n";
+
+    const auto cfg = llm::qwen3_30b_moe();
+    const auto gpu_spec = gpu::h100Spec();
+
+    // Baseline KV space with no index resident.
+    gpu::GpuDevice probe_dev(0, gpu_spec);
+    probe_dev.reserveWeights(cfg.weightBytes() /
+                             static_cast<bytes_t>(cfg.tensorParallel));
+    const double kv0 = static_cast<double>(probe_dev.kvCacheBytes());
+
+    TextTable right({"relative KV space", "KV GB/GPU",
+                     "throughput (req/s)", "normalized"});
+    double thr_full = -1.0;
+    // The interesting regime is KV-starved: with worst-case block
+    // reservation the engine never thrashes, so throughput holds until
+    // admissible concurrency drops below the bandwidth-saturation
+    // batch, then collapses (the paper's steep left-hand slope).
+    const double weights_per_gpu =
+        static_cast<double>(cfg.weightBytes()) / cfg.tensorParallel;
+    for (const double frac :
+         {1.0, 0.6, 0.4, 0.3, 0.2, 0.12, 0.08, 0.05, 0.03, 0.02}) {
+        // Model the index displacing (1-frac) of the baseline KV space
+        // by shrinking the device memory so the engine's post-reserve
+        // KV allocation equals exactly frac * kv0.
+        gpu::GpuSpec shrunk = gpu_spec;
+        shrunk.memBytes = static_cast<bytes_t>(
+            (frac * kv0 + weights_per_gpu) /
+            (1.0 - gpu_spec.memReserveFraction));
+        const double thr = llm::measurePeakThroughput(
+            cfg, shrunk, cfg.tensorParallel, 1024, 256, 192);
+        if (thr_full < 0.0)
+            thr_full = thr;
+        right.addRow({TextTable::num(frac, 2),
+                      TextTable::num(frac * kv0 / 1e9, 1),
+                      TextTable::num(thr, 2),
+                      TextTable::num(thr / thr_full, 3)});
+    }
+    right.print(std::cout);
+    std::cout << "\npaper: reducing KV cache space leads to a "
+                 "significant drop in throughput.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 11 reproduction — the paper's headline result.
+ *
+ * For all nine combinations of vector databases (Wiki-All, ORCAS 1K,
+ * ORCAS 2K) and LLMs (Llama3-8B on 8x L40S; Qwen3-32B and Llama3-70B
+ * on 8x H100), sweep the arrival rate and report TTFT SLO attainment
+ * and mean end-to-end latency for CPU-Only, DED-GPU, ALL-GPU and
+ * VectorLiteRAG.
+ *
+ * Expected shape: vLiteRAG sustains the combined SLO (Table I) over
+ * the widest rate range — close to the bare-LLM capacity (the vertical
+ * dashed line in the paper) — while CPU-Only violates early, DED-GPU
+ * loses LLM instances, and ALL-GPU collapses under KV displacement.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace vlr;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 11: SLO attainment and end-to-end latency");
+
+    const std::vector<wl::DatasetSpec> datasets = {
+        wl::wikiAllSpec(), wl::orcas1kSpec(), wl::orcas2kSpec()};
+    const std::vector<llm::LlmConfig> models = {
+        llm::llama3_8b(), llm::qwen3_32b(), llm::llama3_70b()};
+
+    bench::PeakCache peaks;
+
+    for (const auto &spec : datasets) {
+        core::DatasetContext ctx(spec);
+        for (const auto &model : models) {
+            auto base = bench::makeServingConfig(
+                spec, model, core::RetrieverKind::CpuOnly, 1.0);
+            const double peak = peaks.peak(base);
+            const auto rates = bench::sweepRates(peak, 6, 1.2);
+
+            std::cout << "\n=== " << spec.name << " + " << model.name
+                      << "  (bare LLM capacity "
+                      << TextTable::num(peak, 1) << " req/s, SLO "
+                      << TextTable::num(
+                             (core::sloLlmSecondsFor(model) +
+                              spec.sloSearchSeconds) *
+                                 1e3,
+                             0)
+                      << " ms) ===\n";
+
+            TextTable t({"system", "rate (r/s)", "SLO attain",
+                         "P90 TTFT (ms)", "mean E2E (s)", "rho"});
+            for (const auto kind : bench::kMainBaselines) {
+                for (const double rate : rates) {
+                    auto cfg = bench::makeServingConfig(spec, model,
+                                                        kind, rate);
+                    cfg.peakThroughputHint = peak;
+                    const auto res = core::runServing(cfg, ctx);
+                    t.addRow({res.system, TextTable::num(rate, 1),
+                              TextTable::pct(res.attainment),
+                              TextTable::num(res.p90Ttft * 1e3, 0),
+                              TextTable::num(res.meanE2e, 2),
+                              TextTable::pct(res.rho)});
+                }
+            }
+            t.print(std::cout);
+        }
+    }
+
+    std::cout << "\npaper: vLiteRAG achieves higher SLO attainment "
+                 "across all regimes, extending the compliant range "
+                 "nearly to the standalone LLM throughput limit "
+                 "(up to 1.5x the baselines' attainable rate).\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 12 reproduction: TTFT breakdown (queuing delay, vector search,
+ * LLM prefill) for the Wiki-All and ORCAS 1K indexes with Qwen3-32B at
+ * increasing arrival rates, across the four systems.
+ *
+ * Expected shape: CPU-Only's search time dominates and queuing
+ * compounds with rate; the GPU baselines are fine at low rates but
+ * spike at high rates; vLiteRAG stays stable.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace vlr;
+
+int
+main()
+{
+    printBanner(std::cout, "Figure 12: TTFT breakdown (Qwen3-32B)");
+
+    const auto model = llm::qwen3_32b();
+    bench::PeakCache peaks;
+
+    for (const auto &spec : {wl::wikiAllSpec(), wl::orcas1kSpec()}) {
+        core::DatasetContext ctx(spec);
+        auto base = bench::makeServingConfig(
+            spec, model, core::RetrieverKind::CpuOnly, 1.0);
+        const double peak = peaks.peak(base);
+        // The paper annotates 19 / 32 / 38 req/s on a ~40 req/s-capacity
+        // node; sweep the same fractions of our measured capacity.
+        const std::vector<double> rates = {0.475 * peak, 0.8 * peak,
+                                           0.95 * peak};
+
+        std::cout << "\ndataset: " << spec.name << " (capacity "
+                  << TextTable::num(peak, 1) << " req/s)\n";
+        TextTable t({"rate (r/s)", "system", "queuing (ms)",
+                     "search (ms)", "prefill (ms)", "TTFT mean (ms)"});
+        for (const double rate : rates) {
+            for (const auto kind : bench::kMainBaselines) {
+                auto cfg =
+                    bench::makeServingConfig(spec, model, kind, rate);
+                cfg.peakThroughputHint = peak;
+                const auto res = core::runServing(cfg, ctx);
+                t.addRow({TextTable::num(rate, 1), res.system,
+                          TextTable::num(res.meanQueueDelay * 1e3, 0),
+                          TextTable::num(res.meanSearch * 1e3, 0),
+                          TextTable::num(res.meanPrefill * 1e3, 0),
+                          TextTable::num(res.meanTtft * 1e3, 0)});
+            }
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\npaper: as search latency grows (CPU retrieval), "
+                 "queuing delays compound and inflate TTFT; vLiteRAG "
+                 "sustains stable latency by balancing throughput and "
+                 "latency.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 13 reproduction: VectorLiteRAG vs HedraRAG.
+ *
+ * The paper replicates HedraRAG's setting — sqrt(N) clusters and a
+ * heavier retrieval configuration — then compares TTFT and end-to-end
+ * latency across arrival rates, with vLiteRAG configured at
+ * SLO_search = 400 ms. HedraRAG places 73% of clusters on GPUs (ours
+ * computes its own balance point); vLiteRAG picks ~31.5%.
+ *
+ * Expected shape: HedraRAG has lower TTFT at low rates (more cache),
+ * but its operable range narrows as rates grow; vLiteRAG holds latency
+ * near the target across a wider range with lower E2E latency.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace vlr;
+
+int
+main()
+{
+    printBanner(std::cout, "Figure 13: comparison with HedraRAG");
+
+    // Heavier retrieval: ORCAS-2K with 3x the probe budget, matching
+    // the paper's nprobe 6144-for-0.94-NDCG configuration. LUT work is
+    // proportional to the probed clusters, so the CPU cost constants
+    // scale with the probe multiplier; the resulting CPU-only retrieval
+    // throughput drops below the LLM's capacity, which is precisely the
+    // regime HedraRAG's throughput balancing was designed for.
+    constexpr double probe_scale = 3.0;
+    auto spec = wl::orcas2kSpec();
+    spec.nprobe = static_cast<std::size_t>(spec.nprobe * probe_scale);
+    spec.paperNprobe =
+        static_cast<std::size_t>(spec.paperNprobe * probe_scale);
+    spec.cpuParams.lutFixedSeconds *= probe_scale;
+    spec.cpuParams.lutPerQuerySeconds *= probe_scale;
+    spec.name = "orcas-2k-heavy";
+    core::DatasetContext ctx(spec);
+
+    const auto model = llm::qwen3_32b();
+    bench::PeakCache peaks;
+    auto base = bench::makeServingConfig(
+        spec, model, core::RetrieverKind::VectorLite, 1.0);
+    const double peak = peaks.peak(base);
+    const auto rates = bench::sweepRates(peak, 6, 1.15);
+
+    std::cout << "dataset: " << spec.name << ", model " << model.name
+              << ", SLO_search 400 ms, capacity "
+              << TextTable::num(peak, 1) << " req/s\n\n";
+
+    TextTable t({"system", "rate (r/s)", "rho", "mean TTFT (ms)",
+                 "P90 TTFT (ms)", "mean E2E (s)"});
+    for (const auto kind : {core::RetrieverKind::HedraRag,
+                            core::RetrieverKind::VectorLite}) {
+        for (const double rate : rates) {
+            auto cfg = bench::makeServingConfig(spec, model, kind, rate);
+            cfg.peakThroughputHint = peak;
+            cfg.sloSearchOverride = 0.400;
+            const auto res = core::runServing(cfg, ctx);
+            t.addRow({res.system, TextTable::num(rate, 1),
+                      TextTable::pct(res.rho),
+                      TextTable::num(res.meanTtft * 1e3, 0),
+                      TextTable::num(res.p90Ttft * 1e3, 0),
+                      TextTable::num(res.meanE2e, 2)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper: HedraRAG exhibits lower TTFT at low request "
+                 "rates, but latency increases sharply once the system "
+                 "exceeds its throughput limit; vLiteRAG maintains "
+                 "latency near the target across a wider range.\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 14 reproduction: dynamic dispatcher ablation on the ORCAS 2K
+ * index — average search latency, P90 tail search latency and the
+ * adaptive retrieval batch size at increasing arrival rates, with the
+ * dispatcher enabled and disabled.
+ *
+ * Expected shape: the dispatcher cuts both average and tail search
+ * latency (paper: up to 16%); batch size grows with arrival rate under
+ * adaptive batching in both configurations.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace vlr;
+
+int
+main()
+{
+    printBanner(std::cout, "Figure 14: dynamic dispatcher ablation");
+
+    const auto spec = wl::orcas2kSpec();
+    core::DatasetContext ctx(spec);
+    const auto model = llm::qwen3_32b();
+
+    bench::PeakCache peaks;
+    auto base = bench::makeServingConfig(
+        spec, model, core::RetrieverKind::VectorLite, 1.0);
+    const double peak = peaks.peak(base);
+    // The paper sweeps 24 / 32 / 41 req/s on its node; use the same
+    // fractions of measured capacity.
+    const std::vector<double> rates = {0.6 * peak, 0.8 * peak,
+                                       1.02 * peak};
+
+    std::cout << "dataset: " << spec.name << ", model " << model.name
+              << ", capacity " << TextTable::num(peak, 1)
+              << " req/s\n\n";
+
+    TextTable t({"rate (r/s)", "dispatcher", "avg search (ms)",
+                 "P90 search (ms)", "avg batch", "gain"});
+    for (const double rate : rates) {
+        double on_avg = 0.0;
+        for (const int disp : {1, 0}) {
+            auto cfg = bench::makeServingConfig(
+                spec, model, core::RetrieverKind::VectorLite, rate);
+            cfg.peakThroughputHint = peak;
+            cfg.dispatcherOverride = disp;
+            const auto res = core::runServing(cfg, ctx);
+            std::string gain = "-";
+            if (disp)
+                on_avg = res.meanSearch;
+            else if (res.meanSearch > 0.0)
+                gain = TextTable::pct(1.0 -
+                                      on_avg / res.meanSearch);
+            t.addRow({TextTable::num(rate, 1), disp ? "on" : "off",
+                      TextTable::num(res.meanSearch * 1e3, 1),
+                      TextTable::num(res.p90Search * 1e3, 1),
+                      TextTable::num(res.meanRetrievalBatch, 1),
+                      gain});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper: polling the scan loop and dispatching "
+                 "queries on completion reduces search latency by up "
+                 "to 16%, improving both average and tail latency; "
+                 "batch sizes grow with arrival rate.\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 16 + Table II reproduction: sensitivity to the search-stage
+ * SLO (100 / 150 / 200 / 250 ms) with Qwen3-32B and the ORCAS 1K
+ * index.
+ *
+ * Table II: the GPU index shard size the partitioner selects per SLO,
+ * with the resulting per-GPU KV-cache allocation (params fixed).
+ * Figure 16: P95 (and P90 for vLiteRAG) TTFT across arrival rates per
+ * SLO against CPU-Only and ALL-GPU.
+ *
+ * Expected shape: stricter SLOs allocate more index to the GPUs
+ * (larger shards, less KV), moving vLiteRAG's latency curve from the
+ * CPU-only toward the all-GPU behaviour while staying SLO-compliant
+ * over a wider rate range than either.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace vlr;
+
+int
+main()
+{
+    printBanner(std::cout, "Table II: SLO targets vs index shard size");
+
+    const auto spec = wl::orcas1kSpec();
+    core::DatasetContext ctx(spec);
+    const auto model = llm::qwen3_32b();
+    const auto gpu_spec = gpu::h100Spec();
+
+    bench::PeakCache peaks;
+    auto base = bench::makeServingConfig(
+        spec, model, core::RetrieverKind::VectorLite, 1.0);
+    const double peak = peaks.peak(base);
+
+    const std::vector<double> slos = {0.100, 0.150, 0.200, 0.250};
+
+    // Per-GPU accounting, as in the paper's table: weight (param) GB
+    // per GPU, index shard GB per GPU, KV cache GB per GPU.
+    gpu::GpuDevice probe(0, gpu_spec);
+    probe.reserveWeights(model.weightBytes() /
+                         static_cast<bytes_t>(model.tensorParallel));
+    const double param_gb =
+        static_cast<double>(model.weightBytes()) /
+        static_cast<double>(model.tensorParallel) / 1e9;
+    const double kv0_gb =
+        static_cast<double>(probe.kvCacheBytes()) / 1e9;
+
+    TextTable tab2({"SLO (ms)", "rho", "index/GPU (GB)", "param (GB)",
+                    "KV cache (GB)"});
+    for (const double slo : slos) {
+        auto cfg = bench::makeServingConfig(
+            spec, model, core::RetrieverKind::VectorLite, 1.0);
+        cfg.peakThroughputHint = peak;
+        cfg.sloSearchOverride = slo;
+        const auto setup = core::buildRetrieverSetup(
+            {.kind = core::RetrieverKind::VectorLite,
+             .numGpus = 8,
+             .gpuSpec = gpu_spec,
+             .sloSearchSeconds = slo,
+             .peakLlmThroughput = peak,
+             .kvBaselineBytes = 8.0 * probe.kvCacheBytes()},
+            ctx);
+        const double shard_gb =
+            setup.assignment.numShards()
+                ? setup.assignment.totalGpuBytes() /
+                      static_cast<double>(
+                          setup.assignment.numShards()) /
+                      1e9
+                : 0.0;
+        tab2.addRow({TextTable::num(slo * 1e3, 0),
+                     TextTable::pct(setup.rho),
+                     TextTable::num(shard_gb, 2),
+                     TextTable::num(param_gb, 2),
+                     TextTable::num(kv0_gb - shard_gb, 2)});
+    }
+    tab2.print(std::cout);
+    std::cout << "\npaper Table II: 100 ms -> 3.80 GB shards, 250 ms "
+                 "-> 2.21 GB; KV cache grows as the SLO relaxes.\n\n";
+
+    printBanner(std::cout, "Figure 16: P95/P90 TTFT per search SLO");
+    const auto rates = bench::sweepRates(peak, 5, 1.1);
+    for (const double slo : slos) {
+        std::cout << "\nsearch SLO " << TextTable::num(slo * 1e3, 0)
+                  << " ms:\n";
+        TextTable t({"system", "rate (r/s)", "P95 TTFT (ms)",
+                     "P90 TTFT (ms)"});
+        for (const auto kind :
+             {core::RetrieverKind::CpuOnly, core::RetrieverKind::AllGpu,
+              core::RetrieverKind::VectorLite}) {
+            for (const double rate : rates) {
+                auto cfg =
+                    bench::makeServingConfig(spec, model, kind, rate);
+                cfg.peakThroughputHint = peak;
+                cfg.sloSearchOverride = slo;
+                const auto res = core::runServing(cfg, ctx);
+                t.addRow({res.system, TextTable::num(rate, 1),
+                          TextTable::num(res.p95Ttft * 1e3, 0),
+                          TextTable::num(res.p90Ttft * 1e3, 0)});
+            }
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\npaper: relaxed SLOs move vLiteRAG toward CPU-only "
+                 "behaviour, stricter ones toward all-GPU; the "
+                 "SLO-compliant range stays wider than the baselines' "
+                 "in every setting (P90 vs P95 differs by at most "
+                 "~1 req/s).\n";
+    return 0;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the real vector-search kernels:
+ * distance computation, ADC LUT construction, plain ADC scanning and
+ * PQ4 fast scanning. These back the Fig. 3 claim that fast scan
+ * out-throughputs plain ADC by a wide margin on the same codes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "vecsearch/fastscan.h"
+#include "vecsearch/metric.h"
+#include "vecsearch/pq.h"
+#include "vecsearch/topk.h"
+
+namespace
+{
+
+using namespace vlr;
+using namespace vlr::vs;
+
+std::vector<float>
+gaussianData(std::size_t n, std::size_t d, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<float> v(n * d);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    return v;
+}
+
+void
+BM_L2Distance(benchmark::State &state)
+{
+    const std::size_t d = static_cast<std::size_t>(state.range(0));
+    const auto a = gaussianData(1, d, 1);
+    const auto b = gaussianData(1, d, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(l2Sqr(a.data(), b.data(), d));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * d * 2 * sizeof(float)));
+}
+BENCHMARK(BM_L2Distance)->Arg(64)->Arg(128)->Arg(768)->Arg(1024);
+
+void
+BM_DistancesToMany(benchmark::State &state)
+{
+    const std::size_t n = 4096, d = 128;
+    const auto q = gaussianData(1, d, 1);
+    const auto base = gaussianData(n, d, 2);
+    std::vector<float> out(n);
+    for (auto _ : state)
+        distancesToMany(Metric::L2, q.data(), base.data(), n, d,
+                        out.data());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_DistancesToMany);
+
+struct PqSetup
+{
+    ProductQuantizer pq;
+    std::vector<std::uint8_t> codes;
+    std::vector<float> query;
+    std::vector<float> lut;
+
+    PqSetup(std::size_t m, std::size_t nbits, std::size_t n)
+        : pq(64, m, nbits)
+    {
+        const auto data = gaussianData(n, 64, 3);
+        pq.train(data, n);
+        codes = pq.encodeBatch(data, n);
+        query = gaussianData(1, 64, 4);
+        lut.resize(pq.lutSize());
+        pq.computeLut(query.data(), lut.data());
+    }
+};
+
+void
+BM_PqLutBuild(benchmark::State &state)
+{
+    PqSetup s(8, 8, 2000);
+    for (auto _ : state)
+        s.pq.computeLut(s.query.data(), s.lut.data());
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * s.pq.lutSize()));
+}
+BENCHMARK(BM_PqLutBuild);
+
+void
+BM_AdcScan(benchmark::State &state)
+{
+    const std::size_t n = 8192;
+    PqSetup s(8, 8, n);
+    TopK topk(10);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i)
+            benchmark::DoNotOptimize(s.pq.adcDistance(
+                s.lut.data(), s.codes.data() + i * 8));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_AdcScan);
+
+void
+BM_FastScan(benchmark::State &state)
+{
+    const std::size_t n = 8192, m = 8;
+    PqSetup s(m, 4, n);
+    const auto packed = packPq4Codes(m, s.codes, n);
+    const auto qlut = quantizeLut(m, s.lut);
+    const std::size_t nblocks = packed.size() / packedBlockBytes(m);
+    std::vector<std::uint16_t> scores(nblocks * kFastScanBlock);
+    for (auto _ : state)
+        scanPq4Blocks(m, packed.data(), nblocks, qlut, scores.data());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+    state.SetLabel(fastScanHasSimd() ? "avx2" : "scalar");
+}
+BENCHMARK(BM_FastScan);
+
+void
+BM_FastScanScalarReference(benchmark::State &state)
+{
+    const std::size_t n = 8192, m = 8;
+    PqSetup s(m, 4, n);
+    const auto packed = packPq4Codes(m, s.codes, n);
+    const auto qlut = quantizeLut(m, s.lut);
+    const std::size_t nblocks = packed.size() / packedBlockBytes(m);
+    std::vector<std::uint16_t> scores(nblocks * kFastScanBlock);
+    for (auto _ : state)
+        scanPq4BlocksScalar(m, packed.data(), nblocks, qlut,
+                            scores.data());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_FastScanScalarReference);
+
+void
+BM_TopKPush(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<float> dists(100000);
+    for (auto &d : dists)
+        d = static_cast<float>(rng.uniform());
+    for (auto _ : state) {
+        TopK topk(25);
+        for (std::size_t i = 0; i < dists.size(); ++i)
+            topk.push(static_cast<idx_t>(i), dists[i]);
+        benchmark::DoNotOptimize(topk.worst());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * dists.size()));
+}
+BENCHMARK(BM_TopKPush);
+
+} // namespace
+
+BENCHMARK_MAIN();

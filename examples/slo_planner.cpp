@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SLO planner: the operator-facing workflow of VectorLiteRAG.
+ *
+ * Given a dataset, an LLM, a node size and a retrieval SLO, run the
+ * latency-bounded partitioning algorithm (paper Algorithm 1) and print
+ * the plan an operator would deploy: cache coverage, per-GPU memory
+ * layout (weights / index shard / KV cache), the convergence trace and
+ * the expected batching behaviour at the chosen point.
+ *
+ * Run: ./examples/slo_planner [dataset] [model] [slo_ms]
+ *   dataset: wiki-all | orcas-1k | orcas-2k   (default orcas-1k)
+ *   model:   llama3-8b | qwen3-32b | llama3-70b (default qwen3-32b)
+ *   slo_ms:  retrieval SLO in milliseconds    (default Table I value)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/vectorliterag.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vlr;
+
+    const std::string dataset_name = argc > 1 ? argv[1] : "orcas-1k";
+    const std::string model_name = argc > 2 ? argv[2] : "qwen3-32b";
+    auto spec = wl::specByName(dataset_name);
+    const auto model = llm::llmConfigByName(model_name);
+    if (argc > 3)
+        spec.sloSearchSeconds = std::stod(argv[3]) / 1e3;
+
+    const auto gpu_spec =
+        model.tensorParallel > 1 ? gpu::h100Spec() : gpu::l40sSpec();
+    const int num_gpus = 8;
+
+    std::cout << "VectorLiteRAG SLO planner\n"
+              << "=========================\n\n"
+              << "dataset:  " << spec.name << " ("
+              << static_cast<double>(spec.paperIndexBytes) / 1e9
+              << " GB index)\n"
+              << "model:    " << model.name << " (TP"
+              << model.tensorParallel << ")\n"
+              << "node:     " << num_gpus << "x " << gpu_spec.name
+              << "\n"
+              << "SLO:      " << spec.sloSearchSeconds * 1e3
+              << " ms search + "
+              << core::sloLlmSecondsFor(model) * 1e3 << " ms LLM\n\n";
+
+    // 1. Profile the workload (access skew + CPU latency model).
+    core::DatasetContext ctx(spec);
+
+    // 2. Measure the bare LLM capacity on this node.
+    core::ServingConfig probe;
+    probe.llmConfig = model;
+    probe.gpuSpec = gpu_spec;
+    probe.numGpus = num_gpus;
+    const double peak = core::measurePeak(probe);
+    std::cout << "bare LLM capacity: " << TextTable::num(peak, 1)
+              << " req/s (" << num_gpus / model.tensorParallel
+              << " instances)\n\n";
+
+    // 3. Run Algorithm 1.
+    gpu::GpuDevice probe_dev(0, gpu_spec);
+    probe_dev.reserveWeights(model.weightBytes() /
+                             static_cast<bytes_t>(model.tensorParallel));
+    core::PartitionInputs in;
+    in.sloSearchSeconds = spec.sloSearchSeconds;
+    in.peakLlmThroughput = peak;
+    in.kvBaselineBytes =
+        static_cast<double>(num_gpus) *
+        static_cast<double>(probe_dev.kvCacheBytes());
+
+    core::LatencyBoundedPartitioner part(ctx.perfModel(),
+                                         ctx.estimator(), ctx.profile());
+    const auto res = part.partition(in);
+
+    std::cout << "partitioning result (Algorithm 1):\n";
+    TextTable summary({"quantity", "value"});
+    summary.addRow({"cache coverage rho", TextTable::pct(res.rho)});
+    summary.addRow({"hot clusters",
+                    std::to_string(ctx.profile().numHot(res.rho))});
+    summary.addRow({"GPU index footprint (GB)",
+                    TextTable::num(res.indexBytes / 1e9, 2)});
+    summary.addRow({"latency bound tau_s (ms)",
+                    TextTable::num(res.tauS * 1e3, 0)});
+    summary.addRow({"throughput bound (req/s)",
+                    TextTable::num(res.throughputBound, 1)});
+    summary.addRow({"expected batch size",
+                    TextTable::num(res.expectedBatch, 1)});
+    summary.addRow({"expected min batch hit rate",
+                    TextTable::num(res.expectedEtaMin, 3)});
+    summary.addRow({"iterations", std::to_string(res.iterations)});
+    summary.print(std::cout);
+
+    std::cout << "\nconvergence trace (rho per iteration): ";
+    for (const double r : res.trace)
+        std::cout << TextTable::pct(r) << ' ';
+    std::cout << "\n\n";
+
+    // 4. Split into shards and show the per-GPU memory plan.
+    const auto assignment =
+        core::IndexSplitter::split(ctx.profile(), res.rho, num_gpus);
+    const double weights_gb =
+        static_cast<double>(model.weightBytes()) /
+        static_cast<double>(model.tensorParallel) / 1e9;
+    std::cout << "per-GPU memory plan:\n";
+    TextTable plan({"GPU", "clusters", "weights (GB)", "index (GB)",
+                    "KV cache (GB)"});
+    for (std::size_t s = 0; s < assignment.numShards(); ++s) {
+        const double shard_gb = assignment.shardBytes[s] / 1e9;
+        plan.addRow(
+            {std::to_string(s),
+             std::to_string(assignment.shardClusters[s].size()),
+             TextTable::num(weights_gb, 1),
+             TextTable::num(shard_gb, 2),
+             TextTable::num(static_cast<double>(probe_dev.kvCacheBytes()) /
+                                    1e9 -
+                                shard_gb,
+                            1)});
+    }
+    plan.print(std::cout);
+
+    std::cout << "\nhot tier covers "
+              << TextTable::pct(
+                     ctx.estimator().meanHitRate(res.rho))
+              << " of scan work; the CPU keeps the coarse quantizer "
+                 "and the cold clusters.\n";
+    return 0;
+}

@@ -1,0 +1,193 @@
+#include "common/beta_dist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace vlr
+{
+
+namespace
+{
+
+/**
+ * Continued-fraction helper for the incomplete beta function
+ * (Numerical-Recipes-style modified Lentz algorithm).
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int max_iter = 300;
+    constexpr double eps = 3.0e-12;
+    constexpr double fpmin = 1.0e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < fpmin)
+        d = fpmin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_iter; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < eps)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+regularizedIncompleteBeta(double a, double b, double x)
+{
+    assert(a > 0.0 && b > 0.0);
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                            std::lgamma(b) + a * std::log(x) +
+                            b * std::log1p(-x);
+    const double front = std::exp(ln_front);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+BetaDistribution::BetaDistribution(double alpha, double beta)
+    : alpha_(alpha), beta_(beta)
+{
+    if (alpha <= 0.0 || beta <= 0.0)
+        throw std::invalid_argument("BetaDistribution: parameters must be > 0");
+    logBetaFn_ = std::lgamma(alpha_) + std::lgamma(beta_) -
+                 std::lgamma(alpha_ + beta_);
+}
+
+BetaDistribution
+BetaDistribution::fromMoments(double mean, double variance)
+{
+    mean = std::clamp(mean, 1e-4, 1.0 - 1e-4);
+    const double max_var = mean * (1.0 - mean);
+    variance = std::clamp(variance, 1e-8, max_var * 0.999);
+    // alpha + beta = mean*(1-mean)/var - 1
+    const double nu = max_var / variance - 1.0;
+    return BetaDistribution(mean * nu, (1.0 - mean) * nu);
+}
+
+double
+BetaDistribution::mean() const
+{
+    return alpha_ / (alpha_ + beta_);
+}
+
+double
+BetaDistribution::variance() const
+{
+    const double s = alpha_ + beta_;
+    return alpha_ * beta_ / (s * s * (s + 1.0));
+}
+
+double
+BetaDistribution::pdf(double x) const
+{
+    if (x < 0.0 || x > 1.0)
+        return 0.0;
+    if (x == 0.0)
+        return alpha_ < 1.0 ? HUGE_VAL : (alpha_ == 1.0 ? beta_ : 0.0);
+    if (x == 1.0)
+        return beta_ < 1.0 ? HUGE_VAL : (beta_ == 1.0 ? alpha_ : 0.0);
+    return std::exp((alpha_ - 1.0) * std::log(x) +
+                    (beta_ - 1.0) * std::log1p(-x) - logBetaFn_);
+}
+
+double
+BetaDistribution::cdf(double x) const
+{
+    return regularizedIncompleteBeta(alpha_, beta_, x);
+}
+
+double
+BetaDistribution::quantile(double p) const
+{
+    p = std::clamp(p, 0.0, 1.0);
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (cdf(mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+BetaDistribution::expectedMin(std::size_t batch_size, std::size_t grid) const
+{
+    if (batch_size <= 1)
+        return mean();
+    assert(grid >= 8);
+
+    // Integrating Eq. 2 by parts gives the survival form
+    //
+    //   E[min of B] = Integral_0^1 (1 - F(x))^B dx.
+    //
+    // Evaluating it on a quantile-spaced grid x_i = Q(i / grid) makes
+    // F(x_i) = i / grid exact at every node, so steep CDFs — including
+    // the pdf singularities of alpha < 1 or beta < 1, where a uniform
+    // x grid misses the entire transition — are fully resolved.
+    const auto bsz = static_cast<double>(batch_size);
+
+    // Bisection for Q(p) restricted to [lo, 1]; nodes are visited in
+    // ascending p, so the previous node brackets the next from below.
+    auto quantile_above = [&](double p, double lo) {
+        double hi = 1.0;
+        for (int it = 0; it < 40 && hi - lo > 1e-12; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            if (cdf(mid) < p)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return hi;
+    };
+
+    double acc = 0.0;
+    double prev_x = 0.0;
+    double prev_s = 1.0;
+    for (std::size_t i = 1; i <= grid; ++i) {
+        const double p =
+            static_cast<double>(i) / static_cast<double>(grid);
+        const double x = i == grid ? 1.0 : quantile_above(p, prev_x);
+        const double s = std::pow(1.0 - p, bsz);
+        acc += (x - prev_x) * 0.5 * (prev_s + s);
+        prev_x = x;
+        prev_s = s;
+    }
+    return std::clamp(acc, 0.0, 1.0);
+}
+
+} // namespace vlr

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Beta distribution with the order-statistic machinery the paper's
+ * hit-rate estimator needs (Section IV-A2).
+ *
+ * The per-query cache hit rate is modeled as Beta(a, b) fitted from a
+ * mean and a variance; the expected minimum hit rate in a batch of size
+ * B is the first-order statistic
+ *
+ *   eta_min(B) = Integral_0^1 B * x * f(x) * (1 - F(x))^(B-1) dx,
+ *
+ * evaluated numerically (paper Eq. 2).
+ */
+
+#ifndef VLR_COMMON_BETA_DIST_H
+#define VLR_COMMON_BETA_DIST_H
+
+#include <cstddef>
+
+namespace vlr
+{
+
+/**
+ * Beta(alpha, beta) distribution on [0, 1]. CDF uses the regularized
+ * incomplete beta function via Lentz's continued fraction.
+ */
+class BetaDistribution
+{
+  public:
+    /** @pre alpha > 0 and beta > 0. */
+    BetaDistribution(double alpha, double beta);
+
+    /**
+     * Fit from moments: mean in (0, 1), variance in
+     * (0, mean*(1-mean)). Variance is clamped into the feasible range,
+     * degenerate means are nudged away from {0, 1}.
+     */
+    static BetaDistribution fromMoments(double mean, double variance);
+
+    double alpha() const { return alpha_; }
+    double beta() const { return beta_; }
+    double mean() const;
+    double variance() const;
+
+    /** Probability density at x in [0, 1]. */
+    double pdf(double x) const;
+
+    /** Cumulative distribution function at x. */
+    double cdf(double x) const;
+
+    /** Quantile function (inverse CDF) via bisection. */
+    double quantile(double p) const;
+
+    /**
+     * Expected minimum of batch_size i.i.d. draws (first-order
+     * statistic), paper Eq. 2. Evaluated in survival form on a
+     * quantile-spaced grid (robust to the pdf singularities of
+     * alpha < 1 or beta < 1); exact for batch_size <= 1 (the mean).
+     */
+    double expectedMin(std::size_t batch_size, std::size_t grid = 512) const;
+
+  private:
+    double alpha_;
+    double beta_;
+    double logBetaFn_;
+};
+
+/** Regularized incomplete beta function I_x(a, b). Exposed for tests. */
+double regularizedIncompleteBeta(double a, double b, double x);
+
+} // namespace vlr
+
+#endif // VLR_COMMON_BETA_DIST_H

@@ -1,0 +1,67 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace vlr
+{
+
+namespace
+{
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_log_mutex;
+
+const char *
+levelName(LogLevel l)
+{
+    switch (l) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load();
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level.load()))
+        return;
+    std::lock_guard<std::mutex> lk(g_log_mutex);
+    std::fprintf(stderr, "[vlr:%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "fatal: " + msg);
+    throw std::runtime_error(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "panic: " + msg);
+    std::abort();
+}
+
+} // namespace vlr

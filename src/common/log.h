@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Logging and error helpers, gem5-style: fatal() for user/configuration
+ * errors that make continuing meaningless, panic() for internal bugs.
+ */
+
+#ifndef VLR_COMMON_LOG_H
+#define VLR_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace vlr
+{
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/** Global log threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Emit a message at the given level (thread-safe, goes to stderr). */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** User/config error: prints and throws std::runtime_error. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Internal invariant violation: prints and aborts. */
+[[noreturn]] void panic(const std::string &msg);
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    logMessage(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace vlr
+
+#endif // VLR_COMMON_LOG_H

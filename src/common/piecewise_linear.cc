@@ -1,0 +1,96 @@
+#include "common/piecewise_linear.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace vlr
+{
+
+PiecewiseLinearModel
+PiecewiseLinearModel::fit(std::span<const PlKnot> samples)
+{
+    assert(!samples.empty());
+    // Average duplicate x values, then sort by x.
+    std::map<double, std::pair<double, std::size_t>> acc;
+    for (const auto &s : samples) {
+        auto &[sum, cnt] = acc[s.x];
+        sum += s.y;
+        ++cnt;
+    }
+    PiecewiseLinearModel m;
+    m.knots_.reserve(acc.size());
+    for (const auto &[x, sc] : acc)
+        m.knots_.push_back({x, sc.first / static_cast<double>(sc.second)});
+    return m;
+}
+
+double
+PiecewiseLinearModel::eval(double x) const
+{
+    assert(!knots_.empty());
+    if (knots_.size() == 1)
+        return knots_[0].y;
+    if (x <= knots_.front().x) {
+        const auto &a = knots_[0];
+        const auto &b = knots_[1];
+        const double slope = (b.y - a.y) / (b.x - a.x);
+        return a.y + slope * (x - a.x);
+    }
+    if (x >= knots_.back().x) {
+        const auto &a = knots_[knots_.size() - 2];
+        const auto &b = knots_.back();
+        const double slope = (b.y - a.y) / (b.x - a.x);
+        return b.y + slope * (x - b.x);
+    }
+    auto it = std::lower_bound(knots_.begin(), knots_.end(), x,
+                               [](const PlKnot &k, double v) {
+                                   return k.x < v;
+                               });
+    const auto &b = *it;
+    const auto &a = *(it - 1);
+    const double frac = (x - a.x) / (b.x - a.x);
+    return a.y + frac * (b.y - a.y);
+}
+
+double
+PiecewiseLinearModel::invert(double y) const
+{
+    assert(!knots_.empty());
+    if (knots_.size() == 1)
+        return knots_[0].x;
+    if (y <= knots_.front().y)
+        return knots_.front().x;
+    if (y >= knots_.back().y) {
+        const auto &a = knots_[knots_.size() - 2];
+        const auto &b = knots_.back();
+        const double slope = (b.y - a.y) / (b.x - a.x);
+        if (slope <= 0.0)
+            return b.x;
+        return b.x + (y - b.y) / slope;
+    }
+    for (std::size_t i = 1; i < knots_.size(); ++i) {
+        if (knots_[i].y >= y) {
+            const auto &a = knots_[i - 1];
+            const auto &b = knots_[i];
+            if (b.y <= a.y)
+                return b.x;
+            const double frac = (y - a.y) / (b.y - a.y);
+            return a.x + frac * (b.x - a.x);
+        }
+    }
+    return knots_.back().x;
+}
+
+bool
+PiecewiseLinearModel::isNonDecreasing() const
+{
+    for (std::size_t i = 1; i < knots_.size(); ++i) {
+        if (knots_[i].y < knots_[i - 1].y - 1e-12)
+            return false;
+    }
+    return true;
+}
+
+} // namespace vlr

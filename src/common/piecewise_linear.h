@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Piecewise-linear models of latency versus batch size.
+ *
+ * The paper observes (Fig. 8 left) that CPU search latency is piecewise
+ * linear in batch size, with steps where execution transitions from
+ * single-threaded to multi-threaded. Profiling produces (batch, latency)
+ * samples; this model interpolates between them and extrapolates linearly
+ * beyond the sampled range using the last segment's slope.
+ */
+
+#ifndef VLR_COMMON_PIECEWISE_LINEAR_H
+#define VLR_COMMON_PIECEWISE_LINEAR_H
+
+#include <span>
+#include <vector>
+
+namespace vlr
+{
+
+/** A single (x, y) knot of a piecewise-linear function. */
+struct PlKnot
+{
+    double x;
+    double y;
+};
+
+/**
+ * Monotone-x piecewise-linear function built from profiled samples.
+ * Duplicate x values are averaged.
+ */
+class PiecewiseLinearModel
+{
+  public:
+    PiecewiseLinearModel() = default;
+
+    /** Build from unsorted samples. @pre at least one sample. */
+    static PiecewiseLinearModel fit(std::span<const PlKnot> samples);
+
+    /** Evaluate with interpolation inside, linear extrapolation outside. */
+    double eval(double x) const;
+
+    /**
+     * Invert y -> smallest x with eval(x) >= y. Requires the model to be
+     * non-decreasing (checked at fit time for inversion use); returns the
+     * extrapolated solution beyond the last knot and clamps to the first
+     * knot's x for targets at or below the profiled range (callers pass
+     * latencies, for which sub-range extrapolation is meaningless).
+     */
+    double invert(double y) const;
+
+    bool empty() const { return knots_.empty(); }
+    const std::vector<PlKnot> &knots() const { return knots_; }
+    bool isNonDecreasing() const;
+
+  private:
+    std::vector<PlKnot> knots_;
+};
+
+} // namespace vlr
+
+#endif // VLR_COMMON_PIECEWISE_LINEAR_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic random number generation utilities.
+ *
+ * Everything in the repository that needs randomness goes through Rng so
+ * experiments are reproducible from a single seed. The generator is
+ * xoshiro256** seeded through splitmix64, matching common practice for
+ * fast, high-quality non-cryptographic streams.
+ */
+
+#ifndef VLR_COMMON_RNG_H
+#define VLR_COMMON_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace vlr
+{
+
+/**
+ * Seedable pseudo-random generator with the distributions the workload
+ * and index-training code need: uniform, Gaussian, Zipf and permutations.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; distinct seeds give distinct streams. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t uniformU64(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double gaussian();
+
+    /** Normal with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Exponential with given rate (used for Poisson inter-arrivals). */
+    double exponential(double rate);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformU64(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Split off an independent generator (for per-thread streams). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+    double cachedGaussian_;
+    bool hasCachedGaussian_;
+};
+
+/**
+ * Zipf-distributed sampler over ranks {0, .., n-1} with exponent theta.
+ *
+ * P(rank = k) is proportional to 1 / (k+1)^theta. Sampling is O(log n)
+ * by binary search over the precomputed CDF; construction is O(n).
+ * theta = 0 degenerates to uniform. Larger theta gives heavier skew;
+ * the ORCAS-like workloads use theta around 2.1, Wiki-All-like around 0.7
+ * (calibrated in workload/dataset.cc against the paper's Fig. 5 CDFs).
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double theta);
+
+    /** Sample a rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Probability mass of a given rank. */
+    double pmf(std::size_t rank) const;
+
+    std::size_t size() const { return cdf_.size(); }
+    double theta() const { return theta_; }
+
+  private:
+    std::vector<double> cdf_;
+    double theta_;
+};
+
+} // namespace vlr
+
+#endif // VLR_COMMON_RNG_H

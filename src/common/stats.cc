@@ -1,0 +1,263 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace vlr
+{
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+void
+SampleSet::add(double x)
+{
+    samples_.push_back(x);
+    sortedValid_ = false;
+}
+
+void
+SampleSet::addAll(std::span<const double> xs)
+{
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sortedValid_ = false;
+}
+
+void
+SampleSet::clear()
+{
+    samples_.clear();
+    sorted_.clear();
+    sortedValid_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::min() const
+{
+    ensureSorted();
+    return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double
+SampleSet::max() const
+{
+    ensureSorted();
+    return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    ensureSorted();
+    if (sorted_.empty())
+        return 0.0;
+    assert(p >= 0.0 && p <= 100.0);
+    if (sorted_.size() == 1)
+        return sorted_[0];
+    const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double
+SampleSet::fractionBelow(double threshold) const
+{
+    ensureSorted();
+    if (sorted_.empty())
+        return 0.0;
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+SampleSet::variance() const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double x : samples_)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(samples_.size());
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (sortedValid_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+}
+
+std::vector<CdfPoint>
+weightConcentrationCurve(std::span<const double> weights,
+                         std::size_t max_points)
+{
+    std::vector<double> w(weights.begin(), weights.end());
+    std::sort(w.begin(), w.end(), std::greater<double>());
+    const double total = std::accumulate(w.begin(), w.end(), 0.0);
+
+    std::vector<CdfPoint> curve;
+    if (w.empty() || total <= 0.0)
+        return curve;
+
+    const std::size_t n = w.size();
+    const std::size_t stride = std::max<std::size_t>(1, n / max_points);
+    double acc = 0.0;
+    curve.push_back({0.0, 0.0});
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += w[i];
+        if ((i + 1) % stride == 0 || i + 1 == n) {
+            curve.push_back({static_cast<double>(i + 1) /
+                                 static_cast<double>(n),
+                             acc / total});
+        }
+    }
+    return curve;
+}
+
+double
+evalConcentration(const std::vector<CdfPoint> &curve, double coverage)
+{
+    if (curve.empty())
+        return 0.0;
+    coverage = std::clamp(coverage, 0.0, 1.0);
+    auto it = std::lower_bound(curve.begin(), curve.end(), coverage,
+                               [](const CdfPoint &p, double c) {
+                                   return p.x < c;
+                               });
+    if (it == curve.begin())
+        return it->cum;
+    if (it == curve.end())
+        return curve.back().cum;
+    const auto &hi = *it;
+    const auto &lo = *(it - 1);
+    if (hi.x <= lo.x)
+        return hi.cum;
+    const double frac = (coverage - lo.x) / (hi.x - lo.x);
+    return lo.cum + frac * (hi.cum - lo.cum);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    assert(hi > lo && bins > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    const double t = std::clamp((x - lo_) / (hi_ - lo_), 0.0, 1.0);
+    auto b = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+    if (b >= counts_.size())
+        b = counts_.size() - 1;
+    ++counts_[b];
+    ++total_;
+}
+
+double
+Histogram::binLo(std::size_t b) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                     static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHi(std::size_t b) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(b + 1) /
+                     static_cast<double>(counts_.size());
+}
+
+std::vector<double>
+Histogram::densities() const
+{
+    std::vector<double> d(counts_.size(), 0.0);
+    if (total_ == 0)
+        return d;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        d[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+    return d;
+}
+
+} // namespace vlr

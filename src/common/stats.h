@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Descriptive statistics used throughout profiling, metrics and benches:
+ * running moments, percentiles, histograms and empirical CDFs.
+ */
+
+#ifndef VLR_COMMON_STATS_H
+#define VLR_COMMON_STATS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vlr
+{
+
+/** Streaming mean/variance accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    RunningStats() = default;
+
+    void add(double x);
+    void merge(const RunningStats &other);
+    void reset();
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Collects raw samples and answers percentile queries. Used for latency
+ * distributions (P90/P95 TTFT etc.). Percentile uses linear interpolation
+ * between order statistics, matching numpy's default.
+ */
+class SampleSet
+{
+  public:
+    void add(double x);
+    void addAll(std::span<const double> xs);
+    void clear();
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** @param p percentile in [0, 100]. */
+    double percentile(double p) const;
+
+    /** Fraction of samples <= threshold (e.g. SLO attainment). */
+    double fractionBelow(double threshold) const;
+
+    /** Population variance of the samples. */
+    double variance() const;
+
+    const std::vector<double> &raw() const { return samples_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+};
+
+/** One (x, cumulative fraction) point of an empirical CDF. */
+struct CdfPoint
+{
+    double x;
+    double cum;
+};
+
+/**
+ * Builds the cumulative access-share curve the paper plots in Fig. 5:
+ * clusters sorted by descending weight, x = fraction of clusters,
+ * y = fraction of total weight covered.
+ */
+std::vector<CdfPoint> weightConcentrationCurve(std::span<const double> weights,
+                                               std::size_t max_points = 256);
+
+/**
+ * Evaluate a concentration curve at a coverage fraction in [0, 1] with
+ * linear interpolation.
+ */
+double evalConcentration(const std::vector<CdfPoint> &curve, double coverage);
+
+/** Fixed-width histogram over [lo, hi); values outside are clamped. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    std::size_t totalCount() const { return total_; }
+    std::size_t binCount(std::size_t b) const { return counts_.at(b); }
+    std::size_t numBins() const { return counts_.size(); }
+    double binLo(std::size_t b) const;
+    double binHi(std::size_t b) const;
+
+    /** Normalized bin densities (sum to 1 when non-empty). */
+    std::vector<double> densities() const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace vlr
+
+#endif // VLR_COMMON_STATS_H

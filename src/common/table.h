@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table / CSV writer used by the benchmark harnesses to print
+ * the rows and series the paper's tables and figures report.
+ */
+
+#ifndef VLR_COMMON_TABLE_H
+#define VLR_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vlr
+{
+
+/** Column-aligned text table with an optional CSV dump. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with the given precision. */
+    static std::string num(double v, int precision = 3);
+    static std::string pct(double v, int precision = 1);
+
+    /** Render aligned text to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render comma-separated values to the stream. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner for bench output. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace vlr
+
+#endif // VLR_COMMON_TABLE_H

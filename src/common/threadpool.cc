@@ -1,0 +1,97 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+
+namespace vlr
+{
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads <= 1)
+        return;
+    threads_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    cvTask_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            cvTask_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            --inflight_;
+        }
+        cvDone_.notify_all();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        ++inflight_;
+        tasks_.push(std::move(task));
+    }
+    cvTask_.notify_one();
+}
+
+void
+ThreadPool::waitAll()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    cvDone_.wait(lk, [this] { return inflight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    parallelChunks(n, [&fn](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            fn(i);
+    });
+}
+
+void
+ThreadPool::parallelChunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const std::size_t workers = threads_.empty() ? 1 : threads_.size();
+    if (workers == 1) {
+        fn(0, n);
+        return;
+    }
+    const std::size_t chunk = (n + workers - 1) / workers;
+    for (std::size_t b = 0; b < n; b += chunk) {
+        const std::size_t e = std::min(n, b + chunk);
+        submit([&fn, b, e] { fn(b, e); });
+    }
+    waitAll();
+}
+
+} // namespace vlr

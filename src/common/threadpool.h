@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool with a blocking parallelFor.
+ *
+ * Used by the vector-search substrate for index training and batched
+ * search. Falls back to inline execution when constructed with zero or
+ * one worker, which keeps single-core CI environments deterministic.
+ */
+
+#ifndef VLR_COMMON_THREADPOOL_H
+#define VLR_COMMON_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vlr
+{
+
+class ThreadPool
+{
+  public:
+    /** @param num_threads 0 or 1 means run tasks inline. */
+    explicit ThreadPool(std::size_t num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t numThreads() const { return threads_.size(); }
+
+    /**
+     * Run fn(i) for i in [0, n) split into contiguous chunks across the
+     * pool; blocks until every index is processed.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Run fn(chunk_begin, chunk_end) over [0, n) in roughly equal chunks,
+     * one per worker; blocks until done.
+     */
+    void parallelChunks(
+        std::size_t n,
+        const std::function<void(std::size_t, std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void submit(std::function<void()> task);
+    void waitAll();
+
+    std::vector<std::thread> threads_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cvTask_;
+    std::condition_variable cvDone_;
+    std::size_t inflight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace vlr
+
+#endif // VLR_COMMON_THREADPOOL_H

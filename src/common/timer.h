@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock timer for the real (non-simulated) microbenchmarks.
+ */
+
+#ifndef VLR_COMMON_TIMER_H
+#define VLR_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace vlr
+{
+
+/** Monotonic stopwatch measuring elapsed seconds. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    void reset() { start_ = clock::now(); }
+
+    /** Seconds elapsed since construction or last reset(). */
+    double
+    elapsed() const
+    {
+        const auto d = clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double elapsedMs() const { return elapsed() * 1e3; }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace vlr
+
+#endif // VLR_COMMON_TIMER_H

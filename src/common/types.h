@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental type aliases shared across all VectorLiteRAG subsystems.
+ */
+
+#ifndef VLR_COMMON_TYPES_H
+#define VLR_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vlr
+{
+
+/** Index of a vector inside a dataset or inverted list. */
+using idx_t = std::int64_t;
+
+/** Identifier of an IVF cluster (inverted list). */
+using cluster_id_t = std::int32_t;
+
+/** Identifier of a GPU shard; kCpuShard means "not GPU resident". */
+using shard_id_t = std::int32_t;
+
+/** Sentinel shard id for clusters that live on the CPU tier. */
+inline constexpr shard_id_t kCpuShard = -1;
+
+/** Sentinel for "no vector". */
+inline constexpr idx_t kInvalidIdx = -1;
+
+/** Simulated time, in seconds. */
+using sim_time_t = double;
+
+/** Bytes of memory, used by the device models. */
+using bytes_t = std::uint64_t;
+
+inline constexpr bytes_t operator""_KiB(unsigned long long v)
+{
+    return static_cast<bytes_t>(v) << 10;
+}
+
+inline constexpr bytes_t operator""_MiB(unsigned long long v)
+{
+    return static_cast<bytes_t>(v) << 20;
+}
+
+inline constexpr bytes_t operator""_GiB(unsigned long long v)
+{
+    return static_cast<bytes_t>(v) << 30;
+}
+
+} // namespace vlr
+
+#endif // VLR_COMMON_TYPES_H

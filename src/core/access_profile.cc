@@ -1,0 +1,133 @@
+#include "core/access_profile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace vlr::core
+{
+
+AccessProfile::AccessProfile(std::vector<double> access_counts,
+                             std::vector<double> cluster_work,
+                             std::vector<double> cluster_bytes)
+    : accessCounts_(std::move(access_counts)),
+      clusterWork_(std::move(cluster_work)),
+      clusterBytes_(std::move(cluster_bytes))
+{
+    const std::size_t n = accessCounts_.size();
+    if (clusterWork_.size() != n || clusterBytes_.size() != n)
+        fatal("AccessProfile: array size mismatch");
+
+    hotOrder_.resize(n);
+    std::iota(hotOrder_.begin(), hotOrder_.end(), 0);
+    std::sort(hotOrder_.begin(), hotOrder_.end(),
+              [this](cluster_id_t a, cluster_id_t b) {
+                  const auto ca = accessCounts_[static_cast<std::size_t>(a)];
+                  const auto cb = accessCounts_[static_cast<std::size_t>(b)];
+                  if (ca != cb)
+                      return ca > cb;
+                  return a < b;
+              });
+
+    cumBytes_.resize(n);
+    cumMass_.resize(n);
+    double bytes = 0.0, mass = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto c = static_cast<std::size_t>(hotOrder_[i]);
+        bytes += clusterBytes_[c];
+        mass += accessCounts_[c] * clusterWork_[c];
+        cumBytes_[i] = bytes;
+        cumMass_[i] = mass;
+    }
+    totalBytes_ = bytes;
+    totalMass_ = mass;
+}
+
+AccessProfile
+AccessProfile::fromPlans(const wl::PlanSet &plans,
+                         const wl::SyntheticDataset &dataset)
+{
+    const std::size_t nlist = dataset.spec().numClusters;
+    auto counts = plans.clusterAccessCounts(nlist);
+    std::vector<double> work(nlist), bytes(nlist);
+    const double scale = dataset.spec().scaleFactor();
+    for (std::size_t c = 0; c < nlist; ++c) {
+        work[c] = static_cast<double>(dataset.clusterSizes()[c]) * scale;
+        bytes[c] = dataset.clusterBytes(static_cast<cluster_id_t>(c));
+    }
+    return AccessProfile(std::move(counts), std::move(work),
+                         std::move(bytes));
+}
+
+std::size_t
+AccessProfile::numHot(double rho) const
+{
+    rho = std::clamp(rho, 0.0, 1.0);
+    return static_cast<std::size_t>(
+        rho * static_cast<double>(nlist()) + 0.5);
+}
+
+std::vector<cluster_id_t>
+AccessProfile::hotClusters(double rho) const
+{
+    const std::size_t n = numHot(rho);
+    return {hotOrder_.begin(), hotOrder_.begin() + n};
+}
+
+std::vector<bool>
+AccessProfile::hotBitmap(double rho) const
+{
+    std::vector<bool> hot(nlist(), false);
+    const std::size_t n = numHot(rho);
+    for (std::size_t i = 0; i < n; ++i)
+        hot[static_cast<std::size_t>(hotOrder_[i])] = true;
+    return hot;
+}
+
+double
+AccessProfile::indexBytes(double rho) const
+{
+    const std::size_t n = numHot(rho);
+    if (n == 0)
+        return 0.0;
+    return cumBytes_[n - 1];
+}
+
+std::vector<CdfPoint>
+AccessProfile::accessConcentration() const
+{
+    // Concentration of raw access counts (matching the paper's Fig. 5,
+    // which plots coarse-quantization hit frequency).
+    return weightConcentrationCurve(accessCounts_);
+}
+
+double
+AccessProfile::meanWorkHitRate(double rho) const
+{
+    const std::size_t n = numHot(rho);
+    if (n == 0 || totalMass_ <= 0.0)
+        return 0.0;
+    return cumMass_[n - 1] / totalMass_;
+}
+
+double
+AccessProfile::accessCount(cluster_id_t c) const
+{
+    return accessCounts_.at(static_cast<std::size_t>(c));
+}
+
+double
+AccessProfile::clusterWork(cluster_id_t c) const
+{
+    return clusterWork_.at(static_cast<std::size_t>(c));
+}
+
+double
+AccessProfile::clusterBytes(cluster_id_t c) const
+{
+    return clusterBytes_.at(static_cast<std::size_t>(c));
+}
+
+} // namespace vlr::core

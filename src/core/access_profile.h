@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cluster access-pattern profiling (paper Section IV-A1).
+ *
+ * From calibration-query probe traces the profile derives: the hot
+ * ordering of clusters by access frequency, the access-concentration CDF
+ * (Fig. 5), the GPU memory footprint of any cache coverage rho, and the
+ * mean work-weighted hit rate at rho. "Work-weighted" means a probe
+ * counts proportionally to the vectors scanned in that cluster, which is
+ * exactly the CPU-side LUT work the latency model (Eq. 1) cares about.
+ */
+
+#ifndef VLR_CORE_ACCESS_PROFILE_H
+#define VLR_CORE_ACCESS_PROFILE_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "workload/dataset.h"
+#include "workload/plans.h"
+
+namespace vlr::core
+{
+
+class AccessProfile
+{
+  public:
+    /**
+     * @param access_counts per-cluster probe counts from calibration.
+     * @param cluster_work paper-scale vectors per cluster.
+     * @param cluster_bytes paper-scale index bytes per cluster.
+     */
+    AccessProfile(std::vector<double> access_counts,
+                  std::vector<double> cluster_work,
+                  std::vector<double> cluster_bytes);
+
+    /** Build from a plan set + dataset (the common path). */
+    static AccessProfile fromPlans(const wl::PlanSet &plans,
+                                   const wl::SyntheticDataset &dataset);
+
+    std::size_t nlist() const { return accessCounts_.size(); }
+
+    /** Clusters ordered by descending access count. */
+    const std::vector<cluster_id_t> &hotOrder() const { return hotOrder_; }
+
+    /** Top-(rho * nlist) clusters of the hot order. */
+    std::vector<cluster_id_t> hotClusters(double rho) const;
+
+    /** Bitmap form of hotClusters for fast membership tests. */
+    std::vector<bool> hotBitmap(double rho) const;
+
+    /** Number of hot clusters at coverage rho. */
+    std::size_t numHot(double rho) const;
+
+    /** Paper-scale index bytes of the hot set at coverage rho. */
+    double indexBytes(double rho) const;
+
+    /** Total paper-scale index bytes. */
+    double totalBytes() const { return totalBytes_; }
+
+    /**
+     * Access-concentration curve: fraction of probe traffic covered by
+     * the top-x fraction of clusters (paper Fig. 5).
+     */
+    std::vector<CdfPoint> accessConcentration() const;
+
+    /**
+     * Mean work-weighted hit rate at coverage rho, i.e. the fraction of
+     * total (access x work) mass in the hot set. This is the cheap
+     * aggregate the partitioning loop uses; the exact per-query
+     * distribution comes from HitRateEstimator.
+     */
+    double meanWorkHitRate(double rho) const;
+
+    double accessCount(cluster_id_t c) const;
+    double clusterWork(cluster_id_t c) const;
+    double clusterBytes(cluster_id_t c) const;
+
+  private:
+    std::vector<double> accessCounts_;
+    std::vector<double> clusterWork_;
+    std::vector<double> clusterBytes_;
+    std::vector<cluster_id_t> hotOrder_;
+    /** Cumulative bytes along hotOrder_. */
+    std::vector<double> cumBytes_;
+    /** Cumulative access*work along hotOrder_. */
+    std::vector<double> cumMass_;
+    double totalBytes_ = 0.0;
+    double totalMass_ = 0.0;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_ACCESS_PROFILE_H

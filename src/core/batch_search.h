@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Timing simulation of one hybrid CPU-GPU batch search, including the
+ * dynamic dispatcher (paper Section IV-B2).
+ *
+ * Timeline: coarse quantization on the CPU, then GPU shards scan their
+ * resident probes concurrently with the CPU scanning the misses. The
+ * CPU processes queries' clusters grouped by query in ascending miss-
+ * work order, so low-miss queries complete early; with the dispatcher
+ * enabled each query is merged and forwarded as soon as both its CPU
+ * and GPU parts finish, otherwise everything waits for the batch end.
+ */
+
+#ifndef VLR_CORE_BATCH_SEARCH_H
+#define VLR_CORE_BATCH_SEARCH_H
+
+#include <vector>
+
+#include "core/router.h"
+#include "simgpu/search_cost.h"
+
+namespace vlr::core
+{
+
+/** A GPU shard's busy window (offsets relative to batch start). */
+struct GpuBusyRecord
+{
+    shard_id_t shard = 0;
+    double startOffset = 0.0;
+    double endOffset = 0.0;
+    /** Compute occupancy this burst imposes (contention input). */
+    double occupancy = 0.0;
+};
+
+/** Outcome of a simulated batch search. */
+struct BatchSearchOutcome
+{
+    double cqSeconds = 0.0;
+    /** Offset at which the whole batch is complete. */
+    double batchSeconds = 0.0;
+    /** Per-query ready offsets (== batchSeconds when no dispatcher). */
+    std::vector<double> queryReady;
+    std::vector<GpuBusyRecord> gpuBusy;
+    double minHitRate = 0.0;
+    double meanHitRate = 0.0;
+};
+
+class BatchSearchSimulator
+{
+  public:
+    struct Options
+    {
+        /** Dynamic dispatcher on/off (Fig. 14 ablation). */
+        bool dispatcher = true;
+        /** Per-query merge + re-rank cost when dispatched. */
+        double mergeSeconds = 0.3e-3;
+        /** Dispatcher poll interval (half charged as mean delay). */
+        double pollSeconds = 0.4e-3;
+        /**
+         * Cap on the compute occupancy retrieval kernels may impose on
+         * a shared GPU (VectorLiteRAG deliberately limits its GPU
+         * thread usage; the naive baselines do not).
+         */
+        double occupancyCap = 1.0;
+        /** Paper-scale index bytes per scanned vector. */
+        double bytesPerVector = 200.0;
+        /** Paper-scale kernel blocks per simulated probe pair. */
+        double pairScale = 128.0;
+    };
+
+    BatchSearchSimulator(gpu::CpuSearchModel cpu_model,
+                         gpu::GpuSearchModel gpu_model, Options options);
+
+    /** Simulate the routed batch; offsets are relative to batch start. */
+    BatchSearchOutcome simulate(const RoutedBatch &batch) const;
+
+    const Options &options() const { return options_; }
+    const gpu::CpuSearchModel &cpuModel() const { return cpuModel_; }
+    const gpu::GpuSearchModel &gpuModel() const { return gpuModel_; }
+
+  private:
+    gpu::CpuSearchModel cpuModel_;
+    gpu::GpuSearchModel gpuModel_;
+    Options options_;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_BATCH_SEARCH_H

@@ -1,0 +1,74 @@
+#include "core/context.h"
+
+namespace vlr::core
+{
+
+DatasetContext::DatasetContext(wl::DatasetSpec spec)
+    : DatasetContext(std::move(spec), Options())
+{
+}
+
+DatasetContext::DatasetContext(wl::DatasetSpec spec, Options opts)
+    : spec_(std::move(spec)), opts_(opts), dataset_(spec_),
+      cpuModel_(opts.cpuSpec, spec_.cpuParams)
+{
+    dataset_.buildStats();
+    cq_ = dataset_.makeCoarseQuantizer();
+
+    clusterWork_.resize(spec_.numClusters);
+    const double scale = spec_.scaleFactor();
+    for (std::size_t c = 0; c < spec_.numClusters; ++c) {
+        clusterWork_[c] =
+            static_cast<double>(dataset_.clusterSizes()[c]) * scale;
+    }
+
+    wl::QueryGenerator train_gen(dataset_, opts_.seed * 2 + 1);
+    const auto train_q = train_gen.generate(opts_.trainQueries);
+    trainPlans_ = wl::PlanSet::build(*cq_, train_q, opts_.trainQueries,
+                                     spec_.nprobe, clusterWork_);
+
+    wl::QueryGenerator test_gen(dataset_, opts_.seed * 2 + 2);
+    const auto test_q = test_gen.generate(opts_.testQueries);
+    testPlans_ = wl::PlanSet::build(*cq_, test_q, opts_.testQueries,
+                                    spec_.nprobe, clusterWork_);
+
+    profile_ = std::make_unique<AccessProfile>(
+        AccessProfile::fromPlans(trainPlans_, dataset_));
+    estimator_ =
+        std::make_unique<HitRateEstimator>(*profile_, trainPlans_);
+
+    const std::size_t batches[] = {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+    perfModel_ = SearchPerfModel::profile(cpuModel_, batches,
+                                          opts_.profileNoiseStd,
+                                          opts_.seed + 17);
+}
+
+double
+DatasetContext::bytesPerVector() const
+{
+    return static_cast<double>(spec_.paperIndexBytes) / spec_.paperVectors;
+}
+
+void
+DatasetContext::reprofile(wl::QueryGenerator &gen)
+{
+    const auto train_q = gen.generate(opts_.trainQueries);
+    trainPlans_ = wl::PlanSet::build(*cq_, train_q, opts_.trainQueries,
+                                     spec_.nprobe, clusterWork_);
+    const auto test_q = gen.generate(opts_.testQueries);
+    testPlans_ = wl::PlanSet::build(*cq_, test_q, opts_.testQueries,
+                                    spec_.nprobe, clusterWork_);
+    profile_ = std::make_unique<AccessProfile>(
+        AccessProfile::fromPlans(trainPlans_, dataset_));
+    estimator_ =
+        std::make_unique<HitRateEstimator>(*profile_, trainPlans_);
+}
+
+wl::PlanSet
+DatasetContext::plansFor(wl::QueryGenerator &gen, std::size_t n) const
+{
+    const auto q = gen.generate(n);
+    return wl::PlanSet::build(*cq_, q, n, spec_.nprobe, clusterWork_);
+}
+
+} // namespace vlr::core

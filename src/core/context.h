@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared per-dataset experiment state: the synthetic dataset, its probe
+ * plans for calibration (train) and serving (test) query pools, the
+ * access profile, hit-rate estimator and fitted performance model.
+ * Benches build one context per dataset and reuse it across systems and
+ * arrival rates.
+ */
+
+#ifndef VLR_CORE_CONTEXT_H
+#define VLR_CORE_CONTEXT_H
+
+#include <memory>
+
+#include "core/access_profile.h"
+#include "core/hitrate_estimator.h"
+#include "core/perf_model.h"
+#include "simgpu/search_cost.h"
+#include "workload/dataset.h"
+#include "workload/plans.h"
+
+namespace vlr::core
+{
+
+class DatasetContext
+{
+  public:
+    struct Options
+    {
+        std::size_t trainQueries = 1500;
+        std::size_t testQueries = 3000;
+        gpu::CpuSpec cpuSpec = gpu::xeon8462Spec();
+        std::uint64_t seed = 5;
+        /** Relative noise injected into latency profiling. */
+        double profileNoiseStd = 0.02;
+    };
+
+    explicit DatasetContext(wl::DatasetSpec spec);
+    DatasetContext(wl::DatasetSpec spec, Options opts);
+
+    const wl::DatasetSpec &spec() const { return spec_; }
+    const wl::SyntheticDataset &dataset() const { return dataset_; }
+    const wl::PlanSet &trainPlans() const { return trainPlans_; }
+    const wl::PlanSet &testPlans() const { return testPlans_; }
+    const AccessProfile &profile() const { return *profile_; }
+    const HitRateEstimator &estimator() const { return *estimator_; }
+    const gpu::CpuSearchModel &cpuModel() const { return cpuModel_; }
+    const SearchPerfModel &perfModel() const { return perfModel_; }
+
+    /** Paper-scale index bytes per paper-scale vector. */
+    double bytesPerVector() const;
+
+    /**
+     * Re-profile against a drifted query stream: regenerates train and
+     * test plans from the generator's current popularity law and
+     * rebuilds the profile + estimator (the online-update path).
+     */
+    void reprofile(wl::QueryGenerator &gen);
+
+    /** Generate test plans from a generator without touching profile. */
+    wl::PlanSet plansFor(wl::QueryGenerator &gen, std::size_t n) const;
+
+  private:
+    wl::DatasetSpec spec_;
+    Options opts_;
+    wl::SyntheticDataset dataset_;
+    std::shared_ptr<vs::FlatCoarseQuantizer> cq_;
+    std::vector<double> clusterWork_;
+    wl::PlanSet trainPlans_;
+    wl::PlanSet testPlans_;
+    std::unique_ptr<AccessProfile> profile_;
+    std::unique_ptr<HitRateEstimator> estimator_;
+    gpu::CpuSearchModel cpuModel_;
+    SearchPerfModel perfModel_;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_CONTEXT_H

@@ -1,0 +1,121 @@
+#include "core/hitrate_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/beta_dist.h"
+
+namespace vlr::core
+{
+
+HitRateEstimator::HitRateEstimator(const AccessProfile &profile,
+                                   const wl::PlanSet &train_plans,
+                                   std::size_t grid_points)
+{
+    assert(grid_points >= 3);
+    gridRho_.resize(grid_points);
+    gridMean_.resize(grid_points);
+    gridVar_.resize(grid_points);
+
+    for (std::size_t g = 0; g < grid_points; ++g) {
+        const double rho = static_cast<double>(g) /
+                           static_cast<double>(grid_points - 1);
+        gridRho_[g] = rho;
+        const auto hot = profile.hotBitmap(rho);
+        const auto rates = train_plans.allHitRates(hot);
+        double mean = 0.0;
+        for (const double r : rates)
+            mean += r;
+        mean /= std::max<std::size_t>(1, rates.size());
+        double var = 0.0;
+        for (const double r : rates)
+            var += (r - mean) * (r - mean);
+        var /= std::max<std::size_t>(1, rates.size());
+        gridMean_[g] = mean;
+        gridVar_[g] = var;
+    }
+
+    // sigma_max^2: empirical variance where the mean crosses 0.5; when
+    // the grid never reaches 0.5 (degenerate skew), take the max.
+    sigmaMaxSq_ = 0.0;
+    bool found = false;
+    for (std::size_t g = 1; g < grid_points; ++g) {
+        if ((gridMean_[g - 1] - 0.5) * (gridMean_[g] - 0.5) <= 0.0 &&
+            gridMean_[g] != gridMean_[g - 1]) {
+            const double t = (0.5 - gridMean_[g - 1]) /
+                             (gridMean_[g] - gridMean_[g - 1]);
+            sigmaMaxSq_ =
+                gridVar_[g - 1] + t * (gridVar_[g] - gridVar_[g - 1]);
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        sigmaMaxSq_ = *std::max_element(gridVar_.begin(), gridVar_.end());
+    sigmaMaxSq_ = std::max(sigmaMaxSq_, 1e-6);
+}
+
+double
+HitRateEstimator::interp(const std::vector<double> &ys, double rho) const
+{
+    rho = std::clamp(rho, 0.0, 1.0);
+    const double pos = rho * static_cast<double>(gridRho_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, gridRho_.size() - 1);
+    const double t = pos - static_cast<double>(lo);
+    return ys[lo] * (1.0 - t) + ys[hi] * t;
+}
+
+double
+HitRateEstimator::meanHitRate(double rho) const
+{
+    return interp(gridMean_, rho);
+}
+
+double
+HitRateEstimator::empiricalVariance(double rho) const
+{
+    return interp(gridVar_, rho);
+}
+
+double
+HitRateEstimator::varianceApprox(double mean) const
+{
+    mean = std::clamp(mean, 0.0, 1.0);
+    return 4.0 * sigmaMaxSq_ * mean * (1.0 - mean);
+}
+
+double
+HitRateEstimator::etaMin(double rho, std::size_t batch) const
+{
+    const double mean = meanHitRate(rho);
+    if (mean <= 1e-9)
+        return 0.0;
+    if (mean >= 1.0 - 1e-9)
+        return 1.0;
+    const double var = varianceApprox(mean);
+    const auto beta = BetaDistribution::fromMoments(mean, var);
+    return beta.expectedMin(batch);
+}
+
+double
+HitRateEstimator::hitRate2Coverage(double eta_target,
+                                   std::size_t batch) const
+{
+    if (eta_target <= 0.0)
+        return 0.0;
+    if (etaMin(1.0, batch) < eta_target)
+        return 1.0;
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 40; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (etaMin(mid, batch) >= eta_target)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace vlr::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tail-query hit-rate estimation (paper Section IV-A2).
+ *
+ * Per-query hit rates at a cache coverage rho are modeled as
+ * Beta-distributed. The mean comes from the access profile; the variance
+ * is approximated as sigma^2 ~= 4 * sigma_max^2 * eta * (1 - eta) where
+ * sigma_max^2 is the empirical variance profiled at mean hit rate 0.5.
+ * The expected minimum hit rate in a batch of size B is the Beta
+ * first-order statistic (Eq. 2), and HitRate2Coverage numerically
+ * inverts rho -> eta_min(rho, B).
+ */
+
+#ifndef VLR_CORE_HITRATE_ESTIMATOR_H
+#define VLR_CORE_HITRATE_ESTIMATOR_H
+
+#include <vector>
+
+#include "core/access_profile.h"
+#include "workload/plans.h"
+
+namespace vlr::core
+{
+
+class HitRateEstimator
+{
+  public:
+    /**
+     * Profiles the empirical mean/variance of per-query hit rates over
+     * a coverage grid using the calibration plans, then locks in
+     * sigma_max^2 at the coverage where the mean crosses 0.5.
+     */
+    HitRateEstimator(const AccessProfile &profile,
+                     const wl::PlanSet &train_plans,
+                     std::size_t grid_points = 101);
+
+    /** Empirical mean hit rate at coverage rho (grid-interpolated). */
+    double meanHitRate(double rho) const;
+
+    /** Empirical per-query hit-rate variance at rho (for validation). */
+    double empiricalVariance(double rho) const;
+
+    /** Profiled variance at mean 0.5. */
+    double sigmaMaxSq() const { return sigmaMaxSq_; }
+
+    /** The paper's parabola approximation of the variance. */
+    double varianceApprox(double mean) const;
+
+    /**
+     * Expected minimum hit rate in a batch of B queries at coverage rho
+     * (paper Eq. 2 on the fitted Beta distribution).
+     */
+    double etaMin(double rho, std::size_t batch) const;
+
+    /**
+     * Smallest coverage rho with etaMin(rho, batch) >= eta_target;
+     * returns 1.0 when the target is unreachable (paper's
+     * HitRate2Coverage).
+     */
+    double hitRate2Coverage(double eta_target, std::size_t batch) const;
+
+    /** Coverage grid used for profiling (for validation benches). */
+    const std::vector<double> &gridCoverage() const { return gridRho_; }
+    const std::vector<double> &gridMean() const { return gridMean_; }
+    const std::vector<double> &gridVariance() const { return gridVar_; }
+
+  private:
+    std::vector<double> gridRho_;
+    std::vector<double> gridMean_;
+    std::vector<double> gridVar_;
+    double sigmaMaxSq_ = 0.0;
+
+    double interp(const std::vector<double> &ys, double rho) const;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_HITRATE_ESTIMATOR_H

@@ -1,0 +1,95 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace vlr::core
+{
+
+LatencyBoundedPartitioner::LatencyBoundedPartitioner(
+    const SearchPerfModel &perf, const HitRateEstimator &estimator,
+    const AccessProfile &profile)
+    : perf_(perf), estimator_(estimator), profile_(profile)
+{
+}
+
+double
+LatencyBoundedPartitioner::inferPartition(double tau_s, double mu) const
+{
+    mu = std::max(mu, 1e-3);
+
+    // Round-up branch: larger batch, latency bound stays tau_s.
+    const double b_up = std::max(1.0, std::ceil(tau_s * mu));
+    const double eta1 = perf_.requiredEtaMin(b_up, tau_s);
+    const double rho1 =
+        eta1 <= 0.0 ? 0.0
+                    : estimator_.hitRate2Coverage(
+                          std::min(eta1, 1.0),
+                          static_cast<std::size_t>(b_up));
+
+    // Round-down branch: smaller batch, latency bound tightened to B/mu
+    // so the throughput target is still met.
+    const double b_dn = std::max(1.0, std::floor(tau_s * mu));
+    const double tau_dn = std::min(tau_s, b_dn / mu);
+    const double eta2 = perf_.requiredEtaMin(b_dn, tau_dn);
+    const double rho2 =
+        eta2 <= 0.0 ? 0.0
+                    : estimator_.hitRate2Coverage(
+                          std::min(eta2, 1.0),
+                          static_cast<std::size_t>(b_dn));
+
+    return std::min(rho1, rho2);
+}
+
+PartitionResult
+LatencyBoundedPartitioner::partition(const PartitionInputs &in) const
+{
+    PartitionResult res;
+    res.tauS = in.sloSearchSeconds / (1.0 + in.epsilon);
+
+    double rho_low = 0.0;
+    double rho_high = 1.0;
+    double rho = 0.0;
+
+    while (rho_high - rho_low > in.delta &&
+           res.iterations < in.maxIterations) {
+        const double rho_m = 0.5 * (rho_low + rho_high);
+
+        // Throughput bound: linear KV interpolation (Algorithm 1 line
+        // 5); conservative because the throughput-KV curve is convex.
+        const double kv_left =
+            std::max(0.0, in.kvBaselineBytes - profile_.indexBytes(rho_m));
+        const double mu = in.kvBaselineBytes > 0.0
+                              ? in.peakLlmThroughput * kv_left /
+                                    in.kvBaselineBytes
+                              : in.peakLlmThroughput;
+
+        rho = inferPartition(res.tauS, mu);
+        res.trace.push_back(rho);
+        ++res.iterations;
+
+        if (rho > rho_m)
+            rho_low = rho;
+        else
+            rho_high = rho_m;
+    }
+    res.converged = rho_high - rho_low <= in.delta;
+
+    res.rho = std::clamp(rho, 0.0, 1.0);
+    res.indexBytes = profile_.indexBytes(res.rho);
+    const double kv_left =
+        std::max(0.0, in.kvBaselineBytes - res.indexBytes);
+    res.throughputBound =
+        in.kvBaselineBytes > 0.0
+            ? in.peakLlmThroughput * kv_left / in.kvBaselineBytes
+            : in.peakLlmThroughput;
+    res.expectedBatch =
+        std::max(1.0, std::ceil(res.tauS * res.throughputBound));
+    res.expectedEtaMin = estimator_.etaMin(
+        res.rho, static_cast<std::size_t>(res.expectedBatch));
+    return res;
+}
+
+} // namespace vlr::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Latency-bounded partitioning (paper Algorithm 1, Section IV-A3).
+ *
+ * Finds the largest cache coverage rho whose hybrid search latency
+ * stays within tau_s = SLO_search / (1 + eps) while accounting for the
+ * LLM throughput lost to the GPU memory the index occupies. The binary
+ * search couples two feedback paths: more coverage -> less KV cache ->
+ * lower throughput -> smaller batches -> less coverage needed.
+ */
+
+#ifndef VLR_CORE_PARTITIONER_H
+#define VLR_CORE_PARTITIONER_H
+
+#include <vector>
+
+#include "core/access_profile.h"
+#include "core/hitrate_estimator.h"
+#include "core/perf_model.h"
+
+namespace vlr::core
+{
+
+struct PartitionInputs
+{
+    /** Retrieval-stage SLO (Table I). */
+    double sloSearchSeconds = 0.150;
+    /** Queuing factor eps of Eq. 3 (worst case 1.0). */
+    double epsilon = 1.0;
+    /** KV-cache bytes across the LLM's GPUs with no index resident. */
+    double kvBaselineBytes = 0.0;
+    /** Standalone peak LLM throughput mu_LLM0 (req/s). */
+    double peakLlmThroughput = 10.0;
+    /** Convergence threshold on rho. */
+    double delta = 0.005;
+    int maxIterations = 40;
+};
+
+struct PartitionResult
+{
+    /** Selected cache coverage (fraction of clusters). */
+    double rho = 0.0;
+    int iterations = 0;
+    bool converged = false;
+    /** Derived latency bound tau_s. */
+    double tauS = 0.0;
+    /** Throughput bound at the final rho. */
+    double throughputBound = 0.0;
+    /** Expected batch size at the final rho. */
+    double expectedBatch = 0.0;
+    /** Expected minimum batch hit rate at the final rho. */
+    double expectedEtaMin = 0.0;
+    /** GPU index footprint at the final rho (paper-scale bytes). */
+    double indexBytes = 0.0;
+    /** rho trace per iteration (for convergence plots). */
+    std::vector<double> trace;
+};
+
+class LatencyBoundedPartitioner
+{
+  public:
+    LatencyBoundedPartitioner(const SearchPerfModel &perf,
+                              const HitRateEstimator &estimator,
+                              const AccessProfile &profile);
+
+    PartitionResult partition(const PartitionInputs &in) const;
+
+    /**
+     * INFERPARTITION (Algorithm 1 lines 15-25): coverage needed to meet
+     * tau_s at throughput bound mu, taking the safer of the round-up /
+     * round-down batch estimates.
+     */
+    double inferPartition(double tau_s, double mu) const;
+
+  private:
+    const SearchPerfModel &perf_;
+    const HitRateEstimator &estimator_;
+    const AccessProfile &profile_;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_PARTITIONER_H

@@ -1,0 +1,67 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace vlr::core
+{
+
+SearchPerfModel
+SearchPerfModel::profile(const gpu::CpuSearchModel &truth,
+                         std::span<const std::size_t> batch_sizes,
+                         double noise_std, std::uint64_t seed,
+                         std::size_t repeats)
+{
+    assert(!batch_sizes.empty());
+    Rng rng(seed);
+    std::vector<PlKnot> cq_samples, lut_samples;
+    for (const std::size_t b : batch_sizes) {
+        for (std::size_t r = 0; r < repeats; ++r) {
+            const double n1 =
+                noise_std > 0.0 ? 1.0 + rng.gaussian(0.0, noise_std) : 1.0;
+            const double n2 =
+                noise_std > 0.0 ? 1.0 + rng.gaussian(0.0, noise_std) : 1.0;
+            cq_samples.push_back({static_cast<double>(b),
+                                  truth.cqSeconds(b) * std::max(0.5, n1)});
+            lut_samples.push_back({static_cast<double>(b),
+                                   truth.lutSeconds(b) * std::max(0.5, n2)});
+        }
+    }
+    SearchPerfModel m;
+    m.cq_ = PiecewiseLinearModel::fit(cq_samples);
+    m.lut_ = PiecewiseLinearModel::fit(lut_samples);
+    return m;
+}
+
+double
+SearchPerfModel::tCq(double b) const
+{
+    return std::max(0.0, cq_.eval(b));
+}
+
+double
+SearchPerfModel::tLut(double b) const
+{
+    return std::max(0.0, lut_.eval(b));
+}
+
+double
+SearchPerfModel::hybridLatency(double b, double eta_min) const
+{
+    const double w = std::clamp(1.0 - eta_min, 0.0, 1.0);
+    return tCq(b) + w * tLut(b);
+}
+
+double
+SearchPerfModel::requiredEtaMin(double b, double tau) const
+{
+    const double lut = tLut(b);
+    if (lut <= 0.0)
+        return 0.0;
+    // tau = tCq + (1 - eta) * tLut  =>  eta = (tSearch - tau) / tLut.
+    return (tSearch(b) - tau) / lut;
+}
+
+} // namespace vlr::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Profiled search-latency model (paper Section IV-A1).
+ *
+ * VectorLiteRAG profiles CPU search over a sweep of batch sizes and fits
+ * independent piecewise-linear models for the coarse-quantization and
+ * LUT stages. The hybrid-index latency is Eq. 1:
+ *
+ *   tau_s(b) = T_CQ(b) + (1 - eta_min) * T_LUT(b)
+ *
+ * In this reproduction "measurement" means sampling the calibrated
+ * CpuSearchModel with small multiplicative noise (the real system reads
+ * wall clocks, which are similarly noisy), so the fitted model and the
+ * ground truth diverge slightly — visible in Fig. 10's validation.
+ */
+
+#ifndef VLR_CORE_PERF_MODEL_H
+#define VLR_CORE_PERF_MODEL_H
+
+#include <span>
+#include <vector>
+
+#include "common/piecewise_linear.h"
+#include "simgpu/search_cost.h"
+
+namespace vlr::core
+{
+
+class SearchPerfModel
+{
+  public:
+    /**
+     * Profile the CPU tier over the given batch sizes.
+     * @param noise_std relative measurement noise (0 disables).
+     */
+    static SearchPerfModel profile(const gpu::CpuSearchModel &truth,
+                                   std::span<const std::size_t> batch_sizes,
+                                   double noise_std = 0.02,
+                                   std::uint64_t seed = 99,
+                                   std::size_t repeats = 3);
+
+    /** Modeled coarse-quantization latency at batch size b. */
+    double tCq(double b) const;
+    /** Modeled full-miss LUT latency at batch size b. */
+    double tLut(double b) const;
+    /** Modeled full CPU search latency. */
+    double tSearch(double b) const { return tCq(b) + tLut(b); }
+
+    /** Hybrid latency under a minimum batch hit rate (Eq. 1). */
+    double hybridLatency(double b, double eta_min) const;
+
+    /**
+     * Minimum batch hit rate required to satisfy a latency target at
+     * batch size b (Algorithm 1, line 18). May fall outside [0, 1]:
+     * > 1 means infeasible even fully cached; < 0 means free.
+     */
+    double requiredEtaMin(double b, double tau) const;
+
+    const PiecewiseLinearModel &cqModel() const { return cq_; }
+    const PiecewiseLinearModel &lutModel() const { return lut_; }
+
+  private:
+    PiecewiseLinearModel cq_;
+    PiecewiseLinearModel lut_;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_PERF_MODEL_H

@@ -1,0 +1,176 @@
+#include "core/retriever.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace vlr::core
+{
+
+std::string
+retrieverName(RetrieverKind kind)
+{
+    switch (kind) {
+      case RetrieverKind::CpuOnly: return "CPU-Only";
+      case RetrieverKind::DedicatedGpu: return "DED-GPU";
+      case RetrieverKind::AllGpu: return "ALL-GPU";
+      case RetrieverKind::VectorLite: return "vLiteRAG";
+      case RetrieverKind::HedraRag: return "HedraRAG";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Hot clusters (by access) that fit in `capacity` bytes, as coverage. */
+double
+coverageFittingBytes(const AccessProfile &profile, double capacity)
+{
+    double lo = 0.0, hi = 1.0;
+    if (profile.indexBytes(1.0) <= capacity)
+        return 1.0;
+    for (int i = 0; i < 30; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (profile.indexBytes(mid) <= capacity)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+void
+fillGpuBytes(RetrieverSetup &setup, int num_gpus)
+{
+    setup.indexBytesPerGpu.assign(static_cast<std::size_t>(num_gpus), 0.0);
+    for (std::size_t s = 0; s < setup.assignment.numShards(); ++s) {
+        const int g = setup.shardToGpu.at(s);
+        setup.indexBytesPerGpu.at(static_cast<std::size_t>(g)) +=
+            setup.assignment.shardBytes[s];
+    }
+}
+
+} // namespace
+
+RetrieverSetup
+buildRetrieverSetup(const RetrieverConfig &config, const DatasetContext &ctx)
+{
+    RetrieverSetup setup;
+    setup.kind = config.kind;
+    const AccessProfile &profile = ctx.profile();
+    const int n_gpus = config.numGpus;
+
+    switch (config.kind) {
+      case RetrieverKind::CpuOnly: {
+        setup.assignment = IndexSplitter::split(profile, 0.0, 1);
+        setup.shardToGpu = {0};
+        setup.pruneProbes = true;
+        setup.dispatcher = false;
+        setup.occupancyCap = 0.0;
+        setup.rho = 0.0;
+        break;
+      }
+      case RetrieverKind::DedicatedGpu: {
+        // Whole index (or the hottest part that fits) on one GPU that
+        // the LLM pool loses.
+        const double capacity =
+            static_cast<double>(config.gpuSpec.memBytes) *
+            (1.0 - config.gpuSpec.memReserveFraction);
+        const double rho = config.fixedRho >= 0.0
+                               ? config.fixedRho
+                               : coverageFittingBytes(profile, capacity);
+        setup.assignment = IndexSplitter::split(profile, rho, 1);
+        setup.dedicatedGpu = n_gpus - 1;
+        setup.shardToGpu = {setup.dedicatedGpu};
+        setup.pruneProbes = true;
+        setup.dispatcher = false;
+        setup.occupancyCap = 1.0;
+        setup.rho = rho;
+        break;
+      }
+      case RetrieverKind::AllGpu: {
+        setup.assignment = IndexSplitter::splitUniform(profile, 1.0,
+                                                       n_gpus);
+        setup.shardToGpu.resize(static_cast<std::size_t>(n_gpus));
+        for (int g = 0; g < n_gpus; ++g)
+            setup.shardToGpu[static_cast<std::size_t>(g)] = g;
+        setup.pruneProbes = false;
+        setup.dispatcher = false;
+        setup.occupancyCap = 1.0;
+        setup.rho = 1.0;
+        break;
+      }
+      case RetrieverKind::VectorLite: {
+        double rho = config.fixedRho;
+        if (rho < 0.0) {
+            PartitionInputs in;
+            in.sloSearchSeconds = config.sloSearchSeconds;
+            in.kvBaselineBytes = config.kvBaselineBytes;
+            in.peakLlmThroughput = config.peakLlmThroughput;
+            LatencyBoundedPartitioner part(ctx.perfModel(),
+                                           ctx.estimator(), profile);
+            setup.partition = part.partition(in);
+            rho = setup.partition.rho;
+        }
+        setup.assignment = IndexSplitter::split(profile, rho, n_gpus);
+        setup.shardToGpu.resize(static_cast<std::size_t>(n_gpus));
+        for (int g = 0; g < n_gpus; ++g)
+            setup.shardToGpu[static_cast<std::size_t>(g)] = g;
+        setup.pruneProbes = true;
+        setup.dispatcher = true;
+        setup.occupancyCap = config.vliteOccupancyCap;
+        setup.rho = rho;
+        break;
+      }
+      case RetrieverKind::HedraRag: {
+        // Throughput balancing: smallest coverage whose estimated
+        // retrieval throughput keeps up with the (KV-reduced) LLM; 0
+        // when CPU-only retrieval already outpaces the LLM. HedraRAG
+        // measures batched retrieval throughput empirically, and a
+        // batch completes with its slowest query, so the balance uses
+        // the tail (minimum) batch hit rate — which is what drives it
+        // to cache far more than a latency-aware partition needs
+        // (paper Fig. 13: 73% vs 31.5%).
+        double rho = config.fixedRho;
+        if (rho < 0.0) {
+            const double b =
+                static_cast<double>(config.hedraRefBatch);
+            rho = 0.0;
+            for (double cand = 0.0; cand <= 1.0001; cand += 0.01) {
+                const double eta = ctx.estimator().etaMin(
+                    cand, config.hedraRefBatch);
+                const double lat = ctx.perfModel().hybridLatency(b, eta);
+                const double ret_thr = b / std::max(lat, 1e-6);
+                const double kv_left = std::max(
+                    0.0, config.kvBaselineBytes -
+                             profile.indexBytes(cand));
+                const double mu =
+                    config.kvBaselineBytes > 0.0
+                        ? config.peakLlmThroughput * kv_left /
+                              config.kvBaselineBytes
+                        : config.peakLlmThroughput;
+                rho = cand;
+                if (ret_thr >= mu)
+                    break;
+            }
+        }
+        setup.assignment = IndexSplitter::splitUniform(profile, rho,
+                                                       n_gpus);
+        setup.shardToGpu.resize(static_cast<std::size_t>(n_gpus));
+        for (int g = 0; g < n_gpus; ++g)
+            setup.shardToGpu[static_cast<std::size_t>(g)] = g;
+        setup.pruneProbes = false;
+        setup.dispatcher = false;
+        setup.occupancyCap = 1.0;
+        setup.rho = rho;
+        break;
+      }
+    }
+
+    fillGpuBytes(setup, n_gpus);
+    return setup;
+}
+
+} // namespace vlr::core

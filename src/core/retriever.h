@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Retrieval strategies: VectorLiteRAG and the paper's baselines.
+ *
+ *  - CPU-Only: vanilla Faiss fast-scan on the host (Section V-A).
+ *  - DED-GPU: the whole (fitting) index on one dedicated GPU, which is
+ *    removed from the LLM pool — the rigid-allocation baseline.
+ *  - ALL-GPU: IndexIVFShards-style uniform sharding across all GPUs,
+ *    full-nprobe launches, full KV displacement.
+ *  - VectorLiteRAG: latency-bounded partition + pruned routing +
+ *    dynamic dispatcher, with a capped retrieval occupancy.
+ *  - HedraRAG: throughput-balancing cache sizing with uniform unpruned
+ *    shards (Section VI-D).
+ */
+
+#ifndef VLR_CORE_RETRIEVER_H
+#define VLR_CORE_RETRIEVER_H
+
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/partitioner.h"
+#include "core/splitter.h"
+
+namespace vlr::core
+{
+
+enum class RetrieverKind
+{
+    CpuOnly,
+    DedicatedGpu,
+    AllGpu,
+    VectorLite,
+    HedraRag,
+};
+
+std::string retrieverName(RetrieverKind kind);
+
+/** Node-level inputs the strategies size themselves against. */
+struct RetrieverConfig
+{
+    RetrieverKind kind = RetrieverKind::VectorLite;
+    int numGpus = 8;
+    gpu::GpuSpec gpuSpec;
+    /** Retrieval SLO used by the partitioner (Table I or override). */
+    double sloSearchSeconds = 0.150;
+    /** Standalone LLM peak throughput on the full node (mu_LLM0). */
+    double peakLlmThroughput = 20.0;
+    /** KV bytes across all LLM GPUs with no index resident. */
+    double kvBaselineBytes = 0.0;
+    /** Coverage override (>= 0 skips the partitioner). */
+    double fixedRho = -1.0;
+    /** Occupancy cap for VectorLiteRAG's retrieval kernels. */
+    double vliteOccupancyCap = 0.25;
+    /** Reference batch size for HedraRAG's throughput balancing. */
+    std::size_t hedraRefBatch = 32;
+};
+
+/** Fully resolved strategy: placement, routing flags, GPU mapping. */
+struct RetrieverSetup
+{
+    RetrieverKind kind = RetrieverKind::CpuOnly;
+    ShardAssignment assignment;
+    bool pruneProbes = true;
+    bool dispatcher = false;
+    double occupancyCap = 1.0;
+    /** shard id -> node GPU id. */
+    std::vector<int> shardToGpu;
+    /** Paper-scale index bytes resident on each node GPU. */
+    std::vector<double> indexBytesPerGpu;
+    /** GPU excluded from the LLM pool (-1 = none). */
+    int dedicatedGpu = -1;
+    double rho = 0.0;
+    /** Partitioner diagnostics (VectorLite only). */
+    PartitionResult partition;
+};
+
+/** Resolve a strategy against a dataset context. */
+RetrieverSetup buildRetrieverSetup(const RetrieverConfig &config,
+                                   const DatasetContext &ctx);
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_RETRIEVER_H

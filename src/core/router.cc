@@ -1,0 +1,70 @@
+#include "core/router.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vlr::core
+{
+
+Router::Router(const ShardAssignment &assignment, bool prune_probes)
+    : assignment_(assignment), prune_(prune_probes)
+{
+}
+
+RoutedBatch
+Router::route(std::span<const wl::QueryPlan *const> batch) const
+{
+    RoutedBatch out;
+    out.queries.resize(batch.size());
+    out.shards.resize(assignment_.numShards());
+
+    double hit_sum = 0.0;
+    for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+        const wl::QueryPlan &plan = *batch[qi];
+        RoutedQuery &rq = out.queries[qi];
+
+        double hit_work = 0.0;
+        std::vector<bool> shard_touched(assignment_.numShards(), false);
+        for (std::size_t j = 0; j < plan.probes.size(); ++j) {
+            const cluster_id_t c = plan.probes[j];
+            const shard_id_t s =
+                assignment_.clusterShard[static_cast<std::size_t>(c)];
+            if (s == kCpuShard) {
+                ++rq.cpuProbes;
+                continue;
+            }
+            const auto si = static_cast<std::size_t>(s);
+            hit_work += plan.probeWork[j];
+            ++rq.gpuProbes;
+            out.shards[si].workVectors += plan.probeWork[j];
+            if (prune_)
+                ++out.shards[si].pairs;
+            if (!shard_touched[si]) {
+                shard_touched[si] = true;
+                ++out.shards[si].queries;
+                rq.shardsUsed.push_back(s);
+            }
+        }
+
+        if (!prune_) {
+            // IndexIVFShards: each shard is instructed to probe the
+            // full nprobe for every query in the batch.
+            for (auto &shard : out.shards)
+                shard.pairs += plan.probes.size();
+        }
+
+        rq.hitRate =
+            plan.totalWork > 0.0 ? hit_work / plan.totalWork : 0.0;
+        rq.cpuWorkFraction = 1.0 - rq.hitRate;
+        hit_sum += rq.hitRate;
+        out.minHitRate = std::min(out.minHitRate, rq.hitRate);
+    }
+
+    if (batch.empty())
+        out.minHitRate = 0.0;
+    out.meanHitRate =
+        batch.empty() ? 0.0 : hit_sum / static_cast<double>(batch.size());
+    return out;
+}
+
+} // namespace vlr::core

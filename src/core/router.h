@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Query router (paper Section IV-B1).
+ *
+ * Uses the splitter's mapping tables to send each probe to the shard
+ * that actually holds the cluster, pruning non-resident probes so GPU
+ * kernels launch only necessary blocks. The unpruned mode reproduces
+ * Faiss IndexIVFShards semantics: every shard receives the full nprobe
+ * for every query and pays block-scheduling cost for clusters it does
+ * not hold.
+ */
+
+#ifndef VLR_CORE_ROUTER_H
+#define VLR_CORE_ROUTER_H
+
+#include <span>
+#include <vector>
+
+#include "core/splitter.h"
+#include "workload/plans.h"
+
+namespace vlr::core
+{
+
+/** Aggregate GPU work routed to one shard for a batch. */
+struct ShardLoad
+{
+    /** Launched (query, cluster) pairs, including pruned-away waste. */
+    std::size_t pairs = 0;
+    /** Paper-scale vectors of resident clusters actually scanned. */
+    double workVectors = 0.0;
+    /** Queries with at least one resident probe on this shard. */
+    std::size_t queries = 0;
+};
+
+/** Routed view of one query within a batch. */
+struct RoutedQuery
+{
+    /** Scan work fraction left on the CPU (1 - hit rate). */
+    double cpuWorkFraction = 1.0;
+    /** Work-weighted hit rate. */
+    double hitRate = 0.0;
+    /** Shards holding at least one of this query's probes. */
+    std::vector<shard_id_t> shardsUsed;
+    /** Number of CPU-resident probes. */
+    std::size_t cpuProbes = 0;
+    /** Number of GPU-resident probes. */
+    std::size_t gpuProbes = 0;
+};
+
+/** Routed view of a whole batch. */
+struct RoutedBatch
+{
+    std::vector<RoutedQuery> queries;
+    std::vector<ShardLoad> shards;
+    double minHitRate = 1.0;
+    double meanHitRate = 0.0;
+
+    std::size_t size() const { return queries.size(); }
+};
+
+class Router
+{
+  public:
+    /**
+     * @param assignment shard placement (may be empty => CPU only).
+     * @param prune_probes true for VectorLiteRAG's pruned routing;
+     *        false reproduces IndexIVFShards full-nprobe launches.
+     */
+    Router(const ShardAssignment &assignment, bool prune_probes);
+
+    /** Route a batch of query plans. */
+    RoutedBatch route(std::span<const wl::QueryPlan *const> batch) const;
+
+    bool prunesProbes() const { return prune_; }
+    const ShardAssignment &assignment() const { return assignment_; }
+
+  private:
+    const ShardAssignment &assignment_;
+    bool prune_;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_ROUTER_H

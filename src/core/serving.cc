@@ -1,0 +1,272 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "simcore/simulator.h"
+#include "workload/arrival.h"
+
+namespace vlr::core
+{
+
+double
+sloLlmSecondsFor(const llm::LlmConfig &config)
+{
+    if (config.name == "Llama3-8B")
+        return 0.217;
+    if (config.name == "Qwen3-32B")
+        return 0.191;
+    if (config.name == "Llama3-70B")
+        return 0.311;
+    return 0.250;
+}
+
+double
+measurePeak(const ServingConfig &config)
+{
+    return llm::measurePeakThroughput(config.llmConfig, config.gpuSpec,
+                                      config.numGpus, config.promptTokens,
+                                      config.outputTokens);
+}
+
+namespace
+{
+
+/** Per-request measurement record. */
+struct RequestTrace
+{
+    sim_time_t arrival = 0.0;
+    sim_time_t batchStart = -1.0;
+    sim_time_t searchReady = -1.0;
+    sim_time_t firstToken = -1.0;
+    sim_time_t finish = -1.0;
+    double prefillSeconds = 0.0;
+    bool measured = false;
+};
+
+} // namespace
+
+ServingResult
+runServing(const ServingConfig &config, DatasetContext &ctx)
+{
+    const double slo_search = config.sloSearchOverride >= 0.0
+                                  ? config.sloSearchOverride
+                                  : ctx.spec().sloSearchSeconds;
+    const double slo_llm = config.sloLlmOverride >= 0.0
+                               ? config.sloLlmOverride
+                               : sloLlmSecondsFor(config.llmConfig);
+
+    const double peak = config.peakThroughputHint > 0.0
+                            ? config.peakThroughputHint
+                            : measurePeak(config);
+
+    // --- resolve the retrieval strategy ---
+    const int tp = config.llmConfig.tensorParallel;
+    const int llm_gpus_if_shared = (config.numGpus / tp) * tp;
+    const double kv_per_gpu =
+        static_cast<double>(config.gpuSpec.memBytes) *
+            (1.0 - config.gpuSpec.memReserveFraction) -
+        static_cast<double>(config.llmConfig.weightBytes()) / tp;
+    if (kv_per_gpu <= 0.0)
+        fatal("runServing: model weights do not fit the GPU");
+
+    RetrieverConfig rc;
+    rc.kind = config.retriever;
+    rc.numGpus = config.numGpus;
+    rc.gpuSpec = config.gpuSpec;
+    rc.sloSearchSeconds = slo_search;
+    rc.peakLlmThroughput = peak;
+    rc.kvBaselineBytes = kv_per_gpu * llm_gpus_if_shared;
+    rc.fixedRho = config.fixedRho;
+    RetrieverSetup setup = buildRetrieverSetup(rc, ctx);
+    if (config.dispatcherOverride >= 0)
+        setup.dispatcher = config.dispatcherOverride != 0;
+
+    // --- build devices, LLM cluster, retrieval simulator ---
+    sim::Simulator simulator;
+    std::vector<std::unique_ptr<gpu::GpuDevice>> devices;
+    std::vector<gpu::GpuDevice *> llm_gpus;
+    for (int g = 0; g < config.numGpus; ++g) {
+        devices.push_back(
+            std::make_unique<gpu::GpuDevice>(g, config.gpuSpec));
+        const auto bytes = static_cast<bytes_t>(
+            setup.indexBytesPerGpu[static_cast<std::size_t>(g)]);
+        devices.back()->setIndexBytes(bytes);
+        if (g != setup.dedicatedGpu)
+            llm_gpus.push_back(devices.back().get());
+    }
+
+    llm::LlmEngineParams engine_params;
+    engine_params.contentionAlpha = config.contentionAlpha;
+    // One prompt per prefill step: first-token latency then matches a
+    // chunked-prefill engine instead of growing with the prefill batch.
+    engine_params.maxPrefillTokens = config.promptTokens;
+    llm::LlmCluster cluster(simulator, llm_gpus, config.llmConfig,
+                            engine_params);
+    if (cluster.numInstances() == 0)
+        fatal("runServing: no LLM instance fits the remaining GPUs");
+
+    Router router(setup.assignment, setup.pruneProbes);
+    BatchSearchSimulator::Options bopts;
+    bopts.dispatcher = setup.dispatcher;
+    bopts.occupancyCap = setup.occupancyCap;
+    bopts.bytesPerVector = ctx.bytesPerVector();
+    bopts.pairScale = static_cast<double>(ctx.spec().paperNprobe) /
+                      static_cast<double>(ctx.spec().nprobe);
+    BatchSearchSimulator batch_sim(ctx.cpuModel(),
+                                   gpu::GpuSearchModel(config.gpuSpec),
+                                   bopts);
+
+    // --- workload ---
+    const auto arrivals = wl::poissonArrivals(
+        config.arrivalRate, config.durationSeconds, config.seed);
+    const std::size_t n_req = arrivals.size();
+    std::vector<RequestTrace> traces(n_req);
+
+    Rng pick(config.seed ^ 0xABCDEFULL);
+    std::vector<std::size_t> plan_of(n_req);
+    for (auto &p : plan_of)
+        p = pick.uniformU64(ctx.testPlans().size());
+
+    // --- retrieval serving loop ---
+    std::vector<std::size_t> pending;
+    bool retrieval_busy = false;
+    RunningStats batch_sizes;
+    RunningStats min_hits;
+    std::size_t batches_done = 0;
+
+    // Declared as std::function for the recursive re-arm on completion.
+    std::function<void()> try_start_batch = [&]() {
+        if (retrieval_busy || pending.empty())
+            return;
+        retrieval_busy = true;
+        std::vector<std::size_t> batch;
+        const std::size_t take =
+            std::min(pending.size(), config.maxRetrievalBatch);
+        batch.assign(pending.begin(), pending.begin() + take);
+        pending.erase(pending.begin(), pending.begin() + take);
+
+        std::vector<const wl::QueryPlan *> plans;
+        plans.reserve(batch.size());
+        for (const std::size_t r : batch)
+            plans.push_back(&ctx.testPlans().plan(plan_of[r]));
+
+        const RoutedBatch routed = router.route(plans);
+        const BatchSearchOutcome outcome = batch_sim.simulate(routed);
+
+        const sim_time_t t0 = simulator.now();
+        batch_sizes.add(static_cast<double>(batch.size()));
+        min_hits.add(outcome.minHitRate);
+
+        for (const auto &busy : outcome.gpuBusy) {
+            const int g = setup.shardToGpu.at(
+                static_cast<std::size_t>(busy.shard));
+            devices[static_cast<std::size_t>(g)]->addRetrievalInterval(
+                t0 + busy.startOffset, t0 + busy.endOffset,
+                busy.occupancy);
+        }
+
+        for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+            const std::size_t r = batch[qi];
+            traces[r].batchStart = t0;
+            simulator.schedule(outcome.queryReady[qi], [&, r, t0, qi,
+                               off = outcome.queryReady[qi]]() {
+                traces[r].searchReady = t0 + off;
+                auto req = std::make_shared<llm::LlmRequest>();
+                req->id = r;
+                req->arrivalTime = traces[r].arrival;
+                req->promptTokens = config.promptTokens;
+                req->outputTokens = config.outputTokens;
+                cluster.dispatch(std::move(req));
+            });
+        }
+
+        simulator.schedule(outcome.batchSeconds, [&]() {
+            retrieval_busy = false;
+            if (++batches_done % 128 == 0) {
+                for (auto &d : devices)
+                    d->pruneIntervals(simulator.now() - 10.0);
+            }
+            try_start_batch();
+        });
+    };
+
+    for (std::size_t r = 0; r < n_req; ++r) {
+        traces[r].arrival = arrivals[r];
+        traces[r].measured = arrivals[r] >= config.warmupSeconds;
+        simulator.scheduleAt(arrivals[r], [&, r]() {
+            pending.push_back(r);
+            try_start_batch();
+        });
+    }
+
+    cluster.setOnFirstToken([&](const llm::LlmRequestPtr &req) {
+        RequestTrace &tr = traces[static_cast<std::size_t>(req->id)];
+        tr.firstToken = req->firstTokenTime;
+        tr.prefillSeconds = req->prefillSeconds;
+    });
+    cluster.setOnFinish([&](const llm::LlmRequestPtr &req) {
+        traces[static_cast<std::size_t>(req->id)].finish = req->finishTime;
+    });
+
+    const double horizon =
+        config.durationSeconds + config.drainSeconds;
+    simulator.run(horizon);
+
+    // --- metrics ---
+    ServingResult res;
+    res.system = retrieverName(config.retriever);
+    res.arrivalRate = config.arrivalRate;
+    res.sloTotalSeconds = slo_search + slo_llm;
+    res.rho = setup.rho;
+    res.gpuIndexBytes = setup.assignment.totalGpuBytes();
+    res.llmInstances = cluster.numInstances();
+    res.peakThroughput = peak;
+    res.meanRetrievalBatch = batch_sizes.mean();
+    res.meanMinHitRate = min_hits.mean();
+
+    SampleSet ttft, e2e, queue_delay, search, prefill;
+    for (const auto &tr : traces) {
+        if (!tr.measured)
+            continue;
+        ++res.submitted;
+        // Unserved requests count with a censored TTFT (horizon end):
+        // they are SLO misses either way.
+        const double t_first = tr.firstToken >= 0.0
+                                   ? tr.firstToken - tr.arrival
+                                   : horizon - tr.arrival;
+        ttft.add(t_first);
+        if (tr.firstToken >= 0.0)
+            ++res.completedFirstToken;
+        if (tr.finish >= 0.0) {
+            ++res.completedFull;
+            e2e.add(tr.finish - tr.arrival);
+        }
+        if (tr.searchReady >= 0.0 && tr.batchStart >= 0.0) {
+            queue_delay.add(tr.batchStart - tr.arrival);
+            search.add(tr.searchReady - tr.batchStart);
+        }
+        if (tr.firstToken >= 0.0)
+            prefill.add(tr.prefillSeconds);
+    }
+
+    if (res.submitted > 0) {
+        res.attainment = ttft.fractionBelow(res.sloTotalSeconds);
+        res.meanTtft = ttft.mean();
+        res.p50Ttft = ttft.percentile(50);
+        res.p90Ttft = ttft.percentile(90);
+        res.p95Ttft = ttft.percentile(95);
+        res.p99Ttft = ttft.percentile(99);
+        res.meanE2e = e2e.mean();
+        res.p90E2e = e2e.percentile(90);
+        res.meanQueueDelay = queue_delay.mean();
+        res.meanSearch = search.mean();
+        res.p90Search = search.percentile(90);
+        res.meanPrefill = prefill.mean();
+    }
+    return res;
+}
+
+} // namespace vlr::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * End-to-end RAG serving simulation (paper Fig. 7 right): Poisson
+ * arrivals -> on-demand dynamically batched retrieval (CPU + GPU shards)
+ * -> dispatcher -> continuous-batching LLM cluster, with GPU memory and
+ * compute contention between the stages. Produces the SLO-attainment,
+ * TTFT-breakdown and end-to-end-latency numbers of Figs. 11-17.
+ */
+
+#ifndef VLR_CORE_SERVING_H
+#define VLR_CORE_SERVING_H
+
+#include <string>
+
+#include "core/batch_search.h"
+#include "core/context.h"
+#include "core/retriever.h"
+#include "llmsim/cluster.h"
+#include "llmsim/model_config.h"
+
+namespace vlr::core
+{
+
+/** Table I generation-stage SLOs. */
+double sloLlmSecondsFor(const llm::LlmConfig &config);
+
+struct ServingConfig
+{
+    llm::LlmConfig llmConfig;
+    gpu::GpuSpec gpuSpec;
+    gpu::CpuSpec cpuSpec;
+    int numGpus = 8;
+    RetrieverKind retriever = RetrieverKind::VectorLite;
+
+    double arrivalRate = 20.0;
+    double durationSeconds = 60.0;
+    double warmupSeconds = 8.0;
+    double drainSeconds = 30.0;
+
+    std::size_t promptTokens = 1024;
+    std::size_t outputTokens = 256;
+
+    /** < 0 means use Table I values. */
+    double sloSearchOverride = -1.0;
+    double sloLlmOverride = -1.0;
+    /** >= 0 pins the cache coverage, skipping the partitioner. */
+    double fixedRho = -1.0;
+    /** Force the dispatcher off (Fig. 14 ablation); -1 = strategy's. */
+    int dispatcherOverride = -1;
+
+    std::size_t maxRetrievalBatch = 64;
+    double contentionAlpha = 1.0;
+    std::uint64_t seed = 77;
+
+    /**
+     * Standalone LLM peak throughput; < 0 triggers measurement (cache
+     * it across sweeps via measurePeak()).
+     */
+    double peakThroughputHint = -1.0;
+};
+
+struct ServingResult
+{
+    std::string system;
+    double arrivalRate = 0.0;
+
+    double sloTotalSeconds = 0.0;
+    /** Fraction of measured requests with TTFT <= total SLO. */
+    double attainment = 0.0;
+
+    double meanTtft = 0.0;
+    double p50Ttft = 0.0;
+    double p90Ttft = 0.0;
+    double p95Ttft = 0.0;
+    double p99Ttft = 0.0;
+
+    double meanE2e = 0.0;
+    double p90E2e = 0.0;
+
+    /** TTFT breakdown means (Fig. 12). */
+    double meanQueueDelay = 0.0;
+    double meanSearch = 0.0;
+    double p90Search = 0.0;
+    double meanPrefill = 0.0;
+
+    double meanRetrievalBatch = 0.0;
+    double meanMinHitRate = 0.0;
+
+    std::size_t submitted = 0;
+    std::size_t completedFirstToken = 0;
+    std::size_t completedFull = 0;
+
+    double rho = 0.0;
+    double gpuIndexBytes = 0.0;
+    std::size_t llmInstances = 0;
+    double peakThroughput = 0.0;
+};
+
+/** Measure (and cache upstream) the bare LLM peak throughput. */
+double measurePeak(const ServingConfig &config);
+
+/** Run one serving experiment against a shared dataset context. */
+ServingResult runServing(const ServingConfig &config, DatasetContext &ctx);
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_SERVING_H

@@ -1,0 +1,103 @@
+#include "core/splitter.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace vlr::core
+{
+
+double
+ShardAssignment::totalGpuBytes() const
+{
+    double acc = 0.0;
+    for (const double b : shardBytes)
+        acc += b;
+    return acc;
+}
+
+double
+ShardAssignment::maxShardBytes() const
+{
+    double mx = 0.0;
+    for (const double b : shardBytes)
+        mx = std::max(mx, b);
+    return mx;
+}
+
+namespace
+{
+
+ShardAssignment
+makeEmpty(const AccessProfile &profile, double rho, int num_shards)
+{
+    ShardAssignment a;
+    a.rho = rho;
+    a.shardClusters.resize(static_cast<std::size_t>(num_shards));
+    a.shardBytes.assign(static_cast<std::size_t>(num_shards), 0.0);
+    a.clusterShard.assign(profile.nlist(), kCpuShard);
+    a.localId.assign(profile.nlist(), -1);
+    return a;
+}
+
+void
+place(ShardAssignment &a, const AccessProfile &profile, cluster_id_t c,
+      std::size_t shard)
+{
+    a.shardClusters[shard].push_back(c);
+    a.clusterShard[static_cast<std::size_t>(c)] =
+        static_cast<shard_id_t>(shard);
+    a.localId[static_cast<std::size_t>(c)] =
+        static_cast<std::int32_t>(a.shardClusters[shard].size() - 1);
+    a.shardBytes[shard] += profile.clusterBytes(c);
+}
+
+} // namespace
+
+ShardAssignment
+IndexSplitter::split(const AccessProfile &profile, double rho,
+                     int num_shards)
+{
+    if (rho > 0.0 && num_shards < 1)
+        fatal("IndexSplitter::split: need at least one shard");
+    num_shards = std::max(num_shards, 1);
+    ShardAssignment a = makeEmpty(profile, rho, num_shards);
+
+    auto hot = profile.hotClusters(rho);
+    // Sort hot clusters by size (bytes) descending; round-robin dealing
+    // of a descending sequence keeps shard footprints balanced.
+    std::sort(hot.begin(), hot.end(),
+              [&profile](cluster_id_t x, cluster_id_t y) {
+                  const double bx = profile.clusterBytes(x);
+                  const double by = profile.clusterBytes(y);
+                  if (bx != by)
+                      return bx > by;
+                  return x < y;
+              });
+    for (std::size_t i = 0; i < hot.size(); ++i)
+        place(a, profile, hot[i],
+              i % static_cast<std::size_t>(num_shards));
+    return a;
+}
+
+ShardAssignment
+IndexSplitter::splitUniform(const AccessProfile &profile, double rho,
+                            int num_shards)
+{
+    if (rho > 0.0 && num_shards < 1)
+        fatal("IndexSplitter::splitUniform: need at least one shard");
+    num_shards = std::max(num_shards, 1);
+    ShardAssignment a = makeEmpty(profile, rho, num_shards);
+
+    const auto hot = profile.hotClusters(rho);
+    // Id-ordered dealing, ignoring sizes and access counts.
+    std::vector<cluster_id_t> by_id(hot.begin(), hot.end());
+    std::sort(by_id.begin(), by_id.end());
+    for (std::size_t i = 0; i < by_id.size(); ++i)
+        place(a, profile, by_id[i],
+              i % static_cast<std::size_t>(num_shards));
+    return a;
+}
+
+} // namespace vlr::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Index splitter (paper Section IV-A4): selects the hot clusters for a
+ * target coverage, distributes them to GPU shards round-robin in
+ * descending size order (balancing shard memory), and emits the mapping
+ * tables the router uses — original cluster id -> (shard, local id).
+ */
+
+#ifndef VLR_CORE_SPLITTER_H
+#define VLR_CORE_SPLITTER_H
+
+#include <vector>
+
+#include "core/access_profile.h"
+
+namespace vlr::core
+{
+
+/** Placement of hot clusters across GPU shards plus mapping tables. */
+struct ShardAssignment
+{
+    double rho = 0.0;
+    /** Clusters resident on each shard. */
+    std::vector<std::vector<cluster_id_t>> shardClusters;
+    /** cluster id -> shard id, kCpuShard for CPU-resident clusters. */
+    std::vector<shard_id_t> clusterShard;
+    /** cluster id -> local (remapped) id within its shard; -1 if CPU. */
+    std::vector<std::int32_t> localId;
+    /** Paper-scale bytes per shard. */
+    std::vector<double> shardBytes;
+
+    std::size_t numShards() const { return shardClusters.size(); }
+
+    bool
+    isGpuResident(cluster_id_t c) const
+    {
+        return clusterShard[static_cast<std::size_t>(c)] != kCpuShard;
+    }
+
+    double totalGpuBytes() const;
+    /** Largest shard footprint (the memory the placement must fit). */
+    double maxShardBytes() const;
+};
+
+class IndexSplitter
+{
+  public:
+    /**
+     * Split the top-rho clusters of the profile across num_shards GPU
+     * shards: sorted by size descending, dealt round-robin.
+     * @pre num_shards >= 1 unless rho == 0.
+     */
+    static ShardAssignment split(const AccessProfile &profile, double rho,
+                                 int num_shards);
+
+    /**
+     * Uniform sharding by cluster id (Faiss IndexIVFShards semantics):
+     * every cluster is GPU-resident, dealt round-robin by id, ignoring
+     * access frequency. Used by the ALL-GPU and HedraRAG baselines.
+     * With rho < 1 only the hot fraction is sharded but still by id
+     * order (HedraRAG's cache without size balancing).
+     */
+    static ShardAssignment splitUniform(const AccessProfile &profile,
+                                        double rho, int num_shards);
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_SPLITTER_H

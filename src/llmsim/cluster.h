@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Multi-instance LLM serving cluster: groups GPUs into tensor-parallel
+ * replicas, dispatches requests to the least-loaded instance, and
+ * measures standalone peak throughput (the mu_LLM0 input of the paper's
+ * Algorithm 1).
+ */
+
+#ifndef VLR_LLMSIM_CLUSTER_H
+#define VLR_LLMSIM_CLUSTER_H
+
+#include <memory>
+#include <vector>
+
+#include "llmsim/engine.h"
+
+namespace vlr::llm
+{
+
+class LlmCluster
+{
+  public:
+    /**
+     * Builds floor(gpus.size() / tp) engines over consecutive GPU
+     * groups; leftover GPUs stay idle (the paper's rigid-allocation
+     * penalty for DED-GPU with model parallelism).
+     */
+    LlmCluster(sim::Simulator &sim, std::vector<gpu::GpuDevice *> gpus,
+               LlmConfig config, LlmEngineParams params = {});
+
+    /** Dispatch to the instance with the least outstanding work. */
+    void dispatch(LlmRequestPtr req);
+
+    std::size_t numInstances() const { return engines_.size(); }
+    LlmEngine &engine(std::size_t i) { return *engines_.at(i); }
+    const LlmEngine &engine(std::size_t i) const { return *engines_.at(i); }
+
+    std::uint64_t completedCount() const;
+
+    /** Propagate per-request callbacks to every engine. */
+    void setOnFirstToken(std::function<void(const LlmRequestPtr &)> fn);
+    void setOnFinish(std::function<void(const LlmRequestPtr &)> fn);
+
+    /** Re-derive KV capacity after index bytes changed on the devices. */
+    void refreshKvCapacity();
+
+  private:
+    std::vector<std::unique_ptr<LlmEngine>> engines_;
+    std::size_t rr_ = 0;
+};
+
+/**
+ * Measure a model's standalone peak throughput (requests/second) on
+ * `num_gpus` devices of the given spec with no vector index resident.
+ * Runs a private closed-loop simulation and reports the steady-state
+ * completion rate — the paper's "bare LLM throughput" profiling step.
+ */
+double measurePeakThroughput(const LlmConfig &config,
+                             const gpu::GpuSpec &gpu_spec, int num_gpus,
+                             std::size_t prompt_tokens,
+                             std::size_t output_tokens,
+                             std::size_t num_requests = 512);
+
+} // namespace vlr::llm
+
+#endif // VLR_LLMSIM_CLUSTER_H

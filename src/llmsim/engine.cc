@@ -1,0 +1,169 @@
+#include "llmsim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace vlr::llm
+{
+
+LlmEngine::LlmEngine(sim::Simulator &sim,
+                     std::vector<gpu::GpuDevice *> gpus, LlmConfig config,
+                     LlmEngineParams params)
+    : sim_(sim), gpus_(std::move(gpus)), config_(std::move(config)),
+      params_(params),
+      perf_(config_,
+            gpus_.empty() ? gpu::GpuSpec{} : gpus_.front()->spec(),
+            static_cast<int>(gpus_.empty() ? 1 : gpus_.size())),
+      kv_(1, 1) // placeholder, replaced below
+{
+    if (gpus_.empty())
+        fatal("LlmEngine: needs at least one GPU");
+    const bytes_t per_gpu =
+        config_.weightBytes() / static_cast<bytes_t>(gpus_.size());
+    for (auto *g : gpus_)
+        g->reserveWeights(per_gpu);
+    refreshKvCapacity();
+}
+
+bytes_t
+LlmEngine::instanceKvBytes() const
+{
+    bytes_t total = 0;
+    for (const auto *g : gpus_)
+        total += g->kvCacheBytes();
+    return total;
+}
+
+void
+LlmEngine::refreshKvCapacity()
+{
+    kv_ = PagedKvCache(instanceKvBytes(), config_.kvBytesPerToken());
+}
+
+void
+LlmEngine::enqueue(LlmRequestPtr req)
+{
+    assert(req);
+    req->enqueueTime = sim_.now();
+    waiting_.push_back(std::move(req));
+    maybeStartStep();
+}
+
+void
+LlmEngine::maybeStartStep()
+{
+    if (stepping_)
+        return;
+    if (waiting_.empty() && prefillPending_.empty() && running_.empty())
+        return;
+    stepping_ = true;
+    runStep();
+}
+
+double
+LlmEngine::contentionFactor(double start, double duration) const
+{
+    double occ = 0.0;
+    for (const auto *g : gpus_) {
+        occ = std::max(occ,
+                       g->retrievalOccupancyOver(start, start + duration));
+    }
+    return 1.0 + params_.contentionAlpha * occ;
+}
+
+void
+LlmEngine::runStep()
+{
+    // Admission: reserve worst-case KV for prompt + output.
+    while (!waiting_.empty() &&
+           running_.size() + prefillPending_.size() < params_.maxNumSeqs) {
+        const auto &req = waiting_.front();
+        const std::size_t blocks =
+            kv_.blocksForTokens(req->promptTokens + req->outputTokens);
+        if (!kv_.tryReserve(blocks))
+            break;
+        prefillPending_.push_back(req);
+        waiting_.pop_front();
+    }
+
+    const sim_time_t start = sim_.now();
+
+    if (!prefillPending_.empty()) {
+        // Prefill step: take pending prompts up to the token budget.
+        std::vector<LlmRequestPtr> batch;
+        std::size_t tokens = 0;
+        while (!prefillPending_.empty() &&
+               (batch.empty() ||
+                tokens + prefillPending_.front()->promptTokens <=
+                    params_.maxPrefillTokens)) {
+            auto req = prefillPending_.front();
+            prefillPending_.pop_front();
+            tokens += req->promptTokens;
+            req->prefillStartTime = start;
+            batch.push_back(std::move(req));
+        }
+        const double base = perf_.prefillSeconds(tokens);
+        const double dur = base * contentionFactor(start, base);
+        sim_.schedule(dur, [this, batch = std::move(batch), dur]() {
+            for (const auto &req : batch) {
+                req->firstTokenTime = sim_.now();
+                req->prefillSeconds = dur;
+                req->generated = 1;
+                running_.push_back(req);
+                if (onFirstToken)
+                    onFirstToken(req);
+            }
+            stepping_ = false;
+            maybeStartStep();
+        });
+        return;
+    }
+
+    if (!running_.empty()) {
+        // Decode step: one token for every running sequence.
+        double ctx_tokens = 0.0;
+        for (const auto &req : running_) {
+            ctx_tokens += static_cast<double>(req->promptTokens +
+                                              req->generated);
+        }
+        const double base = perf_.decodeSeconds(running_.size(), ctx_tokens);
+        const double dur = base * contentionFactor(start, base);
+        sim_.schedule(dur, [this]() {
+            std::vector<LlmRequestPtr> finished;
+            for (auto &req : running_) {
+                ++req->generated;
+                if (req->generated >= req->outputTokens) {
+                    req->finishTime = sim_.now();
+                    finished.push_back(req);
+                }
+            }
+            if (!finished.empty()) {
+                running_.erase(
+                    std::remove_if(running_.begin(), running_.end(),
+                                   [](const LlmRequestPtr &r) {
+                                       return r->done();
+                                   }),
+                    running_.end());
+                for (const auto &req : finished) {
+                    kv_.release(kv_.blocksForTokens(req->promptTokens +
+                                                    req->outputTokens));
+                    ++completed_;
+                    if (onFinish)
+                        onFinish(req);
+                }
+            }
+            stepping_ = false;
+            maybeStartStep();
+        });
+        return;
+    }
+
+    // Nothing admissible (e.g. KV full with zero running is impossible,
+    // but waiting requests may not fit yet) — go idle; the next enqueue
+    // or completion will retry.
+    stepping_ = false;
+}
+
+} // namespace vlr::llm

@@ -1,0 +1,49 @@
+#include "llmsim/kv_cache.h"
+
+#include "common/log.h"
+
+namespace vlr::llm
+{
+
+PagedKvCache::PagedKvCache(bytes_t capacity_bytes,
+                           bytes_t kv_bytes_per_token,
+                           std::size_t block_tokens)
+    : blockTokens_(block_tokens),
+      bytesPerBlock_(kv_bytes_per_token * block_tokens)
+{
+    if (block_tokens == 0 || kv_bytes_per_token == 0)
+        fatal("PagedKvCache: zero block size");
+    totalBlocks_ = static_cast<std::size_t>(capacity_bytes / bytesPerBlock_);
+}
+
+std::size_t
+PagedKvCache::blocksForTokens(std::size_t tokens) const
+{
+    return (tokens + blockTokens_ - 1) / blockTokens_;
+}
+
+std::size_t
+PagedKvCache::maxConcurrentSequences(std::size_t tokens_per_seq) const
+{
+    const std::size_t per_seq = blocksForTokens(tokens_per_seq);
+    return per_seq ? totalBlocks_ / per_seq : 0;
+}
+
+bool
+PagedKvCache::tryReserve(std::size_t blocks)
+{
+    if (usedBlocks_ + blocks > totalBlocks_)
+        return false;
+    usedBlocks_ += blocks;
+    return true;
+}
+
+void
+PagedKvCache::release(std::size_t blocks)
+{
+    if (blocks > usedBlocks_)
+        panic("PagedKvCache: releasing more blocks than reserved");
+    usedBlocks_ -= blocks;
+}
+
+} // namespace vlr::llm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Paged KV-cache block manager in the style of vLLM's PagedAttention.
+ * Capacity comes from the GPU devices' free memory after weights and
+ * vector-index shards — the contention surface the paper partitions.
+ */
+
+#ifndef VLR_LLMSIM_KV_CACHE_H
+#define VLR_LLMSIM_KV_CACHE_H
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace vlr::llm
+{
+
+/**
+ * Block-granular KV cache accounting. Sequences reserve whole blocks;
+ * the engine reserves a sequence's worst-case footprint (prompt +
+ * max output) at admission, which with the paper's fixed 1024/256
+ * request shapes is exact and avoids preemption.
+ */
+class PagedKvCache
+{
+  public:
+    /**
+     * @param capacity_bytes total KV memory across the instance's GPUs.
+     * @param kv_bytes_per_token from the model config.
+     * @param block_tokens tokens per block (vLLM default 16).
+     */
+    PagedKvCache(bytes_t capacity_bytes, bytes_t kv_bytes_per_token,
+                 std::size_t block_tokens = 16);
+
+    std::size_t totalBlocks() const { return totalBlocks_; }
+    std::size_t freeBlocks() const { return totalBlocks_ - usedBlocks_; }
+    std::size_t usedBlocks() const { return usedBlocks_; }
+    std::size_t blockTokens() const { return blockTokens_; }
+
+    /** Blocks needed to hold `tokens` tokens. */
+    std::size_t blocksForTokens(std::size_t tokens) const;
+
+    /** Max sequences of the given token length admissible when empty. */
+    std::size_t maxConcurrentSequences(std::size_t tokens_per_seq) const;
+
+    /** Try to reserve n blocks; returns false without side effects. */
+    bool tryReserve(std::size_t blocks);
+
+    /** Release previously reserved blocks. */
+    void release(std::size_t blocks);
+
+    double
+    utilization() const
+    {
+        return totalBlocks_ ? static_cast<double>(usedBlocks_) /
+                                  static_cast<double>(totalBlocks_)
+                            : 0.0;
+    }
+
+  private:
+    std::size_t blockTokens_;
+    bytes_t bytesPerBlock_;
+    std::size_t totalBlocks_;
+    std::size_t usedBlocks_ = 0;
+};
+
+} // namespace vlr::llm
+
+#endif // VLR_LLMSIM_KV_CACHE_H

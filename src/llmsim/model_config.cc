@@ -1,0 +1,78 @@
+#include "llmsim/model_config.h"
+
+#include "common/log.h"
+
+namespace vlr::llm
+{
+
+LlmConfig
+llama3_8b()
+{
+    LlmConfig c;
+    c.name = "Llama3-8B";
+    c.paramCount = 8.0e9;
+    c.activeParamCount = 8.0e9;
+    c.numLayers = 32;
+    c.numKvHeads = 8;
+    c.headDim = 128;
+    c.tensorParallel = 1;
+    return c;
+}
+
+LlmConfig
+qwen3_32b()
+{
+    LlmConfig c;
+    c.name = "Qwen3-32B";
+    c.paramCount = 32.8e9;
+    c.activeParamCount = 32.8e9;
+    c.numLayers = 64;
+    c.numKvHeads = 8;
+    c.headDim = 128;
+    c.tensorParallel = 2;
+    return c;
+}
+
+LlmConfig
+llama3_70b()
+{
+    LlmConfig c;
+    c.name = "Llama3-70B";
+    c.paramCount = 70.6e9;
+    c.activeParamCount = 70.6e9;
+    c.numLayers = 80;
+    c.numKvHeads = 8;
+    c.headDim = 128;
+    c.tensorParallel = 4;
+    return c;
+}
+
+LlmConfig
+qwen3_30b_moe()
+{
+    LlmConfig c;
+    c.name = "Qwen3-30B-A3B";
+    c.paramCount = 30.5e9;
+    c.activeParamCount = 3.3e9;
+    c.numLayers = 48;
+    c.numKvHeads = 4;
+    c.headDim = 128;
+    c.tensorParallel = 2;
+    return c;
+}
+
+LlmConfig
+llmConfigByName(const std::string &name)
+{
+    if (name == "llama3-8b")
+        return llama3_8b();
+    if (name == "qwen3-32b")
+        return qwen3_32b();
+    if (name == "llama3-70b")
+        return llama3_70b();
+    if (name == "qwen3-30b-moe")
+        return qwen3_30b_moe();
+    fatal("unknown LLM config: " + name);
+}
+
+} // namespace vlr::llm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * LLM architecture descriptions used by the serving simulator. The
+ * presets mirror the paper's evaluation models (Llama3-8B, Qwen3-32B,
+ * Llama3-70B, and the Qwen3-30B MoE used in Fig. 4 right) with their
+ * public architecture parameters.
+ */
+
+#ifndef VLR_LLMSIM_MODEL_CONFIG_H
+#define VLR_LLMSIM_MODEL_CONFIG_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace vlr::llm
+{
+
+/** Static model description; bf16 weights and KV assumed. */
+struct LlmConfig
+{
+    std::string name;
+    /** Total parameter count. */
+    double paramCount = 8e9;
+    /**
+     * Parameters touched per token (== paramCount for dense models,
+     * the active-expert subset for MoE).
+     */
+    double activeParamCount = 8e9;
+    int numLayers = 32;
+    int numKvHeads = 8;
+    int headDim = 128;
+    /** Tensor-parallel degree required for efficient serving. */
+    int tensorParallel = 1;
+
+    /** bf16 weight footprint. */
+    bytes_t
+    weightBytes() const
+    {
+        return static_cast<bytes_t>(paramCount * 2.0);
+    }
+
+    /** KV bytes per token (K and V, all layers, bf16). */
+    bytes_t
+    kvBytesPerToken() const
+    {
+        return static_cast<bytes_t>(2ULL * numLayers * numKvHeads *
+                                    headDim * 2ULL);
+    }
+};
+
+/** Llama3-8B (TP1, served on L40S nodes in the paper). */
+LlmConfig llama3_8b();
+
+/** Qwen3-32B (TP2 on H100). */
+LlmConfig qwen3_32b();
+
+/** Llama3-70B (TP4 on H100). */
+LlmConfig llama3_70b();
+
+/** Qwen3-30B-A3B MoE (TP2 on H100), used for the Fig. 4 KV study. */
+LlmConfig qwen3_30b_moe();
+
+/** Look up a preset by name ("llama3-8b", "qwen3-32b", "llama3-70b"). */
+LlmConfig llmConfigByName(const std::string &name);
+
+} // namespace vlr::llm
+
+#endif // VLR_LLMSIM_MODEL_CONFIG_H

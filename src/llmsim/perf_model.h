@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Roofline iteration-time model for LLM serving steps: prefill is
+ * compute-bound (2 * active-params FLOPs per token at the device MFU),
+ * decode is bandwidth-bound (weights + active KV read per step), with a
+ * per-step overhead covering scheduling and tensor-parallel collectives.
+ */
+
+#ifndef VLR_LLMSIM_PERF_MODEL_H
+#define VLR_LLMSIM_PERF_MODEL_H
+
+#include "llmsim/model_config.h"
+#include "simgpu/gpu_spec.h"
+
+namespace vlr::llm
+{
+
+class LlmPerfModel
+{
+  public:
+    LlmPerfModel(LlmConfig config, gpu::GpuSpec gpu, int tensor_parallel);
+
+    /** Time of a prefill step processing `tokens` prompt tokens total. */
+    double prefillSeconds(std::size_t tokens) const;
+
+    /**
+     * Time of one decode step for `batch` sequences with
+     * `total_context_tokens` tokens of KV currently attended to.
+     */
+    double decodeSeconds(std::size_t batch,
+                         double total_context_tokens) const;
+
+    /** Fixed per-step overhead (scheduler + collectives). */
+    double stepOverheadSeconds() const;
+
+    const LlmConfig &config() const { return config_; }
+    int tensorParallel() const { return tp_; }
+
+  private:
+    LlmConfig config_;
+    gpu::GpuSpec gpu_;
+    int tp_;
+};
+
+} // namespace vlr::llm
+
+#endif // VLR_LLMSIM_PERF_MODEL_H

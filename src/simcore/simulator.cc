@@ -1,0 +1,124 @@
+#include "simcore/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace vlr::sim
+{
+
+event_id_t
+Simulator::schedule(sim_time_t delay, std::function<void()> fn)
+{
+    if (delay < 0)
+        fatal("Simulator::schedule: negative delay");
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+event_id_t
+Simulator::scheduleAt(sim_time_t when, std::function<void()> fn)
+{
+    if (when < now_)
+        fatal("Simulator::scheduleAt: time in the past");
+    const event_id_t id = nextId_++;
+    queue_.push({when, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+}
+
+bool
+Simulator::cancel(event_id_t id)
+{
+    // Only events that are still pending can be cancelled; an id that
+    // already fired or was already cancelled reports failure.
+    if (pending_.erase(id) == 0)
+        return false;
+    cancelled_.push_back(id);
+    ++cancelledPending_;
+    return true;
+}
+
+bool
+Simulator::isCancelled(event_id_t id)
+{
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end())
+        return false;
+    cancelled_.erase(it);
+    --cancelledPending_;
+    return true;
+}
+
+bool
+Simulator::step()
+{
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (isCancelled(ev.id))
+            continue;
+        pending_.erase(ev.id);
+        assert(ev.when >= now_);
+        now_ = ev.when;
+        ++fired_;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+Simulator::run(sim_time_t until)
+{
+    while (!queue_.empty()) {
+        if (until >= 0.0 && queue_.top().when > until) {
+            now_ = until;
+            return;
+        }
+        step();
+    }
+    if (until >= 0.0)
+        now_ = std::max(now_, until);
+}
+
+std::size_t
+Simulator::pendingEvents() const
+{
+    return queue_.size() - cancelledPending_;
+}
+
+SerialResource::SerialResource(Simulator &sim)
+    : sim_(sim)
+{
+}
+
+void
+SerialResource::submit(std::function<sim_time_t()> duration,
+                       std::function<void()> done)
+{
+    queue_.push({std::move(duration), std::move(done)});
+    if (!busy_)
+        startNext();
+}
+
+void
+SerialResource::startNext()
+{
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    Job job = std::move(queue_.front());
+    queue_.pop();
+    const sim_time_t dur = job.duration();
+    busyTime_ += dur;
+    auto done = std::move(job.done);
+    sim_.schedule(dur, [this, done = std::move(done)]() {
+        done();
+        startNext();
+    });
+}
+
+} // namespace vlr::sim

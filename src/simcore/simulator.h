@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic discrete-event simulator.
+ *
+ * All serving experiments (Figs. 11-17) run in simulated time: retrieval
+ * batches, GPU kernels and LLM iterations are events with analytically
+ * modeled durations. Events at equal timestamps fire in scheduling order
+ * (a monotone sequence number breaks ties), so runs are exactly
+ * reproducible regardless of host speed or core count.
+ */
+
+#ifndef VLR_SIMCORE_SIMULATOR_H
+#define VLR_SIMCORE_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vlr::sim
+{
+
+/** Handle used to cancel a scheduled event. */
+using event_id_t = std::uint64_t;
+
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Current simulated time in seconds. */
+    sim_time_t now() const { return now_; }
+
+    /**
+     * Schedule fn to run at now() + delay.
+     * @pre delay >= 0.
+     * @return id usable with cancel().
+     */
+    event_id_t schedule(sim_time_t delay, std::function<void()> fn);
+
+    /** Schedule at an absolute time (must not be in the past). */
+    event_id_t scheduleAt(sim_time_t when, std::function<void()> fn);
+
+    /** Cancel a pending event; returns false if already fired/cancelled. */
+    bool cancel(event_id_t id);
+
+    /** Run until the queue empties or the horizon is reached. */
+    void run(sim_time_t until = -1.0);
+
+    /** Step a single event; returns false when the queue is empty. */
+    bool step();
+
+    std::size_t pendingEvents() const;
+    std::uint64_t firedEvents() const { return fired_; }
+
+  private:
+    struct Event
+    {
+        sim_time_t when;
+        event_id_t id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return id > o.id;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        queue_;
+    std::vector<event_id_t> cancelled_;
+    /** Ids scheduled but not yet fired or cancelled. */
+    std::unordered_set<event_id_t> pending_;
+    sim_time_t now_ = 0.0;
+    event_id_t nextId_ = 1;
+    std::uint64_t fired_ = 0;
+    std::size_t cancelledPending_ = 0;
+
+    bool isCancelled(event_id_t id);
+};
+
+/**
+ * A resource that processes work serially (one batch at a time), e.g.
+ * the CPU search stage. Work items queue FCFS; the busy interval of each
+ * is computed by a caller-supplied duration function at start time.
+ */
+class SerialResource
+{
+  public:
+    explicit SerialResource(Simulator &sim);
+
+    /**
+     * Enqueue a job. When the resource is free the job starts: duration()
+     * is invoked (allowing batch-dependent costs) and done() fires at
+     * completion.
+     */
+    void submit(std::function<sim_time_t()> duration,
+                std::function<void()> done);
+
+    bool busy() const { return busy_; }
+    std::size_t queueLength() const { return queue_.size(); }
+    /** Total busy seconds so far (utilization accounting). */
+    sim_time_t busyTime() const { return busyTime_; }
+
+  private:
+    void startNext();
+
+    struct Job
+    {
+        std::function<sim_time_t()> duration;
+        std::function<void()> done;
+    };
+
+    Simulator &sim_;
+    std::queue<Job> queue_;
+    bool busy_ = false;
+    sim_time_t busyTime_ = 0.0;
+};
+
+} // namespace vlr::sim
+
+#endif // VLR_SIMCORE_SIMULATOR_H

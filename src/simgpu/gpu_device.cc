@@ -1,0 +1,84 @@
+#include "simgpu/gpu_device.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace vlr::gpu
+{
+
+GpuDevice::GpuDevice(int id, GpuSpec spec)
+    : id_(id), spec_(std::move(spec))
+{
+}
+
+void
+GpuDevice::reserveWeights(bytes_t bytes)
+{
+    weights_ = bytes;
+    if (kvCacheBytes() == 0)
+        fatal("GpuDevice: weights + index exceed device memory on gpu " +
+              std::to_string(id_));
+}
+
+void
+GpuDevice::setIndexBytes(bytes_t bytes)
+{
+    index_ = bytes;
+    if (weights_ + index_ > spec_.memBytes)
+        fatal("GpuDevice: index shard does not fit on gpu " +
+              std::to_string(id_));
+}
+
+bytes_t
+GpuDevice::kvCacheBytes() const
+{
+    const auto reserve = static_cast<bytes_t>(
+        static_cast<double>(spec_.memBytes) * spec_.memReserveFraction);
+    const bytes_t used = weights_ + index_ + reserve;
+    return used >= spec_.memBytes ? 0 : spec_.memBytes - used;
+}
+
+void
+GpuDevice::addRetrievalInterval(double start, double end, double occupancy)
+{
+    if (end <= start)
+        return;
+    intervals_.push_back({start, end, std::clamp(occupancy, 0.0, 1.0)});
+}
+
+double
+GpuDevice::retrievalOccupancyOver(double start, double end) const
+{
+    if (end <= start)
+        return 0.0;
+    double weighted = 0.0;
+    for (const auto &iv : intervals_) {
+        const double lo = std::max(start, iv.start);
+        const double hi = std::min(end, iv.end);
+        if (hi > lo)
+            weighted += (hi - lo) * iv.occupancy;
+    }
+    return std::min(1.0, weighted / (end - start));
+}
+
+double
+GpuDevice::retrievalBusySeconds() const
+{
+    double acc = 0.0;
+    for (const auto &iv : intervals_)
+        acc += iv.end - iv.start;
+    return acc;
+}
+
+void
+GpuDevice::pruneIntervals(double before)
+{
+    auto it = std::remove_if(intervals_.begin(), intervals_.end(),
+                             [before](const Interval &iv) {
+                                 return iv.end < before;
+                             });
+    intervals_.erase(it, intervals_.end());
+}
+
+} // namespace vlr::gpu

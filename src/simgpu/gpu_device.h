@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulated GPU device: a memory ledger (weights / vector-index shard /
+ * KV cache) plus a record of retrieval activity used to model compute
+ * contention between co-located retrieval kernels and LLM inference.
+ */
+
+#ifndef VLR_SIMGPU_GPU_DEVICE_H
+#define VLR_SIMGPU_GPU_DEVICE_H
+
+#include <string>
+#include <vector>
+
+#include "simgpu/gpu_spec.h"
+
+namespace vlr::gpu
+{
+
+/**
+ * One GPU in the simulated node. Memory is reserved in three buckets:
+ * model weights, vector-index shard, and everything left (after the
+ * runtime reserve) is KV-cache space. Retrieval activity is recorded as
+ * (interval, occupancy) so the LLM engine can compute the slowdown of
+ * overlapping iterations.
+ */
+class GpuDevice
+{
+  public:
+    GpuDevice(int id, GpuSpec spec);
+
+    int id() const { return id_; }
+    const GpuSpec &spec() const { return spec_; }
+
+    /** Reserve memory for model weights. Fails (fatal) on overflow. */
+    void reserveWeights(bytes_t bytes);
+    /** Reserve memory for a vector-index shard (replaces prior shard). */
+    void setIndexBytes(bytes_t bytes);
+
+    bytes_t weightsBytes() const { return weights_; }
+    bytes_t indexBytes() const { return index_; }
+
+    /** Memory available for KV cache after weights, index and reserve. */
+    bytes_t kvCacheBytes() const;
+
+    /** Record a retrieval kernel burst [start, end) at given occupancy. */
+    void addRetrievalInterval(double start, double end, double occupancy);
+
+    /**
+     * Mean retrieval occupancy overlapping [start, end) — the
+     * contention the LLM engine sees for an iteration in that window.
+     */
+    double retrievalOccupancyOver(double start, double end) const;
+
+    /** Total retrieval busy time recorded (utilization accounting). */
+    double retrievalBusySeconds() const;
+
+    /** Drop intervals ending before `before` (bounds memory in long sims). */
+    void pruneIntervals(double before);
+
+  private:
+    struct Interval
+    {
+        double start;
+        double end;
+        double occupancy;
+    };
+
+    int id_;
+    GpuSpec spec_;
+    bytes_t weights_ = 0;
+    bytes_t index_ = 0;
+    std::vector<Interval> intervals_;
+};
+
+} // namespace vlr::gpu
+
+#endif // VLR_SIMGPU_GPU_DEVICE_H

@@ -1,0 +1,67 @@
+#include "simgpu/gpu_spec.h"
+
+namespace vlr::gpu
+{
+
+GpuSpec
+h100Spec()
+{
+    GpuSpec s;
+    s.name = "H100-80GB";
+    s.memBytes = 80_GiB;
+    s.memBwBytesPerSec = 3.35e12;
+    s.computeTflops = 989.0;
+    s.mfu = 0.50;
+    s.kernelLaunchSeconds = 150e-6;
+    s.blockScheduleSeconds = 1.0e-6;
+    s.searchBwEfficiency = 0.55;
+    return s;
+}
+
+GpuSpec
+l40sSpec()
+{
+    GpuSpec s;
+    s.name = "L40S-48GB";
+    s.memBytes = 48_GiB;
+    s.memBwBytesPerSec = 864e9;
+    s.computeTflops = 181.0;
+    s.mfu = 0.65;
+    s.kernelLaunchSeconds = 200e-6;
+    s.blockScheduleSeconds = 1.4e-6;
+    s.searchBwEfficiency = 0.5;
+    return s;
+}
+
+CpuSpec
+xeon8462Spec()
+{
+    CpuSpec s;
+    s.name = "Xeon-8462Y+";
+    s.cores = 64;
+    s.memBwBytesPerSec = 300e9;
+    return s;
+}
+
+CpuSpec
+xeon6426Spec()
+{
+    CpuSpec s;
+    s.name = "Xeon-6426Y";
+    s.cores = 32;
+    s.memBwBytesPerSec = 250e9;
+    return s;
+}
+
+CpuSpec
+xeonScaled(int cores)
+{
+    CpuSpec s = xeon8462Spec();
+    s.cores = cores;
+    // Cloud provisioning pairs memory bandwidth with core count.
+    s.memBwBytesPerSec = 300e9 * static_cast<double>(cores) / 64.0;
+    s.name = "Xeon-scaled-" + std::to_string(cores) + "c";
+    return s;
+}
+
+} // namespace vlr::gpu

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parametric hardware specifications for the simulated GPUs and host
+ * CPUs. The paper's testbeds are 8x NVIDIA L40S + dual Xeon 6426Y and
+ * 8x NVIDIA H100 + Xeon Platinum 8462Y; the presets below carry their
+ * public datasheet numbers plus calibration factors (MFU, scan
+ * efficiency) chosen so the simulated latencies land in the ranges the
+ * paper reports (see EXPERIMENTS.md for the calibration notes).
+ */
+
+#ifndef VLR_SIMGPU_GPU_SPEC_H
+#define VLR_SIMGPU_GPU_SPEC_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace vlr::gpu
+{
+
+/** Static description of one GPU model. */
+struct GpuSpec
+{
+    std::string name;
+    /** Total device memory. */
+    bytes_t memBytes = 0;
+    /** HBM/GDDR bandwidth in bytes per second. */
+    double memBwBytesPerSec = 0.0;
+    /** Dense BF16 throughput in TFLOP/s. */
+    double computeTflops = 0.0;
+    /** Fraction of peak FLOPs LLM GEMMs achieve (model-flop utilization). */
+    double mfu = 0.5;
+    /** Fixed launch overhead charged per retrieval kernel batch. */
+    double kernelLaunchSeconds = 200e-6;
+    /**
+     * Scheduling + shared-memory staging cost per (query, cluster) pair
+     * in the IVF scan kernel. The paper's router prunes non-resident
+     * probes precisely because this cost is paid per launched block
+     * whether or not the cluster is resident (Section IV-B1).
+     */
+    double blockScheduleSeconds = 6e-6;
+    /** Fraction of peak bandwidth the scan kernels achieve. */
+    double searchBwEfficiency = 0.5;
+    /** Fraction of memory reserved for runtime/activations. */
+    double memReserveFraction = 0.08;
+};
+
+/** NVIDIA H100 SXM (80 GB HBM3). */
+GpuSpec h100Spec();
+
+/** NVIDIA L40S (48 GB GDDR6). */
+GpuSpec l40sSpec();
+
+/** Static description of the host CPU used for the CPU search tier. */
+struct CpuSpec
+{
+    std::string name;
+    int cores = 64;
+    /** Effective GB/s of memory bandwidth for fast-scan streaming. */
+    double memBwBytesPerSec = 200e9;
+};
+
+/** Dual Xeon 8462Y+ class host (64 cores), the paper's H100-node CPU. */
+CpuSpec xeon8462Spec();
+
+/** Xeon 6426Y class host (32 cores), the paper's L40S-node CPU. */
+CpuSpec xeon6426Spec();
+
+/** Same class of host scaled to an arbitrary core count (Fig. 17). */
+CpuSpec xeonScaled(int cores);
+
+} // namespace vlr::gpu
+
+#endif // VLR_SIMGPU_GPU_SPEC_H

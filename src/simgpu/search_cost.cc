@@ -1,0 +1,93 @@
+#include "simgpu/search_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vlr::gpu
+{
+
+CpuSearchModel::CpuSearchModel(CpuSpec cpu, CpuSearchParams params)
+    : cpu_(std::move(cpu)), params_(params),
+      coreScale_(64.0 / std::max(1, cpu_.cores))
+{
+}
+
+double
+CpuSearchModel::cqSeconds(std::size_t b) const
+{
+    if (b == 0)
+        return 0.0;
+    return params_.cqFixedSeconds +
+           params_.cqPerQuerySeconds * coreScale_ * static_cast<double>(b);
+}
+
+double
+CpuSearchModel::lutSeconds(std::size_t b) const
+{
+    if (b == 0)
+        return 0.0;
+    return params_.lutFixedSeconds +
+           params_.lutPerQuerySeconds * coreScale_ * static_cast<double>(b);
+}
+
+double
+CpuSearchModel::lutSecondsPartial(double max_work_fraction,
+                                  double total_work_fraction) const
+{
+    max_work_fraction = std::clamp(max_work_fraction, 0.0, 1.0);
+    total_work_fraction = std::max(total_work_fraction, 0.0);
+    if (max_work_fraction <= 0.0)
+        return 0.0;
+    return params_.lutFixedSeconds * max_work_fraction +
+           params_.lutPerQuerySeconds * coreScale_ * total_work_fraction;
+}
+
+double
+CpuSearchModel::lutFixedComponent(double w) const
+{
+    return params_.lutFixedSeconds * std::clamp(w, 0.0, 1.0);
+}
+
+double
+CpuSearchModel::lutMarginalComponent(double total_w) const
+{
+    return params_.lutPerQuerySeconds * coreScale_ *
+           std::max(total_w, 0.0);
+}
+
+double
+CpuSearchModel::searchSeconds(std::size_t b, double min_hit_rate) const
+{
+    const double w = std::clamp(1.0 - min_hit_rate, 0.0, 1.0);
+    // Paper Eq. 1: tau_s(b) = T_CQ(b) + (1 - eta) * T_LUT(b).
+    return cqSeconds(b) + w * lutSeconds(b);
+}
+
+GpuSearchModel::GpuSearchModel(GpuSpec spec)
+    : spec_(std::move(spec))
+{
+}
+
+double
+GpuSearchModel::shardSeconds(std::size_t pairs, double bytes_scanned) const
+{
+    if (pairs == 0 && bytes_scanned <= 0.0)
+        return 0.0;
+    const double bw =
+        spec_.memBwBytesPerSec * spec_.searchBwEfficiency;
+    return spec_.kernelLaunchSeconds +
+           spec_.blockScheduleSeconds * static_cast<double>(pairs) +
+           bytes_scanned / bw;
+}
+
+double
+GpuSearchModel::occupancy(std::size_t pairs) const
+{
+    // Each in-flight block consumes scheduler slots and shared memory;
+    // ~2k concurrent pairs saturate the device (nprobe-sized launches of
+    // the unpruned baseline hit this ceiling, a pruned router does not).
+    constexpr double pairs_to_saturate = 2048.0;
+    return std::min(1.0, static_cast<double>(pairs) / pairs_to_saturate);
+}
+
+} // namespace vlr::gpu

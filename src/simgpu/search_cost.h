@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Analytical cost models for vector search on the CPU tier and on GPU
+ * shards. These are the PERFMODEL inputs of the paper's Algorithm 1:
+ * the CPU side is piecewise linear in batch size with separate coarse-
+ * quantization (CQ) and LUT terms (paper Eq. 1); the GPU side charges a
+ * launch overhead, a per-(query,cluster)-pair block-scheduling cost and
+ * a bandwidth term for the bytes scanned.
+ */
+
+#ifndef VLR_SIMGPU_SEARCH_COST_H
+#define VLR_SIMGPU_SEARCH_COST_H
+
+#include <cstddef>
+
+#include "simgpu/gpu_spec.h"
+
+namespace vlr::gpu
+{
+
+/**
+ * Calibrated constants describing CPU search latency for one dataset at
+ * paper scale. Latency of a full-miss batch of size b:
+ *
+ *   T_CQ(b)  = cqFixedSeconds  + cqPerQuerySeconds  * b
+ *   T_LUT(b) = lutFixedSeconds + lutPerQuerySeconds * b
+ *
+ * The fixed terms model the per-query critical path that batching does
+ * not parallelize away; the slopes model the marginal work a query adds
+ * when cores are shared. Workload presets provide values that reproduce
+ * the magnitudes in the paper's Fig. 8 (left).
+ */
+struct CpuSearchParams
+{
+    double cqFixedSeconds = 0.010;
+    double cqPerQuerySeconds = 0.0008;
+    double lutFixedSeconds = 0.060;
+    double lutPerQuerySeconds = 0.004;
+};
+
+/**
+ * CPU-tier latency model. Work fractions are expressed relative to a
+ * full-probe scan: a query whose CPU-resident probes amount to `w` of
+ * its total probe work (w = 1 - hit rate) contributes w of the per-query
+ * LUT terms.
+ */
+class CpuSearchModel
+{
+  public:
+    CpuSearchModel(CpuSpec cpu, CpuSearchParams params);
+
+    /** Coarse quantization time for a batch of b queries. */
+    double cqSeconds(std::size_t b) const;
+
+    /** LUT build + scan time for a full-miss batch of b queries. */
+    double lutSeconds(std::size_t b) const;
+
+    /**
+     * LUT time for a batch with per-query CPU work fractions.
+     * The batch completes when its largest-work query does:
+     *   t = lutFixed * max_w + lutPerQuery * sum_w.
+     * With all w = 1 this reduces to lutSeconds(b).
+     */
+    double lutSecondsPartial(double max_work_fraction,
+                             double total_work_fraction) const;
+
+    /** Full search latency (Eq. 1 with hit rate 1 - w). */
+    double searchSeconds(std::size_t b, double min_hit_rate) const;
+
+    /** Critical-path LUT component of one query with work fraction w. */
+    double lutFixedComponent(double w) const;
+
+    /** Marginal (shared-core) LUT component for total work fraction w. */
+    double lutMarginalComponent(double total_w) const;
+
+    const CpuSpec &cpu() const { return cpu_; }
+    const CpuSearchParams &params() const { return params_; }
+
+  private:
+    CpuSpec cpu_;
+    CpuSearchParams params_;
+    /** Core-count scaling relative to the 64-core reference host. */
+    double coreScale_;
+};
+
+/**
+ * GPU shard scan cost model.
+ *
+ * shardSeconds = kernelLaunch
+ *              + pairs * blockSchedule
+ *              + bytesScanned / (bw * searchBwEfficiency)
+ *
+ * `pairs` counts launched (query, cluster) blocks. The VectorLiteRAG
+ * router only launches resident pairs; the IndexIVFShards-style baseline
+ * launches nprobe pairs per query per shard regardless of residency,
+ * paying the scheduling term for skipped work (paper Section IV-B1).
+ */
+class GpuSearchModel
+{
+  public:
+    explicit GpuSearchModel(GpuSpec spec);
+
+    double shardSeconds(std::size_t pairs, double bytes_scanned) const;
+
+    /**
+     * Compute occupancy this kernel burst imposes on the GPU, used for
+     * contention with LLM inference. Scales with the number of
+     * concurrently resident blocks, saturating at 1.
+     */
+    double occupancy(std::size_t pairs) const;
+
+    const GpuSpec &spec() const { return spec_; }
+
+  private:
+    GpuSpec spec_;
+};
+
+} // namespace vlr::gpu
+
+#endif // VLR_SIMGPU_SEARCH_COST_H

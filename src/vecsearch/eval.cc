@@ -1,0 +1,68 @@
+#include "vecsearch/eval.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace vlr::vs
+{
+
+double
+recallAtK(std::span<const std::vector<SearchHit>> results,
+          std::span<const std::vector<SearchHit>> ground_truth,
+          std::size_t k)
+{
+    assert(results.size() == ground_truth.size());
+    if (results.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t q = 0; q < results.size(); ++q) {
+        std::unordered_set<idx_t> truth;
+        const std::size_t kt = std::min(k, ground_truth[q].size());
+        for (std::size_t i = 0; i < kt; ++i)
+            truth.insert(ground_truth[q][i].id);
+        if (truth.empty())
+            continue;
+        std::size_t found = 0;
+        const std::size_t kr = std::min(k, results[q].size());
+        for (std::size_t i = 0; i < kr; ++i) {
+            if (truth.count(results[q][i].id))
+                ++found;
+        }
+        acc += static_cast<double>(found) /
+               static_cast<double>(truth.size());
+    }
+    return acc / static_cast<double>(results.size());
+}
+
+double
+ndcgAtK(std::span<const std::vector<SearchHit>> results,
+        std::span<const std::vector<SearchHit>> ground_truth, std::size_t k)
+{
+    assert(results.size() == ground_truth.size());
+    if (results.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t q = 0; q < results.size(); ++q) {
+        std::unordered_set<idx_t> truth;
+        const std::size_t kt = std::min(k, ground_truth[q].size());
+        for (std::size_t i = 0; i < kt; ++i)
+            truth.insert(ground_truth[q][i].id);
+        if (truth.empty())
+            continue;
+
+        double dcg = 0.0;
+        const std::size_t kr = std::min(k, results[q].size());
+        for (std::size_t i = 0; i < kr; ++i) {
+            if (truth.count(results[q][i].id))
+                dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+        }
+        double idcg = 0.0;
+        for (std::size_t i = 0; i < truth.size(); ++i)
+            idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+        acc += dcg / idcg;
+    }
+    return acc / static_cast<double>(results.size());
+}
+
+} // namespace vlr::vs

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Retrieval quality metrics: recall@k and NDCG@k. The paper fixes nprobe
+ * so the system operates at 0.91 NDCG@50 (Section V-A); these utilities
+ * verify our indexes reach comparable quality regimes.
+ */
+
+#ifndef VLR_VECSEARCH_EVAL_H
+#define VLR_VECSEARCH_EVAL_H
+
+#include <span>
+#include <vector>
+
+#include "vecsearch/topk.h"
+
+namespace vlr::vs
+{
+
+/**
+ * recall@k: fraction of the true top-k ids found in the approximate
+ * top-k, averaged over queries.
+ */
+double recallAtK(std::span<const std::vector<SearchHit>> results,
+                 std::span<const std::vector<SearchHit>> ground_truth,
+                 std::size_t k);
+
+/**
+ * NDCG@k with binary relevance: a result is relevant iff it appears in
+ * the exact top-k; discount 1/log2(rank+2), normalized by the ideal DCG.
+ */
+double ndcgAtK(std::span<const std::vector<SearchHit>> results,
+               std::span<const std::vector<SearchHit>> ground_truth,
+               std::size_t k);
+
+} // namespace vlr::vs
+
+#endif // VLR_VECSEARCH_EVAL_H

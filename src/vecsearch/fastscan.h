@@ -1,0 +1,73 @@
+/**
+ * @file
+ * PQ4 fast-scan kernels (Andre et al., VLDB 2016): 4-bit PQ codes are
+ * packed into register-friendly blocks of 32 vectors and the ADC lookup
+ * table is quantized to uint8 so 32 table lookups run as one AVX2
+ * byte-shuffle. This is the "IVF-FS" configuration the paper adopts for
+ * its CPU tier (Section II-B, Fig. 3).
+ *
+ * Layout: for each block of 32 codes and each sub-quantizer m, 16 bytes
+ * are stored; byte j holds the 4-bit code of vector j in its low nibble
+ * and of vector j+16 in its high nibble.
+ */
+
+#ifndef VLR_VECSEARCH_FASTSCAN_H
+#define VLR_VECSEARCH_FASTSCAN_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vlr::vs
+{
+
+/** Number of codes per packed block. */
+inline constexpr std::size_t kFastScanBlock = 32;
+
+/** uint8-quantized ADC lookup table with the affine mapping back. */
+struct QuantizedLut
+{
+    /** m * 16 quantized entries. */
+    std::vector<std::uint8_t> table;
+    /** Reconstruction: distance ~= bias + step * accumulated_score. */
+    float bias = 0.f;
+    float step = 1.f;
+};
+
+/** Bytes of one packed block for m sub-quantizers. */
+std::size_t packedBlockBytes(std::size_t m);
+
+/**
+ * Pack n 4-bit codes (one byte per sub-quantizer, values < 16) into the
+ * blocked layout. Output is padded to a whole number of blocks; padding
+ * lanes carry code 0 and must be masked by the caller via ids.
+ */
+std::vector<std::uint8_t> packPq4Codes(std::size_t m,
+                                       std::span<const std::uint8_t> codes,
+                                       std::size_t n);
+
+/**
+ * Quantize a float LUT (m rows of 16) to uint8 with a shared step so
+ * accumulated uint16 scores map back to distances affinely.
+ */
+QuantizedLut quantizeLut(std::size_t m, std::span<const float> lut);
+
+/**
+ * Scan packed blocks, producing one uint16 score per code lane.
+ * @param out must hold nblocks * 32 entries.
+ */
+void scanPq4Blocks(std::size_t m, const std::uint8_t *packed,
+                   std::size_t nblocks, const QuantizedLut &lut,
+                   std::uint16_t *out);
+
+/** Scalar reference producing bit-identical scores to the SIMD path. */
+void scanPq4BlocksScalar(std::size_t m, const std::uint8_t *packed,
+                         std::size_t nblocks, const QuantizedLut &lut,
+                         std::uint16_t *out);
+
+/** True when the AVX2 kernel is compiled in. */
+bool fastScanHasSimd();
+
+} // namespace vlr::vs
+
+#endif // VLR_VECSEARCH_FASTSCAN_H

@@ -1,0 +1,60 @@
+#include "vecsearch/flat_index.h"
+
+#include <cassert>
+
+#include "common/threadpool.h"
+
+namespace vlr::vs
+{
+
+FlatIndex::FlatIndex(std::size_t dim, Metric metric)
+    : dim_(dim), metric_(metric)
+{
+    assert(dim > 0);
+}
+
+void
+FlatIndex::add(std::span<const float> vecs, std::size_t n)
+{
+    assert(vecs.size() >= n * dim_);
+    data_.insert(data_.end(), vecs.begin(), vecs.begin() + n * dim_);
+    n_ += n;
+}
+
+std::vector<SearchHit>
+FlatIndex::search(const float *query, std::size_t k) const
+{
+    TopK topk(k);
+    for (std::size_t i = 0; i < n_; ++i) {
+        const float dist =
+            comparableDistance(metric_, query, data_.data() + i * dim_, dim_);
+        topk.push(static_cast<idx_t>(i), dist);
+    }
+    return topk.sortedHits();
+}
+
+std::vector<std::vector<SearchHit>>
+FlatIndex::searchBatch(std::span<const float> queries, std::size_t nq,
+                       std::size_t k, ThreadPool *pool) const
+{
+    assert(queries.size() >= nq * dim_);
+    std::vector<std::vector<SearchHit>> out(nq);
+    auto worker = [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            out[i] = search(queries.data() + i * dim_, k);
+    };
+    if (pool)
+        pool->parallelChunks(nq, worker);
+    else
+        worker(0, nq);
+    return out;
+}
+
+const float *
+FlatIndex::vectorData(idx_t id) const
+{
+    assert(id >= 0 && static_cast<std::size_t>(id) < n_);
+    return data_.data() + static_cast<std::size_t>(id) * dim_;
+}
+
+} // namespace vlr::vs

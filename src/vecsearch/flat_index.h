@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Exact (brute-force) flat index. Used for ground truth in recall/NDCG
+ * evaluation and as the coarse quantizer over IVF centroids.
+ */
+
+#ifndef VLR_VECSEARCH_FLAT_INDEX_H
+#define VLR_VECSEARCH_FLAT_INDEX_H
+
+#include <span>
+#include <vector>
+
+#include "vecsearch/metric.h"
+#include "vecsearch/topk.h"
+
+namespace vlr
+{
+class ThreadPool;
+}
+
+namespace vlr::vs
+{
+
+/** Brute-force index storing raw float vectors. */
+class FlatIndex
+{
+  public:
+    FlatIndex(std::size_t dim, Metric metric = Metric::L2);
+
+    /** Append n vectors; ids are assigned sequentially. */
+    void add(std::span<const float> vecs, std::size_t n);
+
+    /** Exact k-NN for one query. */
+    std::vector<SearchHit> search(const float *query, std::size_t k) const;
+
+    /** Exact k-NN for a batch of queries (optionally parallel). */
+    std::vector<std::vector<SearchHit>> searchBatch(
+        std::span<const float> queries, std::size_t nq, std::size_t k,
+        ThreadPool *pool = nullptr) const;
+
+    std::size_t size() const { return n_; }
+    std::size_t dim() const { return dim_; }
+    Metric metric() const { return metric_; }
+    const float *vectorData(idx_t id) const;
+
+  private:
+    std::size_t dim_;
+    Metric metric_;
+    std::size_t n_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace vlr::vs
+
+#endif // VLR_VECSEARCH_FLAT_INDEX_H

@@ -1,0 +1,276 @@
+#include "vecsearch/hnsw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "common/log.h"
+
+namespace vlr::vs
+{
+
+Hnsw::Hnsw(std::size_t dim, HnswParams params, Metric metric)
+    : dim_(dim), params_(params), metric_(metric),
+      levelMult_(1.0 / std::log(static_cast<double>(params.M))),
+      rng_(params.seed)
+{
+    assert(dim > 0 && params.M >= 2);
+}
+
+float
+Hnsw::dist(const float *a, const float *b) const
+{
+    return comparableDistance(metric_, a, b, dim_);
+}
+
+const float *
+Hnsw::vec(std::uint32_t id) const
+{
+    return data_.data() + static_cast<std::size_t>(id) * dim_;
+}
+
+int
+Hnsw::sampleLevel()
+{
+    const double u = std::max(rng_.uniform(), 1e-12);
+    return static_cast<int>(-std::log(u) * levelMult_);
+}
+
+std::vector<SearchHit>
+Hnsw::searchLayer(const float *query, std::uint32_t entry, std::size_t ef,
+                  int level) const
+{
+    // Lazily grow / reset the visited-stamp array.
+    if (visited_.size() < n_) {
+        visited_.assign(n_, 0);
+        visitStamp_ = 0;
+    }
+    ++visitStamp_;
+    if (visitStamp_ == 0) {
+        std::fill(visited_.begin(), visited_.end(), 0);
+        visitStamp_ = 1;
+    }
+
+    auto worse = [](const SearchHit &a, const SearchHit &b) {
+        return a.dist < b.dist; // max-heap on dist
+    };
+    auto better = [](const SearchHit &a, const SearchHit &b) {
+        return a.dist > b.dist; // min-heap on dist
+    };
+
+    std::priority_queue<SearchHit, std::vector<SearchHit>,
+                        decltype(better)> candidates(better);
+    std::priority_queue<SearchHit, std::vector<SearchHit>,
+                        decltype(worse)> results(worse);
+
+    const float d0 = dist(query, vec(entry));
+    candidates.push({static_cast<idx_t>(entry), d0});
+    results.push({static_cast<idx_t>(entry), d0});
+    visited_[entry] = visitStamp_;
+
+    while (!candidates.empty()) {
+        const SearchHit cur = candidates.top();
+        if (results.size() >= ef && cur.dist > results.top().dist)
+            break;
+        candidates.pop();
+
+        const auto &node = nodes_[static_cast<std::size_t>(cur.id)];
+        if (level >= static_cast<int>(node.neighbors.size()))
+            continue;
+        for (const std::uint32_t nb : node.neighbors[level]) {
+            if (visited_[nb] == visitStamp_)
+                continue;
+            visited_[nb] = visitStamp_;
+            const float d = dist(query, vec(nb));
+            if (results.size() < ef || d < results.top().dist) {
+                candidates.push({static_cast<idx_t>(nb), d});
+                results.push({static_cast<idx_t>(nb), d});
+                if (results.size() > ef)
+                    results.pop();
+            }
+        }
+    }
+
+    std::vector<SearchHit> out;
+    out.reserve(results.size());
+    while (!results.empty()) {
+        out.push_back(results.top());
+        results.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+void
+Hnsw::connect(std::uint32_t id, int level,
+              const std::vector<SearchHit> &candidates)
+{
+    const std::size_t max_links = level == 0 ? params_.M * 2 : params_.M;
+    auto &links = nodes_[id].neighbors[level];
+    for (const auto &c : candidates) {
+        if (links.size() >= params_.M)
+            break;
+        if (static_cast<std::uint32_t>(c.id) == id)
+            continue;
+        links.push_back(static_cast<std::uint32_t>(c.id));
+    }
+    // Back-links with pruning when the neighbor overflows.
+    for (const std::uint32_t nb : links) {
+        auto &back = nodes_[nb].neighbors[level];
+        back.push_back(id);
+        if (back.size() > max_links) {
+            // Keep the max_links closest neighbors.
+            const float *nb_vec = vec(nb);
+            std::sort(back.begin(), back.end(),
+                      [&](std::uint32_t a, std::uint32_t b) {
+                          return dist(nb_vec, vec(a)) <
+                                 dist(nb_vec, vec(b));
+                      });
+            back.resize(max_links);
+        }
+    }
+}
+
+void
+Hnsw::add(const float *v)
+{
+    const auto id = static_cast<std::uint32_t>(n_);
+    data_.insert(data_.end(), v, v + dim_);
+    ++n_;
+
+    const int level = sampleLevel();
+    Node node;
+    node.level = level;
+    node.neighbors.resize(static_cast<std::size_t>(level) + 1);
+    nodes_.push_back(std::move(node));
+
+    if (id == 0) {
+        entryPoint_ = 0;
+        maxLevel_ = level;
+        return;
+    }
+
+    std::uint32_t entry = entryPoint_;
+    // Greedy descent through layers above the node's level.
+    for (int l = maxLevel_; l > level; --l) {
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            const auto &nbrs = nodes_[entry].neighbors;
+            if (l >= static_cast<int>(nbrs.size()))
+                break;
+            const float cur_d = dist(v, vec(entry));
+            for (const std::uint32_t nb : nbrs[l]) {
+                if (dist(v, vec(nb)) < cur_d) {
+                    entry = nb;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Beam search + connect at each layer from min(level, maxLevel) down.
+    for (int l = std::min(level, maxLevel_); l >= 0; --l) {
+        auto cands = searchLayer(v, entry, params_.efConstruction, l);
+        connect(id, l, cands);
+        if (!cands.empty())
+            entry = static_cast<std::uint32_t>(cands.front().id);
+    }
+
+    if (level > maxLevel_) {
+        maxLevel_ = level;
+        entryPoint_ = id;
+    }
+}
+
+void
+Hnsw::addBatch(std::span<const float> vecs, std::size_t n)
+{
+    assert(vecs.size() >= n * dim_);
+    for (std::size_t i = 0; i < n; ++i)
+        add(vecs.data() + i * dim_);
+}
+
+std::vector<SearchHit>
+Hnsw::search(const float *query, std::size_t k) const
+{
+    if (n_ == 0)
+        return {};
+    std::uint32_t entry = entryPoint_;
+    for (int l = maxLevel_; l > 0; --l) {
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            const auto &nbrs = nodes_[entry].neighbors;
+            if (l >= static_cast<int>(nbrs.size()))
+                break;
+            const float cur_d = dist(query, vec(entry));
+            for (const std::uint32_t nb : nbrs[l]) {
+                if (dist(query, vec(nb)) < cur_d) {
+                    entry = nb;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    const std::size_t ef = std::max(params_.efSearch, k);
+    auto hits = searchLayer(query, entry, ef, 0);
+    if (hits.size() > k)
+        hits.resize(k);
+    return hits;
+}
+
+std::size_t
+Hnsw::graphMemoryBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &node : nodes_) {
+        bytes += sizeof(Node);
+        for (const auto &lvl : node.neighbors)
+            bytes += lvl.size() * sizeof(std::uint32_t);
+    }
+    return bytes;
+}
+
+std::size_t
+Hnsw::vectorMemoryBytes() const
+{
+    return data_.size() * sizeof(float);
+}
+
+HnswCoarseQuantizer::HnswCoarseQuantizer(std::vector<float> centroids,
+                                         std::size_t nlist, std::size_t dim,
+                                         HnswParams params, Metric metric)
+    : centroids_(std::move(centroids)), nlist_(nlist), dim_(dim),
+      graph_(dim, params, metric)
+{
+    if (centroids_.size() != nlist_ * dim_)
+        fatal("HnswCoarseQuantizer: centroid matrix shape mismatch");
+    graph_.addBatch(centroids_, nlist_);
+}
+
+ProbeList
+HnswCoarseQuantizer::probe(const float *query, std::size_t nprobe) const
+{
+    const auto hits = graph_.search(query, std::min(nprobe, nlist_));
+    ProbeList out;
+    out.clusters.reserve(hits.size());
+    out.dists.reserve(hits.size());
+    for (const auto &h : hits) {
+        out.clusters.push_back(static_cast<cluster_id_t>(h.id));
+        out.dists.push_back(h.dist);
+    }
+    return out;
+}
+
+const float *
+HnswCoarseQuantizer::centroid(cluster_id_t c) const
+{
+    assert(c >= 0 && static_cast<std::size_t>(c) < nlist_);
+    return centroids_.data() + static_cast<std::size_t>(c) * dim_;
+}
+
+} // namespace vlr::vs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Hierarchical Navigable Small World graph (Malkov & Yashunin, 2018).
+ *
+ * Used in two roles: (1) as a memory-hungry alternative the paper
+ * contrasts with IVF (Section II-A), and (2) as the coarse quantizer
+ * over IVF centroids (Section IV-A1 notes CQ is "often implemented using
+ * memory-intensive graph-based structures such as HNSW").
+ */
+
+#ifndef VLR_VECSEARCH_HNSW_H
+#define VLR_VECSEARCH_HNSW_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "vecsearch/ivf.h"
+#include "vecsearch/metric.h"
+#include "vecsearch/topk.h"
+
+namespace vlr::vs
+{
+
+struct HnswParams
+{
+    /** Max neighbors per node at levels > 0; level 0 keeps 2M. */
+    std::size_t M = 16;
+    std::size_t efConstruction = 100;
+    std::size_t efSearch = 64;
+    std::uint64_t seed = 42;
+};
+
+class Hnsw
+{
+  public:
+    Hnsw(std::size_t dim, HnswParams params = {}, Metric metric = Metric::L2);
+
+    /** Insert one vector; id assigned sequentially. */
+    void add(const float *vec);
+    void addBatch(std::span<const float> vecs, std::size_t n);
+
+    /** Approximate k-NN; beam width is max(efSearch, k). */
+    std::vector<SearchHit> search(const float *query, std::size_t k) const;
+
+    std::size_t size() const { return n_; }
+    std::size_t dim() const { return dim_; }
+    int maxLevel() const { return maxLevel_; }
+
+    /** Graph memory (edges + levels), excluding raw vectors. */
+    std::size_t graphMemoryBytes() const;
+    /** Raw vector storage. */
+    std::size_t vectorMemoryBytes() const;
+
+  private:
+    struct Node
+    {
+        int level = 0;
+        /** neighbors[l] is the adjacency list at layer l. */
+        std::vector<std::vector<std::uint32_t>> neighbors;
+    };
+
+    float dist(const float *a, const float *b) const;
+    const float *vec(std::uint32_t id) const;
+    int sampleLevel();
+
+    /** Greedy + beam search within one layer, returns up to ef hits. */
+    std::vector<SearchHit> searchLayer(const float *query,
+                                       std::uint32_t entry, std::size_t ef,
+                                       int level) const;
+
+    void connect(std::uint32_t id, int level,
+                 const std::vector<SearchHit> &candidates);
+
+    std::size_t dim_;
+    HnswParams params_;
+    Metric metric_;
+    double levelMult_;
+    Rng rng_;
+
+    std::size_t n_ = 0;
+    std::vector<float> data_;
+    std::vector<Node> nodes_;
+    std::uint32_t entryPoint_ = 0;
+    int maxLevel_ = -1;
+
+    /** Visit stamps reused across searches (mutable scratch). */
+    mutable std::vector<std::uint32_t> visited_;
+    mutable std::uint32_t visitStamp_ = 0;
+};
+
+/** Coarse quantizer backed by an HNSW graph over the centroids. */
+class HnswCoarseQuantizer : public CoarseQuantizer
+{
+  public:
+    HnswCoarseQuantizer(std::vector<float> centroids, std::size_t nlist,
+                        std::size_t dim, HnswParams params = {},
+                        Metric metric = Metric::L2);
+
+    std::size_t nlist() const override { return nlist_; }
+    std::size_t dim() const override { return dim_; }
+    ProbeList probe(const float *query, std::size_t nprobe) const override;
+    const float *centroid(cluster_id_t c) const override;
+
+    const Hnsw &graph() const { return graph_; }
+
+  private:
+    std::vector<float> centroids_;
+    std::size_t nlist_;
+    std::size_t dim_;
+    Hnsw graph_;
+};
+
+} // namespace vlr::vs
+
+#endif // VLR_VECSEARCH_HNSW_H

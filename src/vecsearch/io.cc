@@ -1,0 +1,161 @@
+#include "vecsearch/io.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/log.h"
+
+namespace vlr::vs
+{
+
+namespace
+{
+
+constexpr std::uint32_t kPqMagic = 0x56505131;   // "VPQ1"
+constexpr std::uint32_t kFlatMagic = 0x56464931; // "VFI1"
+constexpr std::uint32_t kCqMagic = 0x56435131;   // "VCQ1"
+
+void
+writeU64(std::ostream &os, std::uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeFloats(std::ostream &os, const float *data, std::size_t n)
+{
+    os.write(reinterpret_cast<const char *>(data),
+             static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+std::uint64_t
+readU64(std::istream &is)
+{
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        fatal("vecsearch io: truncated stream");
+    return v;
+}
+
+std::uint32_t
+readU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        fatal("vecsearch io: truncated stream");
+    return v;
+}
+
+std::vector<float>
+readFloats(std::istream &is, std::size_t n)
+{
+    std::vector<float> v(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!is)
+        fatal("vecsearch io: truncated float payload");
+    return v;
+}
+
+void
+expectMagic(std::istream &is, std::uint32_t magic, const char *what)
+{
+    if (readU32(is) != magic)
+        fatal(std::string("vecsearch io: bad magic for ") + what);
+}
+
+} // namespace
+
+void
+savePq(std::ostream &os, const ProductQuantizer &pq)
+{
+    if (!pq.isTrained())
+        fatal("savePq: quantizer is not trained");
+    writeU32(os, kPqMagic);
+    writeU64(os, pq.dim());
+    writeU64(os, pq.numSub());
+    writeU64(os, pq.nbits());
+    for (std::size_t s = 0; s < pq.numSub(); ++s) {
+        const auto cb = pq.codebook(s);
+        writeFloats(os, cb.data(), cb.size());
+    }
+}
+
+ProductQuantizer
+loadPq(std::istream &is)
+{
+    expectMagic(is, kPqMagic, "ProductQuantizer");
+    const std::size_t dim = readU64(is);
+    const std::size_t m = readU64(is);
+    const std::size_t nbits = readU64(is);
+    if (m == 0 || dim == 0 || dim % m != 0)
+        fatal("loadPq: invalid dimensions");
+    const std::size_t ksub = std::size_t{1} << nbits;
+    auto codebooks = readFloats(is, m * ksub * (dim / m));
+    return ProductQuantizer::fromCodebooks(dim, m, nbits,
+                                           std::move(codebooks));
+}
+
+void
+saveFlatIndex(std::ostream &os, const FlatIndex &index)
+{
+    writeU32(os, kFlatMagic);
+    writeU64(os, index.dim());
+    writeU32(os, index.metric() == Metric::L2 ? 0 : 1);
+    writeU64(os, index.size());
+    for (std::size_t i = 0; i < index.size(); ++i)
+        writeFloats(os, index.vectorData(static_cast<idx_t>(i)),
+                    index.dim());
+}
+
+FlatIndex
+loadFlatIndex(std::istream &is)
+{
+    expectMagic(is, kFlatMagic, "FlatIndex");
+    const std::size_t dim = readU64(is);
+    const Metric metric =
+        readU32(is) == 0 ? Metric::L2 : Metric::InnerProduct;
+    const std::size_t n = readU64(is);
+    FlatIndex index(dim, metric);
+    if (n > 0) {
+        const auto data = readFloats(is, n * dim);
+        index.add(data, n);
+    }
+    return index;
+}
+
+void
+saveCoarseQuantizer(std::ostream &os, const FlatCoarseQuantizer &cq)
+{
+    writeU32(os, kCqMagic);
+    writeU64(os, cq.nlist());
+    writeU64(os, cq.dim());
+    writeU32(os, cq.metric() == Metric::L2 ? 0 : 1);
+    for (cluster_id_t c = 0; c < static_cast<cluster_id_t>(cq.nlist());
+         ++c)
+        writeFloats(os, cq.centroid(c), cq.dim());
+}
+
+std::shared_ptr<FlatCoarseQuantizer>
+loadCoarseQuantizer(std::istream &is)
+{
+    expectMagic(is, kCqMagic, "FlatCoarseQuantizer");
+    const std::size_t nlist = readU64(is);
+    const std::size_t dim = readU64(is);
+    const Metric metric =
+        readU32(is) == 0 ? Metric::L2 : Metric::InnerProduct;
+    auto centroids = readFloats(is, nlist * dim);
+    return std::make_shared<FlatCoarseQuantizer>(std::move(centroids),
+                                                 nlist, dim, metric);
+}
+
+} // namespace vlr::vs

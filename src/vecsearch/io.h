@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary serialization for trained vector-search artifacts.
+ *
+ * Training PQ codebooks and coarse-quantizer centroids is the
+ * expensive, offline part of index construction (the paper's artifact
+ * reports 40-50 hours of preprocessing); these helpers persist them so
+ * deployments rebuild inverted lists from raw vectors without
+ * re-training. Format: little-endian, versioned magic header.
+ */
+
+#ifndef VLR_VECSEARCH_IO_H
+#define VLR_VECSEARCH_IO_H
+
+#include <iosfwd>
+#include <memory>
+
+#include "vecsearch/flat_index.h"
+#include "vecsearch/ivf.h"
+#include "vecsearch/pq.h"
+
+namespace vlr::vs
+{
+
+/** Serialize a trained product quantizer. @pre pq.isTrained(). */
+void savePq(std::ostream &os, const ProductQuantizer &pq);
+
+/** Load a product quantizer; fatal() on format mismatch. */
+ProductQuantizer loadPq(std::istream &is);
+
+/** Serialize a flat index (dim, metric and raw vectors). */
+void saveFlatIndex(std::ostream &os, const FlatIndex &index);
+
+/** Load a flat index; fatal() on format mismatch. */
+FlatIndex loadFlatIndex(std::istream &is);
+
+/** Serialize a flat coarse quantizer (centroid table). */
+void saveCoarseQuantizer(std::ostream &os, const FlatCoarseQuantizer &cq);
+
+/** Load a flat coarse quantizer; fatal() on format mismatch. */
+std::shared_ptr<FlatCoarseQuantizer> loadCoarseQuantizer(std::istream &is);
+
+} // namespace vlr::vs
+
+#endif // VLR_VECSEARCH_IO_H

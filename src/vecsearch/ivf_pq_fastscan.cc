@@ -1,0 +1,178 @@
+#include "vecsearch/ivf_pq_fastscan.h"
+
+#include <cassert>
+
+#include "common/log.h"
+#include "common/timer.h"
+
+namespace vlr::vs
+{
+
+IvfPqFastScanIndex::IvfPqFastScanIndex(
+    std::shared_ptr<const CoarseQuantizer> cq, std::size_t m)
+    : cq_(std::move(cq)), pq_(cq_->dim(), m, 4)
+{
+    ids_.resize(cq_->nlist());
+    packed_.resize(cq_->nlist());
+}
+
+void
+IvfPqFastScanIndex::train(std::span<const float> data, std::size_t n,
+                          const KMeansParams &params)
+{
+    pq_.train(data, n, params);
+}
+
+void
+IvfPqFastScanIndex::add(std::span<const float> vecs, std::size_t n)
+{
+    const std::size_t d = dim();
+    std::vector<std::int32_t> assign(n);
+    for (std::size_t i = 0; i < n; ++i)
+        assign[i] = cq_->probe(vecs.data() + i * d, 1).clusters[0];
+    addPreassigned(vecs, n, assign);
+}
+
+void
+IvfPqFastScanIndex::addPreassigned(std::span<const float> vecs,
+                                   std::size_t n,
+                                   std::span<const std::int32_t> assign)
+{
+    const std::size_t d = dim();
+    const std::size_t m = pq_.numSub();
+    assert(vecs.size() >= n * d);
+    assert(assign.size() >= n);
+
+    // Group incoming codes per cluster, then re-pack each touched list.
+    // Re-packing a whole list keeps the blocked layout contiguous, which
+    // mirrors the full-shard (not per-cluster) updates the paper uses.
+    std::vector<std::vector<std::uint8_t>> pending(ids_.size());
+    std::vector<std::uint8_t> code(m);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto c = static_cast<std::size_t>(assign[i]);
+        assert(c < ids_.size());
+        pq_.encode(vecs.data() + i * d, code.data());
+        pending[c].insert(pending[c].end(), code.begin(), code.end());
+        ids_[c].push_back(static_cast<idx_t>(total_ + i));
+    }
+    total_ += n;
+
+    for (std::size_t c = 0; c < pending.size(); ++c) {
+        if (pending[c].empty())
+            continue;
+        // Unpack existing codes, append, re-pack.
+        const std::size_t n_new = pending[c].size() / m;
+        const std::size_t n_old = ids_[c].size() - n_new;
+        std::vector<std::uint8_t> all(ids_[c].size() * m);
+        if (n_old > 0) {
+            // Recover old codes from packed layout.
+            const std::uint8_t *bp = packed_[c].data();
+            const std::size_t bb = packedBlockBytes(m);
+            for (std::size_t i = 0; i < n_old; ++i) {
+                const std::size_t block = i / kFastScanBlock;
+                const std::size_t lane = i % kFastScanBlock;
+                for (std::size_t s = 0; s < m; ++s) {
+                    const std::uint8_t byte =
+                        bp[block * bb + s * 16 + (lane % 16)];
+                    all[i * m + s] =
+                        lane < 16 ? (byte & 0x0F) : (byte >> 4);
+                }
+            }
+        }
+        std::copy(pending[c].begin(), pending[c].end(),
+                  all.begin() + n_old * m);
+        packed_[c] = packPq4Codes(m, all, ids_[c].size());
+    }
+}
+
+std::vector<SearchHit>
+IvfPqFastScanIndex::search(const float *query, std::size_t k,
+                           std::size_t nprobe, SearchBreakdown *bd) const
+{
+    WallTimer t;
+    const auto pl = cq_->probe(query, nprobe);
+    if (bd)
+        bd->cqSeconds += t.elapsed();
+    return searchClusters(query, k, pl.clusters, bd);
+}
+
+std::vector<SearchHit>
+IvfPqFastScanIndex::searchClusters(const float *query, std::size_t k,
+                                   std::span<const cluster_id_t> clusters,
+                                   SearchBreakdown *bd) const
+{
+    const std::size_t m = pq_.numSub();
+
+    WallTimer t;
+    std::vector<float> flut(pq_.lutSize());
+    pq_.computeLut(query, flut.data());
+    const QuantizedLut qlut = quantizeLut(m, flut);
+    if (bd)
+        bd->lutBuildSeconds += t.elapsed();
+
+    t.reset();
+    TopK topk(k);
+    for (const cluster_id_t c : clusters) {
+        const auto ci = static_cast<std::size_t>(c);
+        assert(ci < ids_.size());
+        const auto &list_ids = ids_[ci];
+        if (list_ids.empty())
+            continue;
+        const std::size_t nblocks =
+            (list_ids.size() + kFastScanBlock - 1) / kFastScanBlock;
+        scores_.resize(nblocks * kFastScanBlock);
+        scanPq4Blocks(m, packed_[ci].data(), nblocks, qlut,
+                      scores_.data());
+        for (std::size_t i = 0; i < list_ids.size(); ++i) {
+            const float dist =
+                qlut.bias + qlut.step * static_cast<float>(scores_[i]);
+            topk.push(list_ids[i], dist);
+        }
+    }
+    if (bd)
+        bd->scanSeconds += t.elapsed();
+    return topk.sortedHits();
+}
+
+std::vector<std::vector<SearchHit>>
+IvfPqFastScanIndex::searchBatch(std::span<const float> queries,
+                                std::size_t nq, std::size_t k,
+                                std::size_t nprobe,
+                                SearchBreakdown *bd) const
+{
+    const std::size_t d = dim();
+    assert(queries.size() >= nq * d);
+    std::vector<std::vector<SearchHit>> out(nq);
+    for (std::size_t i = 0; i < nq; ++i)
+        out[i] = search(queries.data() + i * d, k, nprobe, bd);
+    return out;
+}
+
+std::size_t
+IvfPqFastScanIndex::listSize(cluster_id_t c) const
+{
+    assert(c >= 0 && static_cast<std::size_t>(c) < ids_.size());
+    return ids_[static_cast<std::size_t>(c)].size();
+}
+
+std::vector<std::size_t>
+IvfPqFastScanIndex::listSizes() const
+{
+    std::vector<std::size_t> out(ids_.size());
+    for (std::size_t c = 0; c < ids_.size(); ++c)
+        out[c] = ids_[c].size();
+    return out;
+}
+
+std::size_t
+IvfPqFastScanIndex::memoryBytes() const
+{
+    std::size_t bytes = 0;
+    for (std::size_t c = 0; c < ids_.size(); ++c) {
+        bytes += ids_[c].size() * sizeof(idx_t);
+        bytes += packed_[c].size();
+    }
+    return bytes;
+}
+
+} // namespace vlr::vs

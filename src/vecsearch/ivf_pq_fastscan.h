@@ -1,0 +1,75 @@
+/**
+ * @file
+ * IVF index over PQ4 fast-scan packed lists — the paper's CPU-tier index
+ * ("IVF-FS"). Lists store codes in the blocked SIMD layout; search
+ * quantizes the per-query LUT once and scans blocks with the AVX2 kernel.
+ */
+
+#ifndef VLR_VECSEARCH_IVF_PQ_FASTSCAN_H
+#define VLR_VECSEARCH_IVF_PQ_FASTSCAN_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "vecsearch/fastscan.h"
+#include "vecsearch/ivf.h"
+#include "vecsearch/ivf_pq.h"
+#include "vecsearch/pq.h"
+
+namespace vlr::vs
+{
+
+/**
+ * IVF + PQ4 fast-scan index. PQ must use nbits = 4. Distances returned
+ * are the uint8-LUT approximations mapped back to floats; they track the
+ * plain ADC distances to within one quantization step per sub-quantizer.
+ */
+class IvfPqFastScanIndex
+{
+  public:
+    IvfPqFastScanIndex(std::shared_ptr<const CoarseQuantizer> cq,
+                       std::size_t m);
+
+    void train(std::span<const float> data, std::size_t n,
+               const KMeansParams &params = {});
+
+    void add(std::span<const float> vecs, std::size_t n);
+    void addPreassigned(std::span<const float> vecs, std::size_t n,
+                        std::span<const std::int32_t> assign);
+
+    std::vector<SearchHit> search(const float *query, std::size_t k,
+                                  std::size_t nprobe,
+                                  SearchBreakdown *bd = nullptr) const;
+
+    std::vector<SearchHit> searchClusters(
+        const float *query, std::size_t k,
+        std::span<const cluster_id_t> clusters,
+        SearchBreakdown *bd = nullptr) const;
+
+    std::vector<std::vector<SearchHit>> searchBatch(
+        std::span<const float> queries, std::size_t nq, std::size_t k,
+        std::size_t nprobe, SearchBreakdown *bd = nullptr) const;
+
+    const CoarseQuantizer &quantizer() const { return *cq_; }
+    const ProductQuantizer &pq() const { return pq_; }
+    std::size_t dim() const { return cq_->dim(); }
+    std::size_t nlist() const { return cq_->nlist(); }
+    std::size_t size() const { return total_; }
+    std::size_t listSize(cluster_id_t c) const;
+    std::vector<std::size_t> listSizes() const;
+    std::size_t memoryBytes() const;
+
+  private:
+    std::shared_ptr<const CoarseQuantizer> cq_;
+    ProductQuantizer pq_;
+    std::size_t total_ = 0;
+    std::vector<std::vector<idx_t>> ids_;
+    std::vector<std::vector<std::uint8_t>> packed_;
+    /** Scratch reused across scans (per call, not thread-safe). */
+    mutable std::vector<std::uint16_t> scores_;
+};
+
+} // namespace vlr::vs
+
+#endif // VLR_VECSEARCH_IVF_PQ_FASTSCAN_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lloyd's k-means with k-means++ seeding, used to train IVF coarse
+ * quantizers and product-quantizer codebooks.
+ */
+
+#ifndef VLR_VECSEARCH_KMEANS_H
+#define VLR_VECSEARCH_KMEANS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vlr
+{
+class ThreadPool;
+}
+
+namespace vlr::vs
+{
+
+struct KMeansParams
+{
+    std::size_t k = 16;
+    int maxIters = 15;
+    std::uint64_t seed = 1234;
+    /** Stop when relative objective improvement falls below this. */
+    double tol = 1e-4;
+    /**
+     * Train on at most this many points per centroid (subsampled);
+     * 0 means use all points. Matches Faiss's practice of capping
+     * training-set size for speed.
+     */
+    std::size_t maxPointsPerCentroid = 256;
+};
+
+struct KMeansResult
+{
+    /** k * d row-major centroids. */
+    std::vector<float> centroids;
+    /** Final mean squared distance to the assigned centroid. */
+    double objective = 0.0;
+    int iterations = 0;
+};
+
+/**
+ * Train k-means on n d-dimensional vectors.
+ *
+ * Empty clusters are repaired by splitting the largest cluster, so the
+ * result always has exactly k non-degenerate centroids when n >= k.
+ *
+ * @param data n*d row-major floats.
+ * @param pool optional pool for parallel assignment (nullptr = serial).
+ */
+KMeansResult kmeansTrain(std::span<const float> data, std::size_t n,
+                         std::size_t d, const KMeansParams &params,
+                         ThreadPool *pool = nullptr);
+
+/**
+ * Assign each vector to its nearest centroid (L2).
+ * @return n cluster indexes in [0, k).
+ */
+std::vector<std::int32_t> kmeansAssign(std::span<const float> data,
+                                       std::size_t n, std::size_t d,
+                                       std::span<const float> centroids,
+                                       std::size_t k,
+                                       ThreadPool *pool = nullptr);
+
+} // namespace vlr::vs
+
+#endif // VLR_VECSEARCH_KMEANS_H

@@ -1,0 +1,117 @@
+#include "vecsearch/metric.h"
+
+#ifdef VLR_USE_AVX2
+#include <immintrin.h>
+#endif
+
+namespace vlr::vs
+{
+
+float
+l2SqrScalar(const float *a, const float *b, std::size_t d)
+{
+    float acc = 0.f;
+    for (std::size_t i = 0; i < d; ++i) {
+        const float diff = a[i] - b[i];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+float
+innerProductScalar(const float *a, const float *b, std::size_t d)
+{
+    float acc = 0.f;
+    for (std::size_t i = 0; i < d; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+#ifdef VLR_USE_AVX2
+
+namespace
+{
+
+float
+hsum256(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_add_ps(lo, hi);
+    __m128 sh = _mm_movehdup_ps(lo);
+    __m128 sums = _mm_add_ps(lo, sh);
+    sh = _mm_movehl_ps(sh, sums);
+    sums = _mm_add_ss(sums, sh);
+    return _mm_cvtss_f32(sums);
+}
+
+} // namespace
+
+float
+l2Sqr(const float *a, const float *b, std::size_t d)
+{
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+        const __m256 va = _mm256_loadu_ps(a + i);
+        const __m256 vb = _mm256_loadu_ps(b + i);
+        const __m256 diff = _mm256_sub_ps(va, vb);
+        acc = _mm256_fmadd_ps(diff, diff, acc);
+    }
+    float total = hsum256(acc);
+    for (; i < d; ++i) {
+        const float diff = a[i] - b[i];
+        total += diff * diff;
+    }
+    return total;
+}
+
+float
+innerProduct(const float *a, const float *b, std::size_t d)
+{
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+        const __m256 va = _mm256_loadu_ps(a + i);
+        const __m256 vb = _mm256_loadu_ps(b + i);
+        acc = _mm256_fmadd_ps(va, vb, acc);
+    }
+    float total = hsum256(acc);
+    for (; i < d; ++i)
+        total += a[i] * b[i];
+    return total;
+}
+
+#else
+
+float
+l2Sqr(const float *a, const float *b, std::size_t d)
+{
+    return l2SqrScalar(a, b, d);
+}
+
+float
+innerProduct(const float *a, const float *b, std::size_t d)
+{
+    return innerProductScalar(a, b, d);
+}
+
+#endif // VLR_USE_AVX2
+
+float
+comparableDistance(Metric m, const float *a, const float *b, std::size_t d)
+{
+    if (m == Metric::L2)
+        return l2Sqr(a, b, d);
+    return -innerProduct(a, b, d);
+}
+
+void
+distancesToMany(Metric m, const float *q, const float *base, std::size_t n,
+                std::size_t d, float *out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = comparableDistance(m, q, base + i * d, d);
+}
+
+} // namespace vlr::vs

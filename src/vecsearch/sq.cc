@@ -1,0 +1,93 @@
+#include "vecsearch/sq.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.h"
+#include "vecsearch/metric.h"
+
+namespace vlr::vs
+{
+
+ScalarQuantizer::ScalarQuantizer(std::size_t dim)
+    : dim_(dim), vmin_(dim, 0.f), vscale_(dim, 1.f)
+{
+    assert(dim > 0);
+}
+
+void
+ScalarQuantizer::train(std::span<const float> data, std::size_t n)
+{
+    assert(data.size() >= n * dim_);
+    if (n == 0)
+        fatal("ScalarQuantizer::train: empty training set");
+    std::vector<float> vmax(dim_);
+    for (std::size_t j = 0; j < dim_; ++j) {
+        vmin_[j] = data[j];
+        vmax[j] = data[j];
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+        const float *x = data.data() + i * dim_;
+        for (std::size_t j = 0; j < dim_; ++j) {
+            vmin_[j] = std::min(vmin_[j], x[j]);
+            vmax[j] = std::max(vmax[j], x[j]);
+        }
+    }
+    for (std::size_t j = 0; j < dim_; ++j) {
+        const float range = vmax[j] - vmin_[j];
+        vscale_[j] = range > 0.f ? range / 255.f : 1.f;
+    }
+    trained_ = true;
+}
+
+void
+ScalarQuantizer::encode(const float *vec, std::uint8_t *code) const
+{
+    assert(trained_);
+    for (std::size_t j = 0; j < dim_; ++j) {
+        const float t = (vec[j] - vmin_[j]) / vscale_[j];
+        const float clamped = std::clamp(t, 0.f, 255.f);
+        code[j] = static_cast<std::uint8_t>(std::lround(clamped));
+    }
+}
+
+void
+ScalarQuantizer::decode(const std::uint8_t *code, float *vec) const
+{
+    assert(trained_);
+    for (std::size_t j = 0; j < dim_; ++j)
+        vec[j] = vmin_[j] + vscale_[j] * static_cast<float>(code[j]);
+}
+
+float
+ScalarQuantizer::distanceToCode(const float *query,
+                                const std::uint8_t *code) const
+{
+    float acc = 0.f;
+    for (std::size_t j = 0; j < dim_; ++j) {
+        const float v = vmin_[j] + vscale_[j] * static_cast<float>(code[j]);
+        const float diff = query[j] - v;
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+double
+ScalarQuantizer::reconstructionError(std::span<const float> data,
+                                     std::size_t n) const
+{
+    assert(data.size() >= n * dim_);
+    std::vector<std::uint8_t> code(dim_);
+    std::vector<float> rec(dim_);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *x = data.data() + i * dim_;
+        encode(x, code.data());
+        decode(code.data(), rec.data());
+        acc += l2Sqr(x, rec.data(), dim_);
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+} // namespace vlr::vs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Scalar quantization: each float dimension is linearly mapped to int8
+ * using per-dimension [min, max] ranges learned at train time. Offers
+ * 4x compression with simple decode — the paper's Section II-A mentions
+ * it as the lighter alternative to PQ.
+ */
+
+#ifndef VLR_VECSEARCH_SQ_H
+#define VLR_VECSEARCH_SQ_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vlr::vs
+{
+
+class ScalarQuantizer
+{
+  public:
+    explicit ScalarQuantizer(std::size_t dim);
+
+    /** Learn per-dimension ranges from n training vectors. */
+    void train(std::span<const float> data, std::size_t n);
+
+    bool isTrained() const { return trained_; }
+
+    void encode(const float *vec, std::uint8_t *code) const;
+    void decode(const std::uint8_t *code, float *vec) const;
+
+    /**
+     * Squared L2 distance between a float query and an encoded vector,
+     * computed by decoding on the fly.
+     */
+    float distanceToCode(const float *query, const std::uint8_t *code) const;
+
+    std::size_t dim() const { return dim_; }
+    std::size_t codeSize() const { return dim_; }
+
+    double reconstructionError(std::span<const float> data,
+                               std::size_t n) const;
+
+  private:
+    std::size_t dim_;
+    bool trained_ = false;
+    std::vector<float> vmin_;
+    std::vector<float> vscale_; // (max - min) / 255
+};
+
+} // namespace vlr::vs
+
+#endif // VLR_VECSEARCH_SQ_H

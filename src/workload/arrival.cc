@@ -1,0 +1,34 @@
+#include "workload/arrival.h"
+
+#include <cassert>
+
+namespace vlr::wl
+{
+
+std::vector<sim_time_t>
+poissonArrivals(double rate, sim_time_t horizon, std::uint64_t seed)
+{
+    assert(rate > 0.0 && horizon > 0.0);
+    Rng rng(seed);
+    std::vector<sim_time_t> out;
+    out.reserve(static_cast<std::size_t>(rate * horizon * 1.2) + 16);
+    sim_time_t t = rng.exponential(rate);
+    while (t < horizon) {
+        out.push_back(t);
+        t += rng.exponential(rate);
+    }
+    return out;
+}
+
+std::vector<sim_time_t>
+uniformArrivals(double rate, sim_time_t horizon)
+{
+    assert(rate > 0.0 && horizon > 0.0);
+    std::vector<sim_time_t> out;
+    const sim_time_t step = 1.0 / rate;
+    for (sim_time_t t = step; t < horizon; t += step)
+        out.push_back(t);
+    return out;
+}
+
+} // namespace vlr::wl

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Request arrival processes. The paper's load generator uses Poisson
+ * arrivals (Section V-A); a deterministic uniform process is provided
+ * for tests that need exact timings.
+ */
+
+#ifndef VLR_WORKLOAD_ARRIVAL_H
+#define VLR_WORKLOAD_ARRIVAL_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace vlr::wl
+{
+
+/** Poisson arrival times over [0, horizon) at the given rate (req/s). */
+std::vector<sim_time_t> poissonArrivals(double rate, sim_time_t horizon,
+                                        std::uint64_t seed);
+
+/** Evenly spaced arrivals (rate req/s) over [0, horizon). */
+std::vector<sim_time_t> uniformArrivals(double rate, sim_time_t horizon);
+
+} // namespace vlr::wl
+
+#endif // VLR_WORKLOAD_ARRIVAL_H

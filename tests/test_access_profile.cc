@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for cluster access-pattern profiling (Section IV-A1).
+ */
+
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/access_profile.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+/** Hand-built profile: 4 clusters with known counts/work/bytes. */
+AccessProfile
+smallProfile()
+{
+    // Cluster:      0     1     2     3
+    // accesses:    10     40    20    30
+    // work:       100    200   150    50
+    // bytes:     1000   2000  1500   500
+    return AccessProfile({10, 40, 20, 30}, {100, 200, 150, 50},
+                         {1000, 2000, 1500, 500});
+}
+
+TEST(AccessProfile, HotOrderSortsByAccessCount)
+{
+    const auto p = smallProfile();
+    const auto &order = p.hotOrder();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1); // 40 accesses
+    EXPECT_EQ(order[1], 3); // 30
+    EXPECT_EQ(order[2], 2); // 20
+    EXPECT_EQ(order[3], 0); // 10
+}
+
+TEST(AccessProfile, HotClustersTakesTopFraction)
+{
+    const auto p = smallProfile();
+    const auto half = p.hotClusters(0.5);
+    ASSERT_EQ(half.size(), 2u);
+    EXPECT_EQ(half[0], 1);
+    EXPECT_EQ(half[1], 3);
+    EXPECT_EQ(p.numHot(0.5), 2u);
+    EXPECT_EQ(p.numHot(0.0), 0u);
+    EXPECT_EQ(p.numHot(1.0), 4u);
+}
+
+TEST(AccessProfile, HotBitmapMatchesHotClusters)
+{
+    const auto p = smallProfile();
+    const auto bitmap = p.hotBitmap(0.5);
+    ASSERT_EQ(bitmap.size(), 4u);
+    EXPECT_FALSE(bitmap[0]);
+    EXPECT_TRUE(bitmap[1]);
+    EXPECT_FALSE(bitmap[2]);
+    EXPECT_TRUE(bitmap[3]);
+}
+
+TEST(AccessProfile, IndexBytesAccumulatesAlongHotOrder)
+{
+    const auto p = smallProfile();
+    EXPECT_NEAR(p.indexBytes(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(p.indexBytes(0.25), 2000.0, 1e-9);        // {1}
+    EXPECT_NEAR(p.indexBytes(0.5), 2500.0, 1e-9);         // {1,3}
+    EXPECT_NEAR(p.indexBytes(1.0), 5000.0, 1e-9);         // all
+    EXPECT_NEAR(p.totalBytes(), 5000.0, 1e-9);
+}
+
+TEST(AccessProfile, MeanWorkHitRateUsesAccessTimesWork)
+{
+    const auto p = smallProfile();
+    // mass(c) = accesses * work: {1000, 8000, 3000, 1500}; total 13500.
+    EXPECT_NEAR(p.meanWorkHitRate(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(p.meanWorkHitRate(0.25), 8000.0 / 13500.0, 1e-9);
+    EXPECT_NEAR(p.meanWorkHitRate(0.5), 9500.0 / 13500.0, 1e-9);
+    EXPECT_NEAR(p.meanWorkHitRate(1.0), 1.0, 1e-12);
+}
+
+TEST(AccessProfile, MeanWorkHitRateMonotone)
+{
+    const auto p = smallProfile();
+    double prev = -1.0;
+    for (double rho = 0.0; rho <= 1.0; rho += 0.05) {
+        const double v = p.meanWorkHitRate(rho);
+        EXPECT_GE(v, prev - 1e-12);
+        prev = v;
+    }
+}
+
+TEST(AccessProfile, AccessorsReturnRawInputs)
+{
+    const auto p = smallProfile();
+    EXPECT_NEAR(p.accessCount(1), 40.0, 1e-12);
+    EXPECT_NEAR(p.clusterWork(2), 150.0, 1e-12);
+    EXPECT_NEAR(p.clusterBytes(3), 500.0, 1e-12);
+    EXPECT_EQ(p.nlist(), 4u);
+}
+
+TEST(AccessProfile, ConcentrationCurveEndpoints)
+{
+    const auto p = smallProfile();
+    const auto curve = p.accessConcentration();
+    EXPECT_NEAR(evalConcentration(curve, 0.0), 0.0, 1e-9);
+    EXPECT_NEAR(evalConcentration(curve, 1.0), 1.0, 1e-9);
+    // Top 25% of clusters (cluster 1) has 40% of accesses.
+    EXPECT_NEAR(evalConcentration(curve, 0.25), 0.4, 0.01);
+}
+
+TEST(AccessProfile, FromPlansMatchesDatasetCalibration)
+{
+    wl::SyntheticDataset ds(wl::tinySpec());
+    ds.buildStats();
+    const auto cq = ds.makeCoarseQuantizer();
+    wl::QueryGenerator gen(ds, 9);
+    const std::size_t nq = 200;
+    const auto queries = gen.generate(nq);
+    std::vector<double> work(ds.spec().numClusters);
+    for (std::size_t c = 0; c < work.size(); ++c)
+        work[c] = static_cast<double>(ds.clusterSizes()[c]);
+    const auto plans =
+        wl::PlanSet::build(*cq, queries, nq, ds.spec().nprobe, work);
+    const auto profile = AccessProfile::fromPlans(plans, ds);
+
+    EXPECT_EQ(profile.nlist(), ds.spec().numClusters);
+    // Total bytes equal the dataset's paper-scale footprint.
+    EXPECT_NEAR(profile.totalBytes(),
+                static_cast<double>(ds.spec().paperIndexBytes),
+                0.01 * profile.totalBytes());
+    // Access counts match the plan aggregation.
+    const auto counts =
+        plans.clusterAccessCounts(ds.spec().numClusters);
+    for (std::size_t c = 0; c < counts.size(); ++c)
+        EXPECT_NEAR(profile.accessCount(static_cast<cluster_id_t>(c)),
+                    counts[c], 1e-9);
+}
+
+TEST(AccessProfile, ZeroAccessClustersRankLast)
+{
+    AccessProfile p({0, 5, 0, 1}, {10, 10, 10, 10}, {1, 1, 1, 1});
+    const auto &order = p.hotOrder();
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 3);
+    // Zero-access clusters occupy the tail (any order).
+    EXPECT_TRUE((order[2] == 0 && order[3] == 2) ||
+                (order[2] == 2 && order[3] == 0));
+}
+
+/** rho sweep: indexBytes and meanWorkHitRate are monotone. */
+class ProfileMonotoneTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ProfileMonotoneTest, BytesMonotone)
+{
+    const auto p = smallProfile();
+    const double rho = GetParam();
+    EXPECT_LE(p.indexBytes(rho), p.indexBytes(std::min(1.0, rho + 0.25)));
+    EXPECT_LE(p.meanWorkHitRate(rho),
+              p.meanWorkHitRate(std::min(1.0, rho + 0.25)) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProfileMonotoneTest,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.75));
+
+} // namespace
+} // namespace vlr::core

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the hybrid batch-search timing simulation and the dynamic
+ * dispatcher (Section IV-B2, Fig. 14).
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/batch_search.h"
+#include "core/router.h"
+#include "core/splitter.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+struct BatchSearchFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        profile_ = std::make_unique<AccessProfile>(
+            std::vector<double>{60, 50, 40, 30, 20, 10},
+            std::vector<double>{1e5, 1e5, 1e5, 1e5, 1e5, 1e5},
+            std::vector<double>{1e8, 1e8, 1e8, 1e8, 1e8, 1e8});
+        assignment_ = IndexSplitter::split(*profile_, 0.5, 2);
+
+        // Query with a large hot share and one with none.
+        fast_.probes = {0, 1, 2};
+        fast_.probeWork = {1e5, 1e5, 1e5};
+        fast_.totalWork = 3e5;
+        slow_.probes = {3, 4, 5};
+        slow_.probeWork = {1e5, 1e5, 1e5};
+        slow_.totalWork = 3e5;
+        batch_ = {&fast_, &slow_};
+    }
+
+    BatchSearchSimulator
+    makeSim(bool dispatcher, double occupancy_cap = 1.0) const
+    {
+        BatchSearchSimulator::Options opts;
+        opts.dispatcher = dispatcher;
+        opts.occupancyCap = occupancy_cap;
+        return BatchSearchSimulator(
+            gpu::CpuSearchModel(gpu::xeon8462Spec(),
+                                gpu::CpuSearchParams{}),
+            gpu::GpuSearchModel(gpu::h100Spec()), opts);
+    }
+
+    RoutedBatch
+    route() const
+    {
+        Router router(assignment_, true);
+        return router.route(batch_);
+    }
+
+    std::unique_ptr<AccessProfile> profile_;
+    ShardAssignment assignment_;
+    wl::QueryPlan fast_, slow_;
+    std::vector<const wl::QueryPlan *> batch_;
+};
+
+TEST_F(BatchSearchFixture, BatchTimeIncludesCq)
+{
+    const auto sim = makeSim(true);
+    const auto out = sim.simulate(route());
+    EXPECT_GT(out.cqSeconds, 0.0);
+    EXPECT_GE(out.batchSeconds, out.cqSeconds);
+}
+
+TEST_F(BatchSearchFixture, PerQueryReadyTimesWithinBatch)
+{
+    const auto sim = makeSim(true);
+    const auto out = sim.simulate(route());
+    ASSERT_EQ(out.queryReady.size(), 2u);
+    for (const double t : out.queryReady) {
+        EXPECT_GT(t, 0.0);
+        EXPECT_LE(t, out.batchSeconds + 1e-12);
+    }
+}
+
+TEST_F(BatchSearchFixture, DispatcherAdvancesHighHitQueries)
+{
+    const auto with = makeSim(true).simulate(route());
+    const auto without = makeSim(false).simulate(route());
+    // Query 0 is fully hot: with the dispatcher it completes before the
+    // batch ends; without it, it waits for the batch.
+    EXPECT_LT(with.queryReady[0], without.queryReady[0]);
+    EXPECT_NEAR(without.queryReady[0], without.batchSeconds, 1e-9);
+    EXPECT_NEAR(without.queryReady[1], without.batchSeconds, 1e-9);
+}
+
+TEST_F(BatchSearchFixture, HitRatesMirrorRouting)
+{
+    const auto routed = route();
+    const auto out = makeSim(true).simulate(routed);
+    EXPECT_NEAR(out.minHitRate, routed.minHitRate, 1e-12);
+    EXPECT_NEAR(out.meanHitRate, routed.meanHitRate, 1e-12);
+}
+
+TEST_F(BatchSearchFixture, GpuBusyRecordsMatchShardsWithWork)
+{
+    const auto routed = route();
+    const auto out = makeSim(true).simulate(routed);
+    std::size_t shards_with_work = 0;
+    for (const auto &s : routed.shards)
+        shards_with_work += s.pairs > 0;
+    EXPECT_EQ(out.gpuBusy.size(), shards_with_work);
+    for (const auto &g : out.gpuBusy) {
+        EXPECT_GE(g.endOffset, g.startOffset);
+        EXPECT_GT(g.occupancy, 0.0);
+    }
+}
+
+TEST_F(BatchSearchFixture, OccupancyCapIsRespected)
+{
+    const auto routed = route();
+    const auto capped = makeSim(true, 0.2).simulate(routed);
+    for (const auto &g : capped.gpuBusy)
+        EXPECT_LE(g.occupancy, 0.2 + 1e-12);
+}
+
+TEST_F(BatchSearchFixture, CappedOccupancyStretchesGpuTime)
+{
+    const auto routed = route();
+    const auto uncapped = makeSim(true, 1.0).simulate(routed);
+    const auto capped = makeSim(true, 0.1).simulate(routed);
+    double u = 0.0, c = 0.0;
+    for (const auto &g : uncapped.gpuBusy)
+        u = std::max(u, g.endOffset);
+    for (const auto &g : capped.gpuBusy)
+        c = std::max(c, g.endOffset);
+    EXPECT_GE(c, u);
+}
+
+TEST_F(BatchSearchFixture, AllMissBatchMatchesCpuModel)
+{
+    // Route against an empty assignment: everything on CPU.
+    const auto cpu_only = IndexSplitter::split(*profile_, 0.0, 1);
+    Router router(cpu_only, true);
+    const auto routed = router.route(batch_);
+    const auto sim = makeSim(false);
+    const auto out = sim.simulate(routed);
+    const double expect =
+        sim.cpuModel().searchSeconds(2, 0.0);
+    EXPECT_NEAR(out.batchSeconds, expect, 0.05 * expect);
+}
+
+TEST_F(BatchSearchFixture, FullyCachedBatchApproachesCqTime)
+{
+    const auto all_gpu = IndexSplitter::split(*profile_, 1.0, 2);
+    Router router(all_gpu, true);
+    const auto routed = router.route(batch_);
+    const auto out = makeSim(true).simulate(routed);
+    // All LUT work on GPUs: CPU contributes only CQ; GPU time is small.
+    EXPECT_LT(out.batchSeconds,
+              makeSim(true).cpuModel().searchSeconds(2, 0.0));
+}
+
+TEST_F(BatchSearchFixture, DispatcherNeverExtendsBatch)
+{
+    const auto routed = route();
+    const auto with = makeSim(true).simulate(routed);
+    const auto without = makeSim(false).simulate(routed);
+    // Merging early costs per-query merge time but the batch end may
+    // only shrink or stay (no head-of-line penalty added).
+    EXPECT_LE(with.batchSeconds,
+              without.batchSeconds + with.queryReady.size() * 1e-3);
+}
+
+} // namespace
+} // namespace vlr::core

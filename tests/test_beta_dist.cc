@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the Beta distribution and the order-statistic machinery
+ * behind the paper's tail hit-rate estimator (Eq. 2).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/beta_dist.h"
+
+namespace vlr
+{
+namespace
+{
+
+TEST(BetaDist, MeanVarianceClosedForm)
+{
+    const BetaDistribution d(2.0, 5.0);
+    EXPECT_NEAR(d.mean(), 2.0 / 7.0, 1e-12);
+    const double var = (2.0 * 5.0) / (7.0 * 7.0 * 8.0);
+    EXPECT_NEAR(d.variance(), var, 1e-12);
+}
+
+TEST(BetaDist, PdfIntegratesToOne)
+{
+    const BetaDistribution d(3.0, 1.5);
+    const int n = 4000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = (i + 0.5) / n;
+        sum += d.pdf(x) / n;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(BetaDist, CdfMonotoneAndBounded)
+{
+    const BetaDistribution d(0.8, 2.2);
+    double prev = 0.0;
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+        const double c = d.cdf(x);
+        EXPECT_GE(c, prev - 1e-12);
+        EXPECT_GE(c, 0.0);
+        EXPECT_LE(c, 1.0);
+        prev = c;
+    }
+    EXPECT_NEAR(d.cdf(0.0), 0.0, 1e-9);
+    EXPECT_NEAR(d.cdf(1.0), 1.0, 1e-9);
+}
+
+TEST(BetaDist, SymmetricCaseCdfAtHalf)
+{
+    const BetaDistribution d(4.0, 4.0);
+    EXPECT_NEAR(d.cdf(0.5), 0.5, 1e-9);
+}
+
+TEST(BetaDist, UniformSpecialCase)
+{
+    // Beta(1,1) is Uniform(0,1).
+    const BetaDistribution d(1.0, 1.0);
+    EXPECT_NEAR(d.pdf(0.3), 1.0, 1e-9);
+    EXPECT_NEAR(d.cdf(0.3), 0.3, 1e-9);
+    EXPECT_NEAR(d.mean(), 0.5, 1e-12);
+}
+
+TEST(BetaDist, QuantileInvertsCdf)
+{
+    const BetaDistribution d(2.5, 1.7);
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+        const double x = d.quantile(p);
+        EXPECT_NEAR(d.cdf(x), p, 1e-6);
+    }
+}
+
+TEST(BetaDist, FromMomentsRecoversParameters)
+{
+    const double mean = 0.35, var = 0.02;
+    const auto d = BetaDistribution::fromMoments(mean, var);
+    EXPECT_NEAR(d.mean(), mean, 1e-9);
+    EXPECT_NEAR(d.variance(), var, 1e-9);
+}
+
+TEST(BetaDist, FromMomentsClampsInfeasibleVariance)
+{
+    // Feasible variance is < mean*(1-mean) = 0.25.
+    const auto d = BetaDistribution::fromMoments(0.5, 10.0);
+    EXPECT_GT(d.alpha(), 0.0);
+    EXPECT_GT(d.beta(), 0.0);
+    EXPECT_LT(d.variance(), 0.25);
+}
+
+TEST(BetaDist, FromMomentsHandlesDegenerateMean)
+{
+    const auto lo = BetaDistribution::fromMoments(0.0, 0.01);
+    const auto hi = BetaDistribution::fromMoments(1.0, 0.01);
+    EXPECT_GT(lo.mean(), 0.0);
+    EXPECT_LT(hi.mean(), 1.0);
+}
+
+// --- Expected minimum (first-order statistic, paper Eq. 2) -----------
+
+TEST(BetaDist, ExpectedMinOfOneIsMean)
+{
+    const BetaDistribution d(2.0, 3.0);
+    EXPECT_NEAR(d.expectedMin(1), d.mean(), 1e-9);
+}
+
+TEST(BetaDist, ExpectedMinDecreasesWithBatchSize)
+{
+    const BetaDistribution d(5.0, 2.0);
+    double prev = d.expectedMin(1);
+    for (std::size_t b : {2u, 4u, 8u, 16u, 32u}) {
+        const double cur = d.expectedMin(b);
+        EXPECT_LT(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(BetaDist, ExpectedMinStaysInUnitInterval)
+{
+    const BetaDistribution d(1.2, 0.9);
+    for (std::size_t b : {1u, 3u, 10u, 100u}) {
+        const double m = d.expectedMin(b);
+        EXPECT_GE(m, 0.0);
+        EXPECT_LE(m, 1.0);
+    }
+}
+
+TEST(BetaDist, ExpectedMinUniformClosedForm)
+{
+    // For Uniform(0,1), E[min of B] = 1 / (B + 1).
+    const BetaDistribution d(1.0, 1.0);
+    for (std::size_t b : {1u, 2u, 5u, 9u})
+        EXPECT_NEAR(d.expectedMin(b), 1.0 / (b + 1.0), 2e-3);
+}
+
+TEST(BetaDist, ExpectedMinTightDistributionStaysNearMean)
+{
+    // Nearly a point mass at 0.7: the min of a batch barely drops.
+    const auto d = BetaDistribution::fromMoments(0.7, 1e-5);
+    EXPECT_NEAR(d.expectedMin(16), 0.7, 0.02);
+}
+
+// --- Regularized incomplete beta -------------------------------------
+
+TEST(IncompleteBeta, KnownValues)
+{
+    // I_x(1, 1) = x.
+    EXPECT_NEAR(regularizedIncompleteBeta(1.0, 1.0, 0.42), 0.42, 1e-9);
+    // I_x(2, 1) = x^2.
+    EXPECT_NEAR(regularizedIncompleteBeta(2.0, 1.0, 0.3), 0.09, 1e-9);
+    // I_x(1, 2) = 1 - (1-x)^2.
+    EXPECT_NEAR(regularizedIncompleteBeta(1.0, 2.0, 0.3), 0.51, 1e-9);
+}
+
+TEST(IncompleteBeta, SymmetryIdentity)
+{
+    // I_x(a, b) = 1 - I_{1-x}(b, a).
+    const double v1 = regularizedIncompleteBeta(2.3, 4.1, 0.37);
+    const double v2 = regularizedIncompleteBeta(4.1, 2.3, 0.63);
+    EXPECT_NEAR(v1, 1.0 - v2, 1e-9);
+}
+
+/** Moment fitting round-trips across a grid of means and variances. */
+class BetaMomentsTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(BetaMomentsTest, RoundTrip)
+{
+    const auto [mean, varfrac] = GetParam();
+    const double var = varfrac * mean * (1.0 - mean);
+    const auto d = BetaDistribution::fromMoments(mean, var);
+    EXPECT_NEAR(d.mean(), mean, 1e-8);
+    EXPECT_NEAR(d.variance(), var, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BetaMomentsTest,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9),
+                       ::testing::Values(0.05, 0.2, 0.5)));
+
+} // namespace
+} // namespace vlr

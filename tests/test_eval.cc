@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for retrieval-quality metrics (recall@k, NDCG@k).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vecsearch/eval.h"
+
+namespace vlr::vs
+{
+namespace
+{
+
+std::vector<SearchHit>
+hits(std::initializer_list<idx_t> ids)
+{
+    std::vector<SearchHit> v;
+    float d = 0.f;
+    for (idx_t id : ids)
+        v.push_back({id, d += 1.f});
+    return v;
+}
+
+TEST(Recall, PerfectResultIsOne)
+{
+    std::vector<std::vector<SearchHit>> res = {hits({1, 2, 3})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2, 3})};
+    EXPECT_DOUBLE_EQ(recallAtK(res, gt, 3), 1.0);
+}
+
+TEST(Recall, OrderDoesNotMatter)
+{
+    std::vector<std::vector<SearchHit>> res = {hits({3, 1, 2})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2, 3})};
+    EXPECT_DOUBLE_EQ(recallAtK(res, gt, 3), 1.0);
+}
+
+TEST(Recall, DisjointResultIsZero)
+{
+    std::vector<std::vector<SearchHit>> res = {hits({7, 8, 9})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2, 3})};
+    EXPECT_DOUBLE_EQ(recallAtK(res, gt, 3), 0.0);
+}
+
+TEST(Recall, PartialOverlap)
+{
+    std::vector<std::vector<SearchHit>> res = {hits({1, 2, 9, 10})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2, 3, 4})};
+    EXPECT_DOUBLE_EQ(recallAtK(res, gt, 4), 0.5);
+}
+
+TEST(Recall, AveragesOverQueries)
+{
+    std::vector<std::vector<SearchHit>> res = {hits({1, 2}), hits({9, 8})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2}), hits({1, 2})};
+    EXPECT_DOUBLE_EQ(recallAtK(res, gt, 2), 0.5);
+}
+
+TEST(Recall, KSmallerThanListTruncates)
+{
+    // Only the top-1 of the result list counts for recall@1.
+    std::vector<std::vector<SearchHit>> res = {hits({9, 1})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2})};
+    EXPECT_DOUBLE_EQ(recallAtK(res, gt, 1), 0.0);
+}
+
+TEST(Ndcg, PerfectOrderIsOne)
+{
+    std::vector<std::vector<SearchHit>> res = {hits({1, 2, 3, 4})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2, 3, 4})};
+    EXPECT_NEAR(ndcgAtK(res, gt, 4), 1.0, 1e-12);
+}
+
+TEST(Ndcg, EmptyOverlapIsZero)
+{
+    std::vector<std::vector<SearchHit>> res = {hits({5, 6})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2})};
+    EXPECT_DOUBLE_EQ(ndcgAtK(res, gt, 2), 0.0);
+}
+
+TEST(Ndcg, RelevantEarlierScoresHigher)
+{
+    // One relevant doc at rank 1 vs at rank 3.
+    std::vector<std::vector<SearchHit>> early = {hits({1, 8, 9})};
+    std::vector<std::vector<SearchHit>> late = {hits({8, 9, 1})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2, 3})};
+    EXPECT_GT(ndcgAtK(early, gt, 3), ndcgAtK(late, gt, 3));
+}
+
+TEST(Ndcg, BinaryRelevanceUsesGroundTruthMembership)
+{
+    // Two of three relevant, in the best possible order for them.
+    std::vector<std::vector<SearchHit>> res = {hits({1, 2, 9})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1, 2, 3})};
+    const double v = ndcgAtK(res, gt, 3);
+    EXPECT_GT(v, 0.5);
+    EXPECT_LT(v, 1.0);
+}
+
+TEST(Ndcg, AveragesOverQueries)
+{
+    std::vector<std::vector<SearchHit>> res = {hits({1}), hits({9})};
+    std::vector<std::vector<SearchHit>> gt = {hits({1}), hits({1})};
+    EXPECT_NEAR(ndcgAtK(res, gt, 1), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace vlr::vs

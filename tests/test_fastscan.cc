@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the PQ4 fast-scan kernels: packing layout, SIMD/scalar
+ * agreement and LUT quantization error bounds.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vecsearch/fastscan.h"
+
+namespace vlr::vs
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+randomCodes(Rng &rng, std::size_t m, std::size_t n)
+{
+    std::vector<std::uint8_t> codes(n * m);
+    for (auto &c : codes)
+        c = static_cast<std::uint8_t>(rng.uniformU64(16));
+    return codes;
+}
+
+std::vector<float>
+randomLut(Rng &rng, std::size_t m)
+{
+    std::vector<float> lut(m * 16);
+    for (auto &x : lut)
+        x = static_cast<float>(rng.uniform(0.0, 4.0));
+    return lut;
+}
+
+TEST(FastScan, PackedBlockBytes)
+{
+    EXPECT_EQ(packedBlockBytes(1), 16u);
+    EXPECT_EQ(packedBlockBytes(8), 128u);
+}
+
+TEST(FastScan, PackPadsToWholeBlocks)
+{
+    Rng rng(1);
+    const std::size_t m = 4;
+    const auto codes = randomCodes(rng, m, 40); // 40 -> 2 blocks of 32
+    const auto packed = packPq4Codes(m, codes, 40);
+    EXPECT_EQ(packed.size(), 2 * packedBlockBytes(m));
+}
+
+TEST(FastScan, PackLayoutNibbles)
+{
+    // Code of vector j lands in byte j%16's low (j<16) or high (j>=16)
+    // nibble of sub-quantizer m's 16-byte group.
+    const std::size_t m = 2;
+    std::vector<std::uint8_t> codes(32 * m);
+    for (std::size_t j = 0; j < 32; ++j) {
+        codes[j * m + 0] = static_cast<std::uint8_t>(j % 16);
+        codes[j * m + 1] = static_cast<std::uint8_t>((j + 3) % 16);
+    }
+    const auto packed = packPq4Codes(m, codes, 32);
+    ASSERT_EQ(packed.size(), packedBlockBytes(m));
+    for (std::size_t j = 0; j < 16; ++j) {
+        const std::uint8_t lo = packed[j] & 0xF;
+        const std::uint8_t hi = (packed[j] >> 4) & 0xF;
+        EXPECT_EQ(lo, j % 16);
+        EXPECT_EQ(hi, (j + 16) % 16);
+    }
+}
+
+TEST(FastScan, QuantizedLutReconstructsApproximately)
+{
+    Rng rng(2);
+    const std::size_t m = 8;
+    const auto lut = randomLut(rng, m);
+    const auto qlut = quantizeLut(m, lut);
+    // Entries quantize relative to their sub-quantizer row minimum with
+    // a shared step; the row minima accumulate into the global bias.
+    double bias = 0.0;
+    for (std::size_t s = 0; s < m; ++s) {
+        float row_min = lut[s * 16];
+        for (std::size_t j = 1; j < 16; ++j)
+            row_min = std::min(row_min, lut[s * 16 + j]);
+        bias += row_min;
+        for (std::size_t j = 0; j < 16; ++j) {
+            const double rec =
+                row_min + qlut.step * qlut.table[s * 16 + j];
+            EXPECT_NEAR(rec, lut[s * 16 + j], qlut.step + 1e-6);
+        }
+    }
+    EXPECT_NEAR(qlut.bias, bias, 1e-4);
+}
+
+TEST(FastScan, ScalarScanMatchesManualLookup)
+{
+    Rng rng(3);
+    const std::size_t m = 4, n = 64;
+    const auto codes = randomCodes(rng, m, n);
+    const auto lut = randomLut(rng, m);
+    const auto qlut = quantizeLut(m, lut);
+    const auto packed = packPq4Codes(m, codes, n);
+    const std::size_t nblocks = packed.size() / packedBlockBytes(m);
+
+    std::vector<std::uint16_t> scores(nblocks * kFastScanBlock);
+    scanPq4BlocksScalar(m, packed.data(), nblocks, qlut, scores.data());
+
+    for (std::size_t j = 0; j < n; ++j) {
+        std::uint32_t expect = 0;
+        for (std::size_t sub = 0; sub < m; ++sub)
+            expect += qlut.table[sub * 16 + codes[j * m + sub]];
+        EXPECT_EQ(scores[j], expect) << "lane " << j;
+    }
+}
+
+TEST(FastScan, SimdMatchesScalar)
+{
+    Rng rng(4);
+    const std::size_t m = 8, n = 256;
+    const auto codes = randomCodes(rng, m, n);
+    const auto lut = randomLut(rng, m);
+    const auto qlut = quantizeLut(m, lut);
+    const auto packed = packPq4Codes(m, codes, n);
+    const std::size_t nblocks = packed.size() / packedBlockBytes(m);
+
+    std::vector<std::uint16_t> simd(nblocks * kFastScanBlock);
+    std::vector<std::uint16_t> scalar(nblocks * kFastScanBlock);
+    scanPq4Blocks(m, packed.data(), nblocks, qlut, simd.data());
+    scanPq4BlocksScalar(m, packed.data(), nblocks, qlut, scalar.data());
+    for (std::size_t i = 0; i < simd.size(); ++i)
+        EXPECT_EQ(simd[i], scalar[i]) << "lane " << i;
+}
+
+TEST(FastScan, AffineMappingPreservesOrder)
+{
+    // Lower float LUT distance must map to lower quantized score for
+    // well-separated values.
+    Rng rng(5);
+    const std::size_t m = 4, n = 32;
+    auto codes = randomCodes(rng, m, n);
+    std::vector<float> lut(m * 16);
+    for (std::size_t i = 0; i < lut.size(); ++i)
+        lut[i] = static_cast<float>(i % 16); // 0..15 per sub
+    const auto qlut = quantizeLut(m, lut);
+    const auto packed = packPq4Codes(m, codes, n);
+    std::vector<std::uint16_t> scores(kFastScanBlock);
+    scanPq4BlocksScalar(m, packed.data(), 1, qlut, scores.data());
+
+    for (std::size_t j = 0; j < n; ++j) {
+        float fdist = 0.f;
+        for (std::size_t sub = 0; sub < m; ++sub)
+            fdist += lut[sub * 16 + codes[j * m + sub]];
+        const double rec = qlut.bias + qlut.step * scores[j];
+        EXPECT_NEAR(rec, fdist, m * qlut.step + 1e-5);
+    }
+}
+
+/** SIMD/scalar equivalence across m and block-count combinations. */
+class FastScanParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(FastScanParamTest, KernelsAgree)
+{
+    const auto [m, n] = GetParam();
+    Rng rng(100 + m * 31 + n);
+    const auto codes = randomCodes(rng, m, n);
+    const auto lut = randomLut(rng, m);
+    const auto qlut = quantizeLut(m, lut);
+    const auto packed = packPq4Codes(m, codes, n);
+    const std::size_t nblocks = packed.size() / packedBlockBytes(m);
+
+    std::vector<std::uint16_t> simd(nblocks * kFastScanBlock);
+    std::vector<std::uint16_t> scalar(nblocks * kFastScanBlock);
+    scanPq4Blocks(m, packed.data(), nblocks, qlut, simd.data());
+    scanPq4BlocksScalar(m, packed.data(), nblocks, qlut, scalar.data());
+    for (std::size_t i = 0; i < simd.size(); ++i)
+        ASSERT_EQ(simd[i], scalar[i]) << "lane " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FastScanParamTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(1, 31, 32, 33, 100, 256)));
+
+} // namespace
+} // namespace vlr::vs

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the simulated GPU device, hardware specs and the CPU/GPU
+ * search cost models (the PERFMODEL inputs of Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "simgpu/gpu_device.h"
+#include "simgpu/gpu_spec.h"
+#include "simgpu/search_cost.h"
+
+namespace vlr::gpu
+{
+namespace
+{
+
+TEST(GpuSpec, PresetsCarryDatasheetNumbers)
+{
+    const auto h100 = h100Spec();
+    EXPECT_EQ(h100.memBytes, 80_GiB);
+    EXPECT_GT(h100.memBwBytesPerSec, 2e12); // HBM3 ~3.35 TB/s
+    const auto l40s = l40sSpec();
+    EXPECT_EQ(l40s.memBytes, 48_GiB);
+    EXPECT_LT(l40s.memBwBytesPerSec, h100.memBwBytesPerSec);
+    EXPECT_LT(l40s.computeTflops, h100.computeTflops);
+}
+
+TEST(CpuSpec, PresetsAndScaling)
+{
+    EXPECT_EQ(xeon8462Spec().cores, 64);
+    EXPECT_EQ(xeon6426Spec().cores, 32);
+    EXPECT_EQ(xeonScaled(48).cores, 48);
+    // Bandwidth scales with cores.
+    EXPECT_LT(xeonScaled(32).memBwBytesPerSec,
+              xeonScaled(64).memBwBytesPerSec + 1.0);
+}
+
+TEST(GpuDevice, MemoryLedger)
+{
+    GpuDevice dev(0, h100Spec());
+    EXPECT_EQ(dev.id(), 0);
+    const bytes_t before = dev.kvCacheBytes();
+    dev.reserveWeights(16_GiB);
+    EXPECT_EQ(dev.weightsBytes(), 16_GiB);
+    EXPECT_EQ(dev.kvCacheBytes(), before - 16_GiB);
+}
+
+TEST(GpuDevice, IndexBytesReduceKvSpace)
+{
+    GpuDevice dev(1, h100Spec());
+    dev.reserveWeights(16_GiB);
+    const bytes_t kv0 = dev.kvCacheBytes();
+    dev.setIndexBytes(4_GiB);
+    EXPECT_EQ(dev.indexBytes(), 4_GiB);
+    EXPECT_EQ(dev.kvCacheBytes(), kv0 - 4_GiB);
+    // Replacing the shard does not accumulate.
+    dev.setIndexBytes(2_GiB);
+    EXPECT_EQ(dev.kvCacheBytes(), kv0 - 2_GiB);
+}
+
+TEST(GpuDevice, ReserveRespectsRuntimeFraction)
+{
+    GpuSpec spec = h100Spec();
+    spec.memReserveFraction = 0.10;
+    GpuDevice dev(0, spec);
+    const double total = static_cast<double>(spec.memBytes);
+    EXPECT_NEAR(static_cast<double>(dev.kvCacheBytes()), total * 0.90,
+                total * 0.01);
+}
+
+TEST(GpuDevice, OverflowIsFatal)
+{
+    GpuDevice dev(0, l40sSpec());
+    EXPECT_THROW(dev.reserveWeights(100_GiB), std::runtime_error);
+}
+
+TEST(GpuDevice, OccupancyOverWindow)
+{
+    GpuDevice dev(0, h100Spec());
+    // Kernel burst of occupancy 0.5 covering half the window.
+    dev.addRetrievalInterval(0.0, 1.0, 0.5);
+    EXPECT_NEAR(dev.retrievalOccupancyOver(0.0, 2.0), 0.25, 1e-9);
+    // Fully covered window sees the full occupancy.
+    EXPECT_NEAR(dev.retrievalOccupancyOver(0.25, 0.75), 0.5, 1e-9);
+    // Disjoint window sees nothing.
+    EXPECT_NEAR(dev.retrievalOccupancyOver(2.0, 3.0), 0.0, 1e-9);
+}
+
+TEST(GpuDevice, OverlappingIntervalsAccumulate)
+{
+    GpuDevice dev(0, h100Spec());
+    dev.addRetrievalInterval(0.0, 1.0, 0.3);
+    dev.addRetrievalInterval(0.5, 1.5, 0.3);
+    // Over [0, 1.5): total mass = 0.3*1 + 0.3*1 = 0.6 over 1.5.
+    EXPECT_NEAR(dev.retrievalOccupancyOver(0.0, 1.5), 0.4, 1e-9);
+}
+
+TEST(GpuDevice, BusySecondsAndPrune)
+{
+    GpuDevice dev(0, h100Spec());
+    dev.addRetrievalInterval(0.0, 1.0, 1.0);
+    dev.addRetrievalInterval(5.0, 6.0, 1.0);
+    EXPECT_NEAR(dev.retrievalBusySeconds(), 2.0, 1e-9);
+    dev.pruneIntervals(2.0);
+    EXPECT_NEAR(dev.retrievalBusySeconds(), 1.0, 1e-9);
+    // Remaining interval still counted.
+    EXPECT_NEAR(dev.retrievalOccupancyOver(5.0, 6.0), 1.0, 1e-9);
+}
+
+// --- CpuSearchModel ----------------------------------------------------
+
+TEST(CpuSearchModel, LatencyIsAffineInBatch)
+{
+    CpuSearchParams p;
+    p.cqFixedSeconds = 0.01;
+    p.cqPerQuerySeconds = 0.001;
+    p.lutFixedSeconds = 0.05;
+    p.lutPerQuerySeconds = 0.002;
+    CpuSearchModel m(xeon8462Spec(), p);
+    EXPECT_NEAR(m.cqSeconds(1), 0.011, 1e-9);
+    EXPECT_NEAR(m.cqSeconds(10), 0.02, 1e-9);
+    EXPECT_NEAR(m.lutSeconds(1), 0.052, 1e-9);
+    EXPECT_NEAR(m.lutSeconds(10), 0.07, 1e-9);
+}
+
+TEST(CpuSearchModel, SearchAppliesHitRate)
+{
+    CpuSearchParams p;
+    CpuSearchModel m(xeon8462Spec(), p);
+    const double full = m.searchSeconds(4, 0.0);
+    const double half = m.searchSeconds(4, 0.5);
+    const double none = m.searchSeconds(4, 1.0);
+    EXPECT_NEAR(full, m.cqSeconds(4) + m.lutSeconds(4), 1e-12);
+    EXPECT_NEAR(none, m.cqSeconds(4), 1e-12);
+    EXPECT_GT(full, half);
+    EXPECT_GT(half, none);
+}
+
+TEST(CpuSearchModel, PartialLutReducesToFullWithUnitWork)
+{
+    CpuSearchModel m(xeon8462Spec(), CpuSearchParams{});
+    const std::size_t b = 6;
+    EXPECT_NEAR(m.lutSecondsPartial(1.0, static_cast<double>(b)),
+                m.lutSeconds(b), 1e-12);
+}
+
+TEST(CpuSearchModel, FewerCoresAreSlower)
+{
+    CpuSearchParams p;
+    CpuSearchModel big(xeon8462Spec(), p);   // 64 cores
+    CpuSearchModel small(xeon6426Spec(), p); // 32 cores
+    EXPECT_GT(small.searchSeconds(8, 0.0), big.searchSeconds(8, 0.0));
+}
+
+TEST(CpuSearchModel, ComponentsDecompose)
+{
+    CpuSearchModel m(xeon8462Spec(), CpuSearchParams{});
+    const double w = 0.4;
+    EXPECT_NEAR(m.lutFixedComponent(w) + m.lutMarginalComponent(w),
+                m.lutSecondsPartial(w, w), 1e-12);
+}
+
+// --- GpuSearchModel ----------------------------------------------------
+
+TEST(GpuSearchModel, CostDecomposition)
+{
+    GpuSpec spec = h100Spec();
+    GpuSearchModel m(spec);
+    // A shard with nothing to do launches nothing and costs nothing.
+    EXPECT_NEAR(m.shardSeconds(0, 0.0), 0.0, 1e-12);
+    const double with_pairs = m.shardSeconds(100, 0.0);
+    EXPECT_NEAR(with_pairs,
+                spec.kernelLaunchSeconds +
+                    100 * spec.blockScheduleSeconds,
+                1e-12);
+    const double bytes = 1e9;
+    const double with_bytes = m.shardSeconds(1, bytes);
+    EXPECT_NEAR(with_bytes,
+                spec.kernelLaunchSeconds + spec.blockScheduleSeconds +
+                    bytes / (spec.memBwBytesPerSec *
+                             spec.searchBwEfficiency),
+                1e-12);
+}
+
+TEST(GpuSearchModel, MonotoneInPairsAndBytes)
+{
+    GpuSearchModel m(h100Spec());
+    EXPECT_LT(m.shardSeconds(10, 1e6), m.shardSeconds(20, 1e6));
+    EXPECT_LT(m.shardSeconds(10, 1e6), m.shardSeconds(10, 2e6));
+}
+
+TEST(GpuSearchModel, OccupancySaturatesAtOne)
+{
+    GpuSearchModel m(h100Spec());
+    EXPECT_GE(m.occupancy(1), 0.0);
+    EXPECT_LE(m.occupancy(1), 1.0);
+    EXPECT_LE(m.occupancy(1000000), 1.0);
+    EXPECT_GE(m.occupancy(10000), m.occupancy(10));
+}
+
+TEST(GpuSearchModel, GpuBeatsCpuAtPaperScale)
+{
+    // The headline observation of Fig. 4 (left): GPU IVF search is
+    // roughly an order of magnitude faster than CPU fast scan.
+    CpuSearchModel cpu(xeon8462Spec(), CpuSearchParams{});
+    GpuSearchModel gpu(h100Spec());
+    const double cpu_t = cpu.searchSeconds(8, 0.0);
+    // 8 queries x 2048 probes, ~1.4 KB per cluster-pair scanned.
+    const double gpu_t = gpu.shardSeconds(8 * 2048, 8 * 0.25 * 18e9 / 64);
+    EXPECT_LT(gpu_t, cpu_t);
+}
+
+} // namespace
+} // namespace vlr::gpu

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the tail-query hit-rate estimator (Section IV-A2, Eq. 2).
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/access_profile.h"
+#include "core/hitrate_estimator.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+struct HitRateFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        ds_ = std::make_unique<wl::SyntheticDataset>(wl::tinySpec());
+        ds_->buildStats();
+        cq_ = ds_->makeCoarseQuantizer();
+        wl::QueryGenerator gen(*ds_, 21);
+        const std::size_t nq = 600;
+        const auto queries = gen.generate(nq);
+        std::vector<double> work(ds_->spec().numClusters);
+        for (std::size_t c = 0; c < work.size(); ++c)
+            work[c] = static_cast<double>(ds_->clusterSizes()[c]);
+        plans_ = std::make_unique<wl::PlanSet>(wl::PlanSet::build(
+            *cq_, queries, nq, ds_->spec().nprobe, work));
+        profile_ = std::make_unique<AccessProfile>(
+            AccessProfile::fromPlans(*plans_, *ds_));
+        est_ = std::make_unique<HitRateEstimator>(*profile_, *plans_);
+    }
+
+    std::unique_ptr<wl::SyntheticDataset> ds_;
+    std::shared_ptr<vs::FlatCoarseQuantizer> cq_;
+    std::unique_ptr<wl::PlanSet> plans_;
+    std::unique_ptr<AccessProfile> profile_;
+    std::unique_ptr<HitRateEstimator> est_;
+};
+
+TEST_F(HitRateFixture, MeanHitRateMonotoneInCoverage)
+{
+    double prev = -1.0;
+    for (double rho = 0.0; rho <= 1.0; rho += 0.05) {
+        const double m = est_->meanHitRate(rho);
+        EXPECT_GE(m, prev - 1e-9);
+        EXPECT_GE(m, 0.0);
+        EXPECT_LE(m, 1.0);
+        prev = m;
+    }
+}
+
+TEST_F(HitRateFixture, MeanHitRateEndpoints)
+{
+    EXPECT_NEAR(est_->meanHitRate(0.0), 0.0, 1e-6);
+    EXPECT_NEAR(est_->meanHitRate(1.0), 1.0, 1e-6);
+}
+
+TEST_F(HitRateFixture, MeanMatchesEmpiricalPlanHitRates)
+{
+    for (double rho : {0.1, 0.3, 0.5}) {
+        const auto rates = plans_->allHitRates(profile_->hotBitmap(rho));
+        double mean = 0.0;
+        for (double r : rates)
+            mean += r;
+        mean /= rates.size();
+        EXPECT_NEAR(est_->meanHitRate(rho), mean, 0.02) << "rho " << rho;
+    }
+}
+
+TEST_F(HitRateFixture, SigmaMaxPositive)
+{
+    EXPECT_GT(est_->sigmaMaxSq(), 0.0);
+    EXPECT_LT(est_->sigmaMaxSq(), 0.25); // variance on [0,1] bounded
+}
+
+TEST_F(HitRateFixture, VarianceApproxIsParabola)
+{
+    const double s2 = est_->sigmaMaxSq();
+    EXPECT_NEAR(est_->varianceApprox(0.5), s2, 1e-12);
+    EXPECT_NEAR(est_->varianceApprox(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(est_->varianceApprox(1.0), 0.0, 1e-12);
+    // Symmetric around 0.5.
+    EXPECT_NEAR(est_->varianceApprox(0.3), est_->varianceApprox(0.7),
+                1e-12);
+}
+
+TEST_F(HitRateFixture, VarianceApproxTracksEmpirical)
+{
+    // The parabola approximation should be within a factor ~2.5 of the
+    // empirical variance in the mid-coverage range (paper Fig. 8 right).
+    for (double rho : {0.15, 0.25, 0.4}) {
+        const double mean = est_->meanHitRate(rho);
+        if (mean < 0.15 || mean > 0.85)
+            continue;
+        const double approx = est_->varianceApprox(mean);
+        const double emp = est_->empiricalVariance(rho);
+        if (emp < 1e-6)
+            continue;
+        EXPECT_LT(approx / emp, 3.0) << "rho " << rho;
+        EXPECT_GT(approx / emp, 0.3) << "rho " << rho;
+    }
+}
+
+TEST_F(HitRateFixture, EtaMinBatchOneEqualsMean)
+{
+    for (double rho : {0.2, 0.5}) {
+        EXPECT_NEAR(est_->etaMin(rho, 1), est_->meanHitRate(rho), 0.02)
+            << "rho " << rho;
+    }
+}
+
+TEST_F(HitRateFixture, EtaMinDecreasesWithBatch)
+{
+    const double rho = 0.3;
+    double prev = est_->etaMin(rho, 1);
+    for (std::size_t b : {2u, 4u, 8u, 16u}) {
+        const double cur = est_->etaMin(rho, b);
+        EXPECT_LE(cur, prev + 1e-9) << "batch " << b;
+        prev = cur;
+    }
+}
+
+TEST_F(HitRateFixture, EtaMinIncreasesWithCoverage)
+{
+    const std::size_t b = 8;
+    double prev = -1.0;
+    for (double rho = 0.05; rho <= 1.0; rho += 0.1) {
+        const double cur = est_->etaMin(rho, b);
+        EXPECT_GE(cur, prev - 0.01) << "rho " << rho;
+        prev = cur;
+    }
+}
+
+TEST_F(HitRateFixture, HitRate2CoverageInverts)
+{
+    const std::size_t b = 4;
+    for (double rho : {0.25, 0.45, 0.65}) {
+        const double eta = est_->etaMin(rho, b);
+        const double back = est_->hitRate2Coverage(eta, b);
+        // Inversion returns the smallest coverage achieving eta; it can
+        // only be at or below the original rho (within grid tolerance).
+        EXPECT_LE(back, rho + 0.02) << "rho " << rho;
+        EXPECT_GE(est_->etaMin(back, b), eta - 0.02) << "rho " << rho;
+    }
+}
+
+TEST_F(HitRateFixture, HitRate2CoverageUnreachableReturnsOne)
+{
+    EXPECT_DOUBLE_EQ(est_->hitRate2Coverage(1.1, 4), 1.0);
+}
+
+TEST_F(HitRateFixture, HitRate2CoverageTrivialTargetIsZero)
+{
+    EXPECT_NEAR(est_->hitRate2Coverage(-0.5, 4), 0.0, 1e-9);
+}
+
+TEST_F(HitRateFixture, GridsAreConsistent)
+{
+    const auto &rho = est_->gridCoverage();
+    const auto &mean = est_->gridMean();
+    const auto &var = est_->gridVariance();
+    ASSERT_EQ(rho.size(), mean.size());
+    ASSERT_EQ(rho.size(), var.size());
+    for (std::size_t i = 1; i < rho.size(); ++i)
+        EXPECT_GT(rho[i], rho[i - 1]);
+}
+
+} // namespace
+} // namespace vlr::core

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Cross-module property tests: conservation and consistency invariants
+ * that must hold across the profile -> partition -> split -> route ->
+ * simulate pipeline for randomized workloads and seeds.
+ */
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/vectorliterag.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+/** Pipeline state built from a seeded tiny workload. */
+struct Pipeline
+{
+    explicit Pipeline(std::uint64_t seed, double rho_, int shards)
+        : rho(rho_)
+    {
+        wl::DatasetSpec spec = wl::tinySpec();
+        spec.seed = seed;
+        ctx = std::make_unique<DatasetContext>(spec);
+        assignment = IndexSplitter::split(ctx->profile(), rho, shards);
+        router = std::make_unique<Router>(assignment, true);
+    }
+
+    RoutedBatch
+    routeBatch(std::size_t start, std::size_t n) const
+    {
+        std::vector<const wl::QueryPlan *> plans;
+        for (std::size_t i = 0; i < n; ++i)
+            plans.push_back(&ctx->testPlans().plan(
+                (start + i) % ctx->testPlans().size()));
+        return router->route(plans);
+    }
+
+    double rho;
+    std::unique_ptr<DatasetContext> ctx;
+    ShardAssignment assignment;
+    std::unique_ptr<Router> router;
+};
+
+class InvariantTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto [seed, rho] = GetParam();
+        p_ = std::make_unique<Pipeline>(seed, rho, 4);
+    }
+
+    std::unique_ptr<Pipeline> p_;
+};
+
+TEST_P(InvariantTest, EveryClusterHasExactlyOneHome)
+{
+    // A cluster is either CPU-resident or on exactly one shard, and
+    // shard membership lists agree with the mapping table.
+    const auto &a = p_->assignment;
+    std::set<cluster_id_t> gpu_resident;
+    for (const auto &shard : a.shardClusters)
+        for (const auto c : shard) {
+            EXPECT_TRUE(gpu_resident.insert(c).second)
+                << "cluster " << c << " on two shards";
+        }
+    for (std::size_t c = 0; c < a.clusterShard.size(); ++c) {
+        const bool on_gpu = gpu_resident.count(
+            static_cast<cluster_id_t>(c));
+        EXPECT_EQ(a.clusterShard[c] != kCpuShard, on_gpu);
+    }
+}
+
+TEST_P(InvariantTest, HotSetBytesEqualShardBytes)
+{
+    const auto &profile = p_->ctx->profile();
+    EXPECT_NEAR(p_->assignment.totalGpuBytes(),
+                profile.indexBytes(p_->rho),
+                1e-6 * (1.0 + profile.indexBytes(p_->rho)));
+}
+
+TEST_P(InvariantTest, RoutingConservesScanWork)
+{
+    // GPU-scanned work plus CPU work fraction must recover each plan's
+    // total work.
+    const auto routed = p_->routeBatch(0, 16);
+    double gpu_work = 0.0;
+    for (const auto &s : routed.shards)
+        gpu_work += s.workVectors;
+    double expect_gpu = 0.0;
+    for (std::size_t i = 0; i < 16; ++i) {
+        const auto &plan = p_->ctx->testPlans().plan(
+            i % p_->ctx->testPlans().size());
+        expect_gpu += plan.totalWork * routed.queries[i].hitRate;
+        EXPECT_NEAR(routed.queries[i].hitRate +
+                        routed.queries[i].cpuWorkFraction,
+                    1.0, 1e-9);
+    }
+    EXPECT_NEAR(gpu_work, expect_gpu, 1e-6 * (1.0 + expect_gpu));
+}
+
+TEST_P(InvariantTest, RoutedProbesPartitionPlanProbes)
+{
+    const auto routed = p_->routeBatch(3, 8);
+    for (std::size_t i = 0; i < 8; ++i) {
+        const auto &plan = p_->ctx->testPlans().plan(
+            (3 + i) % p_->ctx->testPlans().size());
+        EXPECT_EQ(routed.queries[i].cpuProbes +
+                      routed.queries[i].gpuProbes,
+                  plan.probes.size());
+    }
+}
+
+TEST_P(InvariantTest, MinHitRateIsBatchMinimum)
+{
+    const auto routed = p_->routeBatch(7, 12);
+    double lo = 1.0, sum = 0.0;
+    for (const auto &q : routed.queries) {
+        lo = std::min(lo, q.hitRate);
+        sum += q.hitRate;
+    }
+    EXPECT_NEAR(routed.minHitRate, lo, 1e-12);
+    EXPECT_NEAR(routed.meanHitRate, sum / 12.0, 1e-12);
+}
+
+TEST_P(InvariantTest, BatchSimulationRespectsCausality)
+{
+    BatchSearchSimulator sim(
+        p_->ctx->cpuModel(), gpu::GpuSearchModel(gpu::h100Spec()),
+        {.bytesPerVector = p_->ctx->bytesPerVector()});
+    const auto routed = p_->routeBatch(11, 10);
+    const auto out = sim.simulate(routed);
+    // No query is ready before coarse quantization completes, nor
+    // after the batch completes.
+    for (const double t : out.queryReady) {
+        EXPECT_GE(t, out.cqSeconds - 1e-12);
+        EXPECT_LE(t, out.batchSeconds + 1e-12);
+    }
+    // GPU work cannot start before CQ finishes.
+    for (const auto &g : out.gpuBusy)
+        EXPECT_GE(g.startOffset, out.cqSeconds - 1e-12);
+}
+
+TEST_P(InvariantTest, PartitionerOutputWithinProfileBounds)
+{
+    PartitionInputs in;
+    in.sloSearchSeconds = 0.1;
+    in.peakLlmThroughput = 25.0;
+    in.kvBaselineBytes = 100e9;
+    LatencyBoundedPartitioner part(p_->ctx->perfModel(),
+                                   p_->ctx->estimator(),
+                                   p_->ctx->profile());
+    const auto res = part.partition(in);
+    EXPECT_GE(res.rho, 0.0);
+    EXPECT_LE(res.rho, 1.0);
+    EXPECT_GE(res.indexBytes, 0.0);
+    EXPECT_LE(res.indexBytes,
+              p_->ctx->profile().totalBytes() * (1.0 + 1e-9));
+    EXPECT_LE(res.throughputBound, in.peakLlmThroughput + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvariantTest,
+    ::testing::Combine(::testing::Values(11u, 37u, 91u),
+                       ::testing::Values(0.0, 0.15, 0.5, 1.0)));
+
+/** Serving conservation: every submitted request is accounted for. */
+TEST(ServingInvariants, RequestConservationAtSubCapacity)
+{
+    DatasetContext ctx(wl::tinySpec());
+    ServingConfig cfg;
+    cfg.llmConfig = llm::llama3_8b();
+    cfg.gpuSpec = gpu::l40sSpec();
+    cfg.cpuSpec = gpu::xeon6426Spec();
+    cfg.numGpus = 4;
+    cfg.retriever = RetrieverKind::VectorLite;
+    cfg.arrivalRate = 5.0;
+    cfg.durationSeconds = 20.0;
+    cfg.drainSeconds = 30.0;
+    cfg.outputTokens = 32;
+    cfg.peakThroughputHint = 15.0;
+    const auto res = runServing(cfg, ctx);
+    // Far below capacity with a generous drain: everything completes.
+    EXPECT_EQ(res.completedFirstToken, res.submitted);
+    EXPECT_EQ(res.completedFull, res.submitted);
+}
+
+TEST(ServingInvariants, AttainmentMonotoneInSloBudget)
+{
+    DatasetContext ctx(wl::tinySpec());
+    ServingConfig cfg;
+    cfg.llmConfig = llm::llama3_8b();
+    cfg.gpuSpec = gpu::l40sSpec();
+    cfg.cpuSpec = gpu::xeon6426Spec();
+    cfg.numGpus = 4;
+    cfg.retriever = RetrieverKind::CpuOnly;
+    cfg.arrivalRate = 8.0;
+    cfg.durationSeconds = 20.0;
+    cfg.outputTokens = 32;
+    cfg.peakThroughputHint = 15.0;
+    cfg.sloSearchOverride = 0.05;
+    const auto tight = runServing(cfg, ctx);
+    cfg.sloSearchOverride = 0.5;
+    const auto loose = runServing(cfg, ctx);
+    EXPECT_GE(loose.attainment, tight.attainment);
+}
+
+} // namespace
+} // namespace vlr::core

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Round-trip tests for binary serialization of trained artifacts.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vecsearch/io.h"
+
+namespace vlr::vs
+{
+namespace
+{
+
+std::vector<float>
+gaussianData(std::size_t n, std::size_t d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n * d);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    return v;
+}
+
+TEST(Io, PqRoundTripPreservesCodebooks)
+{
+    const auto data = gaussianData(800, 16, 1);
+    ProductQuantizer pq(16, 4, 4);
+    pq.train(data, 800);
+
+    std::stringstream buf;
+    savePq(buf, pq);
+    const auto loaded = loadPq(buf);
+
+    EXPECT_TRUE(loaded.isTrained());
+    EXPECT_EQ(loaded.dim(), pq.dim());
+    EXPECT_EQ(loaded.numSub(), pq.numSub());
+    EXPECT_EQ(loaded.nbits(), pq.nbits());
+    for (std::size_t s = 0; s < pq.numSub(); ++s) {
+        const auto a = pq.codebook(s);
+        const auto b = loaded.codebook(s);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_FLOAT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(Io, PqRoundTripPreservesEncodings)
+{
+    const auto data = gaussianData(600, 8, 2);
+    ProductQuantizer pq(8, 2, 8);
+    pq.train(data, 600);
+    std::stringstream buf;
+    savePq(buf, pq);
+    const auto loaded = loadPq(buf);
+
+    const auto codes_a = pq.encodeBatch(data, 600);
+    const auto codes_b = loaded.encodeBatch(data, 600);
+    ASSERT_EQ(codes_a.size(), codes_b.size());
+    for (std::size_t i = 0; i < codes_a.size(); ++i)
+        EXPECT_EQ(codes_a[i], codes_b[i]) << "code " << i;
+}
+
+TEST(Io, SaveUntrainedPqIsFatal)
+{
+    ProductQuantizer pq(8, 2, 4);
+    std::stringstream buf;
+    EXPECT_THROW(savePq(buf, pq), std::runtime_error);
+}
+
+TEST(Io, LoadPqRejectsBadMagic)
+{
+    std::stringstream buf;
+    buf << "not a pq file at all, definitely";
+    EXPECT_THROW(loadPq(buf), std::runtime_error);
+}
+
+TEST(Io, LoadPqRejectsTruncatedStream)
+{
+    const auto data = gaussianData(300, 8, 3);
+    ProductQuantizer pq(8, 2, 4);
+    pq.train(data, 300);
+    std::stringstream buf;
+    savePq(buf, pq);
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_THROW(loadPq(cut), std::runtime_error);
+}
+
+TEST(Io, FlatIndexRoundTripPreservesSearch)
+{
+    const auto data = gaussianData(500, 12, 4);
+    FlatIndex index(12);
+    index.add(data, 500);
+
+    std::stringstream buf;
+    saveFlatIndex(buf, index);
+    const auto loaded = loadFlatIndex(buf);
+
+    EXPECT_EQ(loaded.size(), index.size());
+    EXPECT_EQ(loaded.dim(), index.dim());
+    EXPECT_EQ(loaded.metric(), index.metric());
+    const auto q = gaussianData(1, 12, 5);
+    const auto a = index.search(q.data(), 10);
+    const auto b = loaded.search(q.data(), 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Io, FlatIndexInnerProductMetricSurvives)
+{
+    FlatIndex index(4, Metric::InnerProduct);
+    const auto data = gaussianData(20, 4, 6);
+    index.add(data, 20);
+    std::stringstream buf;
+    saveFlatIndex(buf, index);
+    const auto loaded = loadFlatIndex(buf);
+    EXPECT_EQ(loaded.metric(), Metric::InnerProduct);
+}
+
+TEST(Io, EmptyFlatIndexRoundTrips)
+{
+    FlatIndex index(8);
+    std::stringstream buf;
+    saveFlatIndex(buf, index);
+    const auto loaded = loadFlatIndex(buf);
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_EQ(loaded.dim(), 8u);
+}
+
+TEST(Io, CoarseQuantizerRoundTripPreservesProbes)
+{
+    const std::size_t nlist = 64, dim = 8;
+    auto centroids = gaussianData(nlist, dim, 7);
+    FlatCoarseQuantizer cq(centroids, nlist, dim);
+
+    std::stringstream buf;
+    saveCoarseQuantizer(buf, cq);
+    const auto loaded = loadCoarseQuantizer(buf);
+
+    EXPECT_EQ(loaded->nlist(), nlist);
+    EXPECT_EQ(loaded->dim(), dim);
+    const auto q = gaussianData(1, dim, 8);
+    const auto a = cq.probe(q.data(), 16);
+    const auto b = loaded->probe(q.data(), 16);
+    ASSERT_EQ(a.clusters.size(), b.clusters.size());
+    for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+        EXPECT_EQ(a.clusters[i], b.clusters[i]);
+        EXPECT_FLOAT_EQ(a.dists[i], b.dists[i]);
+    }
+}
+
+TEST(Io, LoadedCqRebuildsIdenticalIvfIndex)
+{
+    // The deployment path: persist the trained CQ, reload it, rebuild
+    // the inverted lists from raw vectors, and get identical routing.
+    const std::size_t nlist = 32, dim = 8, n = 1000;
+    auto centroids = gaussianData(nlist, dim, 9);
+    auto cq_a = std::make_shared<FlatCoarseQuantizer>(centroids, nlist,
+                                                      dim);
+    std::stringstream buf;
+    saveCoarseQuantizer(buf, *cq_a);
+    auto cq_b = loadCoarseQuantizer(buf);
+
+    const auto data = gaussianData(n, dim, 10);
+    IvfFlatIndex a(cq_a), b(cq_b);
+    a.add(data, n);
+    b.add(data, n);
+    for (cluster_id_t c = 0; c < static_cast<cluster_id_t>(nlist); ++c)
+        EXPECT_EQ(a.listSize(c), b.listSize(c)) << "cluster " << c;
+}
+
+TEST(Io, FromCodebooksValidatesSize)
+{
+    EXPECT_THROW(
+        ProductQuantizer::fromCodebooks(16, 4, 4, std::vector<float>(7)),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace vlr::vs

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for k-means training and assignment.
+ */
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "vecsearch/kmeans.h"
+#include "vecsearch/metric.h"
+
+namespace vlr::vs
+{
+namespace
+{
+
+/** Generate n points around k well-separated centers. */
+std::vector<float>
+clusteredData(Rng &rng, std::size_t n, std::size_t d, std::size_t k,
+              double spread = 0.05)
+{
+    std::vector<float> centers(k * d);
+    for (auto &x : centers)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    std::vector<float> data(n * d);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = rng.uniformU64(k);
+        for (std::size_t j = 0; j < d; ++j)
+            data[i * d + j] =
+                centers[c * d + j] +
+                static_cast<float>(rng.gaussian(0.0, spread));
+    }
+    return data;
+}
+
+TEST(KMeans, ProducesKCentroids)
+{
+    Rng rng(1);
+    const auto data = clusteredData(rng, 500, 8, 4);
+    KMeansParams p;
+    p.k = 4;
+    const auto res = kmeansTrain(data, 500, 8, p);
+    EXPECT_EQ(res.centroids.size(), 4u * 8u);
+    EXPECT_GT(res.iterations, 0);
+}
+
+TEST(KMeans, ObjectiveIsSmallOnSeparatedClusters)
+{
+    Rng rng(2);
+    const auto data = clusteredData(rng, 1000, 4, 8, 0.02);
+    KMeansParams p;
+    p.k = 8;
+    p.maxIters = 25;
+    const auto res = kmeansTrain(data, 1000, 4, p);
+    // Within-cluster spread is 0.02 per dim -> MSE ~ 4 * 0.02^2.
+    EXPECT_LT(res.objective, 0.01);
+}
+
+TEST(KMeans, MoreCentroidsLowerObjective)
+{
+    Rng rng(3);
+    const auto data = clusteredData(rng, 800, 6, 16, 0.2);
+    KMeansParams p4, p16;
+    p4.k = 4;
+    p16.k = 16;
+    p4.maxPointsPerCentroid = 0;
+    p16.maxPointsPerCentroid = 0;
+    const auto r4 = kmeansTrain(data, 800, 6, p4);
+    const auto r16 = kmeansTrain(data, 800, 6, p16);
+    EXPECT_LT(r16.objective, r4.objective);
+}
+
+TEST(KMeans, AssignMapsToNearestCentroid)
+{
+    Rng rng(4);
+    const auto data = clusteredData(rng, 300, 5, 3);
+    KMeansParams p;
+    p.k = 3;
+    const auto res = kmeansTrain(data, 300, 5, p);
+    const auto assign = kmeansAssign(data, 300, 5, res.centroids, 3);
+    ASSERT_EQ(assign.size(), 300u);
+    for (std::size_t i = 0; i < 300; ++i) {
+        const float *x = data.data() + i * 5;
+        float best = 1e30f;
+        std::int32_t bestc = -1;
+        for (std::int32_t c = 0; c < 3; ++c) {
+            const float dd = l2Sqr(x, res.centroids.data() + c * 5, 5);
+            if (dd < best) {
+                best = dd;
+                bestc = c;
+            }
+        }
+        EXPECT_EQ(assign[i], bestc) << "point " << i;
+    }
+}
+
+TEST(KMeans, AllClustersNonEmptyOnSeparatedData)
+{
+    Rng rng(5);
+    const auto data = clusteredData(rng, 1000, 4, 10, 0.02);
+    KMeansParams p;
+    p.k = 10;
+    p.maxIters = 30;
+    p.maxPointsPerCentroid = 0;
+    const auto res = kmeansTrain(data, 1000, 4, p);
+    const auto assign = kmeansAssign(data, 1000, 4, res.centroids, 10);
+    std::set<std::int32_t> used(assign.begin(), assign.end());
+    EXPECT_EQ(used.size(), 10u);
+}
+
+TEST(KMeans, DeterministicForFixedSeed)
+{
+    Rng rng(6);
+    const auto data = clusteredData(rng, 400, 8, 4);
+    KMeansParams p;
+    p.k = 4;
+    p.seed = 77;
+    const auto a = kmeansTrain(data, 400, 8, p);
+    const auto b = kmeansTrain(data, 400, 8, p);
+    ASSERT_EQ(a.centroids.size(), b.centroids.size());
+    for (std::size_t i = 0; i < a.centroids.size(); ++i)
+        EXPECT_FLOAT_EQ(a.centroids[i], b.centroids[i]);
+}
+
+TEST(KMeans, ParallelMatchesSerial)
+{
+    Rng rng(7);
+    const auto data = clusteredData(rng, 600, 8, 6);
+    KMeansParams p;
+    p.k = 6;
+    p.seed = 3;
+    ThreadPool pool(4);
+    const auto serial = kmeansTrain(data, 600, 8, p, nullptr);
+    const auto parallel = kmeansTrain(data, 600, 8, p, &pool);
+    ASSERT_EQ(serial.centroids.size(), parallel.centroids.size());
+    for (std::size_t i = 0; i < serial.centroids.size(); ++i)
+        EXPECT_NEAR(serial.centroids[i], parallel.centroids[i], 1e-3f);
+}
+
+TEST(KMeans, KEqualsNReproducesPoints)
+{
+    // With k == n every point becomes its own centroid.
+    Rng rng(8);
+    std::vector<float> data = {0.f, 0.f, 1.f, 1.f, 2.f, 2.f};
+    KMeansParams p;
+    p.k = 3;
+    p.maxPointsPerCentroid = 0;
+    const auto res = kmeansTrain(data, 3, 2, p);
+    const auto assign = kmeansAssign(data, 3, 2, res.centroids, 3);
+    std::set<std::int32_t> used(assign.begin(), assign.end());
+    EXPECT_EQ(used.size(), 3u);
+    // Objective should be ~0.
+    EXPECT_LT(res.objective, 1e-9);
+}
+
+TEST(KMeans, SubsamplingStillConverges)
+{
+    Rng rng(9);
+    const auto data = clusteredData(rng, 4000, 4, 4, 0.02);
+    KMeansParams p;
+    p.k = 4;
+    p.maxPointsPerCentroid = 64; // trains on <= 256 points
+    const auto res = kmeansTrain(data, 4000, 4, p);
+    // Assignment over the full data still lands near the true spread.
+    const auto assign = kmeansAssign(data, 4000, 4, res.centroids, 4);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < 4000; ++i)
+        mse += l2Sqr(data.data() + i * 4,
+                     res.centroids.data() + assign[i] * 4, 4);
+    mse /= 4000;
+    EXPECT_LT(mse, 0.05);
+}
+
+/** Objective never increases with more iterations. */
+class KMeansItersTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KMeansItersTest, ObjectiveMonotoneInIterations)
+{
+    Rng rng(10);
+    const auto data = clusteredData(rng, 500, 6, 8, 0.3);
+    KMeansParams base;
+    base.k = 8;
+    base.tol = 0.0;
+    base.maxPointsPerCentroid = 0;
+    KMeansParams more = base;
+    more.maxIters = GetParam() + 5;
+    base.maxIters = GetParam();
+    const auto a = kmeansTrain(data, 500, 6, base);
+    const auto b = kmeansTrain(data, 500, 6, more);
+    EXPECT_LE(b.objective, a.objective + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KMeansItersTest,
+                         ::testing::Values(1, 2, 5, 10));
+
+} // namespace
+} // namespace vlr::vs

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Tests for the LLM serving simulator: model configs, paged KV cache,
+ * roofline performance model, continuous-batching engine and cluster.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "llmsim/cluster.h"
+#include "llmsim/engine.h"
+#include "llmsim/kv_cache.h"
+#include "llmsim/model_config.h"
+#include "llmsim/perf_model.h"
+#include "simcore/simulator.h"
+#include "simgpu/gpu_device.h"
+
+namespace vlr::llm
+{
+namespace
+{
+
+TEST(ModelConfig, PresetsExist)
+{
+    EXPECT_NEAR(llama3_8b().paramCount, 8e9, 1e9);
+    EXPECT_NEAR(qwen3_32b().paramCount, 32.8e9, 2e9);
+    EXPECT_NEAR(llama3_70b().paramCount, 70e9, 2e9);
+    EXPECT_EQ(llama3_8b().tensorParallel, 1);
+    EXPECT_EQ(qwen3_32b().tensorParallel, 2);
+    EXPECT_EQ(llama3_70b().tensorParallel, 4);
+}
+
+TEST(ModelConfig, WeightBytesAreTwoPerParam)
+{
+    const auto cfg = llama3_8b();
+    EXPECT_EQ(cfg.weightBytes(),
+              static_cast<bytes_t>(cfg.paramCount * 2.0));
+}
+
+TEST(ModelConfig, KvBytesPerTokenFormula)
+{
+    const auto cfg = llama3_8b();
+    // 2 (K+V) * layers * kv_heads * head_dim * 2 bytes.
+    const bytes_t expect = 2ULL * cfg.numLayers * cfg.numKvHeads *
+                           cfg.headDim * 2ULL;
+    EXPECT_EQ(cfg.kvBytesPerToken(), expect);
+}
+
+TEST(ModelConfig, MoeHasFewerActiveParams)
+{
+    const auto moe = qwen3_30b_moe();
+    EXPECT_LT(moe.activeParamCount, moe.paramCount);
+}
+
+TEST(ModelConfig, LookupByName)
+{
+    EXPECT_EQ(llmConfigByName("llama3-8b").name, llama3_8b().name);
+    EXPECT_EQ(llmConfigByName("qwen3-32b").name, qwen3_32b().name);
+    EXPECT_EQ(llmConfigByName("llama3-70b").name, llama3_70b().name);
+    EXPECT_THROW(llmConfigByName("gpt-17"), std::runtime_error);
+}
+
+// --- PagedKvCache -------------------------------------------------------
+
+TEST(KvCache, BlockArithmetic)
+{
+    // 1 MiB capacity, 1 KiB per token, 16-token blocks => 64 blocks.
+    PagedKvCache kv(1_MiB, 1_KiB, 16);
+    EXPECT_EQ(kv.totalBlocks(), 64u);
+    EXPECT_EQ(kv.blockTokens(), 16u);
+    EXPECT_EQ(kv.blocksForTokens(1), 1u);
+    EXPECT_EQ(kv.blocksForTokens(16), 1u);
+    EXPECT_EQ(kv.blocksForTokens(17), 2u);
+    EXPECT_EQ(kv.blocksForTokens(0), 0u);
+}
+
+TEST(KvCache, MaxConcurrentSequences)
+{
+    PagedKvCache kv(1_MiB, 1_KiB, 16);
+    // 1280 tokens/seq -> 80 blocks -> 64/80 -> 0... use smaller seq:
+    // 160 tokens -> 10 blocks -> 6 sequences fit.
+    EXPECT_EQ(kv.maxConcurrentSequences(160), 6u);
+}
+
+TEST(KvCache, ReserveAndRelease)
+{
+    PagedKvCache kv(1_MiB, 1_KiB, 16);
+    EXPECT_TRUE(kv.tryReserve(60));
+    EXPECT_EQ(kv.usedBlocks(), 60u);
+    EXPECT_EQ(kv.freeBlocks(), 4u);
+    EXPECT_FALSE(kv.tryReserve(5)); // only 4 free
+    EXPECT_EQ(kv.usedBlocks(), 60u); // unchanged on failure
+    kv.release(30);
+    EXPECT_TRUE(kv.tryReserve(5));
+}
+
+TEST(KvCache, UtilizationFraction)
+{
+    PagedKvCache kv(1_MiB, 1_KiB, 16);
+    kv.tryReserve(32);
+    EXPECT_NEAR(kv.utilization(), 0.5, 1e-12);
+}
+
+// --- LlmPerfModel -------------------------------------------------------
+
+TEST(PerfModel, PrefillScalesWithTokens)
+{
+    LlmPerfModel m(llama3_8b(), gpu::h100Spec(), 1);
+    const double t1 = m.prefillSeconds(512);
+    const double t2 = m.prefillSeconds(1024);
+    EXPECT_GT(t2, t1);
+    // Compute-bound: roughly linear in tokens.
+    EXPECT_NEAR(t2 / t1, 2.0, 0.4);
+}
+
+TEST(PerfModel, DecodeScalesWithContext)
+{
+    LlmPerfModel m(llama3_8b(), gpu::h100Spec(), 1);
+    const double small = m.decodeSeconds(8, 8 * 1024.0);
+    const double large = m.decodeSeconds(8, 8 * 16384.0);
+    EXPECT_GT(large, small);
+}
+
+TEST(PerfModel, TensorParallelSpeedsUpPrefill)
+{
+    LlmPerfModel tp1(llama3_70b(), gpu::h100Spec(), 1);
+    LlmPerfModel tp4(llama3_70b(), gpu::h100Spec(), 4);
+    EXPECT_LT(tp4.prefillSeconds(1024), tp1.prefillSeconds(1024));
+}
+
+TEST(PerfModel, StepOverheadPositive)
+{
+    LlmPerfModel m(qwen3_32b(), gpu::h100Spec(), 2);
+    EXPECT_GT(m.stepOverheadSeconds(), 0.0);
+    // Decode of an empty batch still costs at least the overhead.
+    EXPECT_GE(m.decodeSeconds(1, 1024.0), m.stepOverheadSeconds());
+}
+
+TEST(PerfModel, BiggerModelIsSlower)
+{
+    LlmPerfModel small(llama3_8b(), gpu::h100Spec(), 1);
+    LlmPerfModel big(llama3_70b(), gpu::h100Spec(), 1);
+    EXPECT_GT(big.prefillSeconds(1024), small.prefillSeconds(1024));
+    EXPECT_GT(big.decodeSeconds(4, 4096.0),
+              small.decodeSeconds(4, 4096.0));
+}
+
+// --- LlmEngine ------------------------------------------------------------
+
+struct EngineFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dev_ = std::make_unique<gpu::GpuDevice>(0, gpu::h100Spec());
+        gpus_ = {dev_.get()};
+    }
+
+    LlmRequestPtr
+    makeRequest(std::uint64_t id, double arrival = 0.0,
+                std::size_t prompt = 1024, std::size_t output = 32)
+    {
+        auto req = std::make_shared<LlmRequest>();
+        req->id = id;
+        req->arrivalTime = arrival;
+        req->enqueueTime = arrival;
+        req->promptTokens = prompt;
+        req->outputTokens = output;
+        return req;
+    }
+
+    sim::Simulator sim_;
+    std::unique_ptr<gpu::GpuDevice> dev_;
+    std::vector<gpu::GpuDevice *> gpus_;
+};
+
+TEST_F(EngineFixture, SingleRequestCompletes)
+{
+    LlmEngine engine(sim_, gpus_, llama3_8b());
+    auto req = makeRequest(1);
+    engine.enqueue(req);
+    sim_.run();
+    EXPECT_TRUE(req->done());
+    EXPECT_GE(req->firstTokenTime, 0.0);
+    EXPECT_GT(req->finishTime, req->firstTokenTime);
+    EXPECT_EQ(req->generated, 32u);
+    EXPECT_EQ(engine.completedCount(), 1u);
+}
+
+TEST_F(EngineFixture, TimelineOrdering)
+{
+    LlmEngine engine(sim_, gpus_, llama3_8b());
+    auto req = makeRequest(1, 0.0);
+    engine.enqueue(req);
+    sim_.run();
+    EXPECT_GE(req->prefillStartTime, req->enqueueTime);
+    EXPECT_GE(req->firstTokenTime, req->prefillStartTime);
+    EXPECT_GT(req->prefillSeconds, 0.0);
+}
+
+TEST_F(EngineFixture, FirstTokenCallbackFires)
+{
+    LlmEngine engine(sim_, gpus_, llama3_8b());
+    int first = 0, finish = 0;
+    engine.onFirstToken = [&](const LlmRequestPtr &) { ++first; };
+    engine.onFinish = [&](const LlmRequestPtr &) { ++finish; };
+    engine.enqueue(makeRequest(1));
+    engine.enqueue(makeRequest(2));
+    sim_.run();
+    EXPECT_EQ(first, 2);
+    EXPECT_EQ(finish, 2);
+}
+
+TEST_F(EngineFixture, ContinuousBatchingSharesDecodes)
+{
+    // Two concurrent requests must finish sooner than strictly serial
+    // execution of the two.
+    LlmEngine engine(sim_, gpus_, llama3_8b());
+    auto a = makeRequest(1, 0.0, 512, 64);
+    auto b = makeRequest(2, 0.0, 512, 64);
+    engine.enqueue(a);
+    engine.enqueue(b);
+    sim_.run();
+
+    sim::Simulator sim2;
+    gpu::GpuDevice dev2(0, gpu::h100Spec());
+    std::vector<gpu::GpuDevice *> gpus2 = {&dev2};
+    LlmEngine serial(sim2, gpus2, llama3_8b());
+    auto c = makeRequest(3, 0.0, 512, 64);
+    serial.enqueue(c);
+    sim2.run();
+    const double single = c->finishTime;
+    EXPECT_LT(std::max(a->finishTime, b->finishTime), 2.0 * single);
+}
+
+TEST_F(EngineFixture, KvPressureLimitsConcurrency)
+{
+    // Tiny KV space: requests must wait for blocks.
+    auto cfg = llama3_8b();
+    gpu::GpuSpec spec = gpu::h100Spec();
+    gpu::GpuDevice dev(0, spec);
+    // Consume most memory with a huge index shard.
+    const bytes_t kv_for_two =
+        cfg.kvBytesPerToken() * (1024 + 32) * 2;
+    dev.setIndexBytes(dev.kvCacheBytes() - cfg.weightBytes() -
+                      kv_for_two);
+    std::vector<gpu::GpuDevice *> gpus = {&dev};
+    LlmEngine engine(sim_, gpus, cfg);
+    EXPECT_LE(engine.kvCache().maxConcurrentSequences(1024 + 32), 2u);
+
+    std::vector<LlmRequestPtr> reqs;
+    for (int i = 0; i < 6; ++i) {
+        reqs.push_back(makeRequest(i));
+        engine.enqueue(reqs.back());
+    }
+    sim_.run();
+    for (const auto &r : reqs)
+        EXPECT_TRUE(r->done());
+}
+
+TEST_F(EngineFixture, RetrievalContentionSlowsSteps)
+{
+    // Saturate the GPU with retrieval occupancy for a long window; the
+    // same workload must take longer than on an idle GPU.
+    auto run_with_occupancy = [&](double occ) {
+        sim::Simulator sim;
+        gpu::GpuDevice dev(0, gpu::h100Spec());
+        if (occ > 0.0)
+            dev.addRetrievalInterval(0.0, 1e3, occ);
+        std::vector<gpu::GpuDevice *> gpus = {&dev};
+        LlmEngine engine(sim, gpus, llama3_8b());
+        auto req = std::make_shared<LlmRequest>();
+        req->promptTokens = 1024;
+        req->outputTokens = 64;
+        engine.enqueue(req);
+        sim.run();
+        return req->finishTime;
+    };
+    const double idle = run_with_occupancy(0.0);
+    const double contended = run_with_occupancy(0.8);
+    EXPECT_GT(contended, idle * 1.2);
+}
+
+TEST_F(EngineFixture, RefreshKvCapacityReflectsIndexChange)
+{
+    LlmEngine engine(sim_, gpus_, llama3_8b());
+    const auto blocks_before = engine.kvCache().totalBlocks();
+    dev_->setIndexBytes(10_GiB);
+    engine.refreshKvCapacity();
+    EXPECT_LT(engine.kvCache().totalBlocks(), blocks_before);
+}
+
+// --- LlmCluster ------------------------------------------------------------
+
+TEST(LlmCluster, TensorParallelGrouping)
+{
+    sim::Simulator sim;
+    std::vector<std::unique_ptr<gpu::GpuDevice>> devs;
+    std::vector<gpu::GpuDevice *> ptrs;
+    for (int i = 0; i < 8; ++i) {
+        devs.push_back(
+            std::make_unique<gpu::GpuDevice>(i, gpu::h100Spec()));
+        ptrs.push_back(devs.back().get());
+    }
+    LlmCluster tp4(sim, ptrs, llama3_70b()); // TP=4 -> 2 instances
+    EXPECT_EQ(tp4.numInstances(), 2u);
+
+    LlmCluster tp1(sim, ptrs, llama3_8b()); // TP=1 -> 8 instances
+    EXPECT_EQ(tp1.numInstances(), 8u);
+}
+
+TEST(LlmCluster, LeftoverGpusStayIdle)
+{
+    sim::Simulator sim;
+    std::vector<std::unique_ptr<gpu::GpuDevice>> devs;
+    std::vector<gpu::GpuDevice *> ptrs;
+    for (int i = 0; i < 7; ++i) { // 7 GPUs, TP=4 -> 1 instance
+        devs.push_back(
+            std::make_unique<gpu::GpuDevice>(i, gpu::h100Spec()));
+        ptrs.push_back(devs.back().get());
+    }
+    LlmCluster cluster(sim, ptrs, llama3_70b());
+    EXPECT_EQ(cluster.numInstances(), 1u);
+}
+
+TEST(LlmCluster, DispatchBalancesLoad)
+{
+    sim::Simulator sim;
+    std::vector<std::unique_ptr<gpu::GpuDevice>> devs;
+    std::vector<gpu::GpuDevice *> ptrs;
+    for (int i = 0; i < 2; ++i) {
+        devs.push_back(
+            std::make_unique<gpu::GpuDevice>(i, gpu::h100Spec()));
+        ptrs.push_back(devs.back().get());
+    }
+    LlmCluster cluster(sim, ptrs, llama3_8b()); // 2 instances
+    int finished = 0;
+    cluster.setOnFinish([&](const LlmRequestPtr &) { ++finished; });
+    for (int i = 0; i < 10; ++i) {
+        auto req = std::make_shared<LlmRequest>();
+        req->id = i;
+        req->promptTokens = 512;
+        req->outputTokens = 16;
+        cluster.dispatch(req);
+    }
+    // Both instances must have received work.
+    EXPECT_GT(cluster.engine(0).load() + cluster.engine(0).runningCount(),
+              0u);
+    EXPECT_GT(cluster.engine(1).load() + cluster.engine(1).runningCount(),
+              0u);
+    sim.run();
+    EXPECT_EQ(finished, 10);
+    EXPECT_EQ(cluster.completedCount(), 10u);
+}
+
+// --- measurePeakThroughput --------------------------------------------------
+
+TEST(PeakThroughput, PositiveAndOrdered)
+{
+    const double small = measurePeakThroughput(
+        llama3_8b(), gpu::l40sSpec(), 8, 1024, 256, 128);
+    EXPECT_GT(small, 1.0);
+    // 70B on the same node must be slower than 8B.
+    const double big = measurePeakThroughput(
+        llama3_70b(), gpu::h100Spec(), 8, 1024, 256, 128);
+    const double small_h100 = measurePeakThroughput(
+        llama3_8b(), gpu::h100Spec(), 8, 1024, 256, 128);
+    EXPECT_LT(big, small_h100);
+}
+
+TEST(PeakThroughput, MoreGpusMoreThroughput)
+{
+    const double four = measurePeakThroughput(
+        qwen3_32b(), gpu::h100Spec(), 4, 1024, 256, 128);
+    const double eight = measurePeakThroughput(
+        qwen3_32b(), gpu::h100Spec(), 8, 1024, 256, 128);
+    EXPECT_GT(eight, four * 1.5);
+}
+
+TEST(PeakThroughput, LongerOutputsLowerThroughput)
+{
+    const double short_out = measurePeakThroughput(
+        llama3_8b(), gpu::h100Spec(), 2, 1024, 128, 128);
+    const double long_out = measurePeakThroughput(
+        llama3_8b(), gpu::h100Spec(), 2, 1024, 512, 128);
+    EXPECT_GT(short_out, long_out);
+}
+
+} // namespace
+} // namespace vlr::llm

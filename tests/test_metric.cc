@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the distance kernels: SIMD vs scalar agreement, metric
+ * semantics and batched distance computation.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vecsearch/metric.h"
+
+namespace vlr::vs
+{
+namespace
+{
+
+std::vector<float>
+randomVector(Rng &rng, std::size_t d)
+{
+    std::vector<float> v(d);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    return v;
+}
+
+TEST(Metric, L2OfIdenticalVectorsIsZero)
+{
+    Rng rng(1);
+    const auto v = randomVector(rng, 33);
+    EXPECT_FLOAT_EQ(l2Sqr(v.data(), v.data(), v.size()), 0.f);
+}
+
+TEST(Metric, L2KnownValue)
+{
+    const float a[] = {1.f, 2.f, 3.f};
+    const float b[] = {4.f, 6.f, 3.f};
+    EXPECT_FLOAT_EQ(l2Sqr(a, b, 3), 9.f + 16.f + 0.f);
+}
+
+TEST(Metric, InnerProductKnownValue)
+{
+    const float a[] = {1.f, 2.f, 3.f};
+    const float b[] = {4.f, 5.f, 6.f};
+    EXPECT_FLOAT_EQ(innerProduct(a, b, 3), 32.f);
+}
+
+TEST(Metric, L2IsSymmetric)
+{
+    Rng rng(2);
+    const auto a = randomVector(rng, 48);
+    const auto b = randomVector(rng, 48);
+    EXPECT_FLOAT_EQ(l2Sqr(a.data(), b.data(), 48),
+                    l2Sqr(b.data(), a.data(), 48));
+}
+
+TEST(Metric, ComparableDistanceL2IsPlain)
+{
+    Rng rng(3);
+    const auto a = randomVector(rng, 16);
+    const auto b = randomVector(rng, 16);
+    EXPECT_FLOAT_EQ(comparableDistance(Metric::L2, a.data(), b.data(), 16),
+                    l2Sqr(a.data(), b.data(), 16));
+}
+
+TEST(Metric, ComparableDistanceIpIsNegated)
+{
+    Rng rng(4);
+    const auto a = randomVector(rng, 16);
+    const auto b = randomVector(rng, 16);
+    EXPECT_FLOAT_EQ(
+        comparableDistance(Metric::InnerProduct, a.data(), b.data(), 16),
+        -innerProduct(a.data(), b.data(), 16));
+}
+
+TEST(Metric, DistancesToManyMatchesLoop)
+{
+    Rng rng(5);
+    const std::size_t d = 24, n = 17;
+    const auto q = randomVector(rng, d);
+    std::vector<float> base;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto v = randomVector(rng, d);
+        base.insert(base.end(), v.begin(), v.end());
+    }
+    std::vector<float> out(n);
+    distancesToMany(Metric::L2, q.data(), base.data(), n, d, out.data());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(out[i], l2Sqr(q.data(), base.data() + i * d, d),
+                    1e-4f * (1.f + std::abs(out[i])));
+}
+
+TEST(Metric, DistancesToManyInnerProduct)
+{
+    Rng rng(6);
+    const std::size_t d = 8, n = 5;
+    const auto q = randomVector(rng, d);
+    std::vector<float> base;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto v = randomVector(rng, d);
+        base.insert(base.end(), v.begin(), v.end());
+    }
+    std::vector<float> out(n);
+    distancesToMany(Metric::InnerProduct, q.data(), base.data(), n, d,
+                    out.data());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(out[i],
+                    -innerProduct(q.data(), base.data() + i * d, d), 1e-4f);
+}
+
+/**
+ * SIMD and scalar kernels must agree to floating-point reassociation
+ * tolerance across a sweep of dimensions, including non-multiples of
+ * the vector width.
+ */
+class MetricKernelTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MetricKernelTest, SimdMatchesScalarL2)
+{
+    const std::size_t d = GetParam();
+    Rng rng(100 + d);
+    const auto a = randomVector(rng, d);
+    const auto b = randomVector(rng, d);
+    const float simd = l2Sqr(a.data(), b.data(), d);
+    const float scalar = l2SqrScalar(a.data(), b.data(), d);
+    EXPECT_NEAR(simd, scalar, 1e-4f * (1.f + std::abs(scalar)));
+}
+
+TEST_P(MetricKernelTest, SimdMatchesScalarIp)
+{
+    const std::size_t d = GetParam();
+    Rng rng(200 + d);
+    const auto a = randomVector(rng, d);
+    const auto b = randomVector(rng, d);
+    const float simd = innerProduct(a.data(), b.data(), d);
+    const float scalar = innerProductScalar(a.data(), b.data(), d);
+    EXPECT_NEAR(simd, scalar, 1e-4f * (1.f + std::abs(scalar)));
+}
+
+INSTANTIATE_TEST_SUITE_P(DimSweep, MetricKernelTest,
+                         ::testing::Values(1, 3, 7, 8, 15, 16, 17, 31, 32,
+                                           48, 64, 100, 128, 768));
+
+} // namespace
+} // namespace vlr::vs

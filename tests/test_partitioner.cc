@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the latency-bounded partitioning algorithm (Algorithm 1).
+ */
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/context.h"
+#include "core/partitioner.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+struct PartitionerFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        ctx_ = std::make_unique<DatasetContext>(wl::tinySpec());
+        partitioner_ = std::make_unique<LatencyBoundedPartitioner>(
+            ctx_->perfModel(), ctx_->estimator(), ctx_->profile());
+    }
+
+    PartitionInputs
+    inputs(double slo = 0.1, double mu = 20.0) const
+    {
+        PartitionInputs in;
+        in.sloSearchSeconds = slo;
+        in.peakLlmThroughput = mu;
+        in.kvBaselineBytes = 60e9;
+        return in;
+    }
+
+    std::unique_ptr<DatasetContext> ctx_;
+    std::unique_ptr<LatencyBoundedPartitioner> partitioner_;
+};
+
+TEST_F(PartitionerFixture, ConvergesWithinIterationBudget)
+{
+    const auto res = partitioner_->partition(inputs());
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, inputs().maxIterations);
+    EXPECT_GE(res.rho, 0.0);
+    EXPECT_LE(res.rho, 1.0);
+    EXPECT_FALSE(res.trace.empty());
+}
+
+TEST_F(PartitionerFixture, TauSIsSloOverOnePlusEpsilon)
+{
+    auto in = inputs(0.2);
+    in.epsilon = 1.0;
+    const auto res = partitioner_->partition(in);
+    EXPECT_NEAR(res.tauS, 0.1, 1e-12);
+    in.epsilon = 0.5;
+    const auto res2 = partitioner_->partition(in);
+    EXPECT_NEAR(res2.tauS, 0.2 / 1.5, 1e-12);
+}
+
+TEST_F(PartitionerFixture, SelectedRhoMeetsLatencyUnderModel)
+{
+    const auto res = partitioner_->partition(inputs());
+    const double b = std::max(1.0, std::ceil(res.expectedBatch));
+    const double eta =
+        ctx_->estimator().etaMin(res.rho,
+                                 static_cast<std::size_t>(b));
+    const double latency = ctx_->perfModel().hybridLatency(b, eta);
+    EXPECT_LE(latency, res.tauS * 1.10); // 10% modeling slack
+}
+
+TEST_F(PartitionerFixture, TighterSloNeedsMoreCoverage)
+{
+    // Paper Table II: stricter SLO -> larger GPU index share.
+    const auto strict = partitioner_->partition(inputs(0.06));
+    const auto loose = partitioner_->partition(inputs(0.16));
+    EXPECT_GE(strict.rho, loose.rho - 0.01);
+    EXPECT_GE(strict.indexBytes, loose.indexBytes - 1e6);
+}
+
+TEST_F(PartitionerFixture, VeryLooseSloNeedsLittleOrNoGpu)
+{
+    // An SLO far above the CPU-only latency requires no cache at all.
+    const double cpu_latency = ctx_->perfModel().tSearch(32.0);
+    const auto res = partitioner_->partition(inputs(4.0 * cpu_latency));
+    EXPECT_LT(res.rho, 0.05);
+}
+
+TEST_F(PartitionerFixture, ThroughputReducedByIndexFootprint)
+{
+    const auto res = partitioner_->partition(inputs());
+    EXPECT_LE(res.throughputBound, inputs().peakLlmThroughput + 1e-9);
+    if (res.indexBytes > 0.0)
+        EXPECT_LT(res.throughputBound, inputs().peakLlmThroughput);
+}
+
+TEST_F(PartitionerFixture, HigherLoadGrowsBatchEstimate)
+{
+    const auto lo = partitioner_->partition(inputs(0.1, 10.0));
+    const auto hi = partitioner_->partition(inputs(0.1, 40.0));
+    EXPECT_GT(hi.expectedBatch, lo.expectedBatch);
+}
+
+TEST_F(PartitionerFixture, InferPartitionBoundsCoverage)
+{
+    const double rho = partitioner_->inferPartition(0.08, 20.0);
+    EXPECT_GE(rho, 0.0);
+    EXPECT_LE(rho, 1.0);
+}
+
+TEST_F(PartitionerFixture, InferPartitionTighterTauNeedsMore)
+{
+    const double tight = partitioner_->inferPartition(0.05, 20.0);
+    const double loose = partitioner_->inferPartition(0.15, 20.0);
+    EXPECT_GE(tight, loose - 0.01);
+}
+
+TEST_F(PartitionerFixture, EtaMinConsistentWithEstimator)
+{
+    const auto res = partitioner_->partition(inputs());
+    if (res.expectedBatch >= 1.0) {
+        const auto b = static_cast<std::size_t>(
+            std::ceil(res.expectedBatch));
+        EXPECT_NEAR(res.expectedEtaMin,
+                    ctx_->estimator().etaMin(res.rho, b), 0.05);
+    }
+}
+
+TEST_F(PartitionerFixture, IndexBytesMatchProfile)
+{
+    const auto res = partitioner_->partition(inputs());
+    EXPECT_NEAR(res.indexBytes, ctx_->profile().indexBytes(res.rho),
+                1e-6 * (1.0 + res.indexBytes));
+}
+
+/** SLO sweep reproducing Table II's qualitative shape. */
+class PartitionerSloSweep : public ::testing::TestWithParam<double>
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ctx_ = new DatasetContext(wl::tinySpec());
+        partitioner_ = new LatencyBoundedPartitioner(
+            ctx_->perfModel(), ctx_->estimator(), ctx_->profile());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete partitioner_;
+        partitioner_ = nullptr;
+        delete ctx_;
+        ctx_ = nullptr;
+    }
+
+    static DatasetContext *ctx_;
+    static LatencyBoundedPartitioner *partitioner_;
+};
+
+DatasetContext *PartitionerSloSweep::ctx_ = nullptr;
+LatencyBoundedPartitioner *PartitionerSloSweep::partitioner_ = nullptr;
+
+TEST_P(PartitionerSloSweep, ConvergesAcrossSloRange)
+{
+    PartitionInputs in;
+    in.sloSearchSeconds = GetParam();
+    in.peakLlmThroughput = 25.0;
+    in.kvBaselineBytes = 60e9;
+    const auto res = partitioner_->partition(in);
+    EXPECT_TRUE(res.converged) << "slo " << GetParam();
+    EXPECT_GE(res.rho, 0.0);
+    EXPECT_LE(res.rho, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionerSloSweep,
+                         ::testing::Values(0.05, 0.08, 0.10, 0.15, 0.20,
+                                           0.25));
+
+} // namespace
+} // namespace vlr::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the profiled search performance model (Eq. 1 machinery).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+const std::vector<std::size_t> kBatches = {1, 2, 4, 6, 8, 12, 16, 24, 32};
+
+gpu::CpuSearchModel
+truthModel()
+{
+    gpu::CpuSearchParams p;
+    p.cqFixedSeconds = 0.012;
+    p.cqPerQuerySeconds = 0.0009;
+    p.lutFixedSeconds = 0.065;
+    p.lutPerQuerySeconds = 0.0045;
+    return gpu::CpuSearchModel(gpu::xeon8462Spec(), p);
+}
+
+TEST(PerfModel, NoiselessProfileReproducesTruth)
+{
+    const auto truth = truthModel();
+    const auto m = SearchPerfModel::profile(truth, kBatches, 0.0);
+    for (const std::size_t b : kBatches) {
+        EXPECT_NEAR(m.tCq(static_cast<double>(b)), truth.cqSeconds(b),
+                    1e-9)
+            << "batch " << b;
+        EXPECT_NEAR(m.tLut(static_cast<double>(b)), truth.lutSeconds(b),
+                    1e-9)
+            << "batch " << b;
+    }
+}
+
+TEST(PerfModel, NoisyProfileStaysClose)
+{
+    const auto truth = truthModel();
+    const auto m = SearchPerfModel::profile(truth, kBatches, 0.02, 7, 5);
+    for (const std::size_t b : kBatches) {
+        const double t = truth.searchSeconds(b, 0.0);
+        EXPECT_NEAR(m.tSearch(static_cast<double>(b)), t, 0.05 * t)
+            << "batch " << b;
+    }
+}
+
+TEST(PerfModel, InterpolatesBetweenProfiledBatches)
+{
+    const auto truth = truthModel();
+    const auto m = SearchPerfModel::profile(truth, kBatches, 0.0);
+    // Batch 10 was not profiled; affine truth interpolates exactly.
+    EXPECT_NEAR(m.tCq(10.0), truth.cqSeconds(10), 1e-9);
+    EXPECT_NEAR(m.tLut(10.0), truth.lutSeconds(10), 1e-9);
+}
+
+TEST(PerfModel, ExtrapolatesBeyondProfiledRange)
+{
+    const auto truth = truthModel();
+    const auto m = SearchPerfModel::profile(truth, kBatches, 0.0);
+    EXPECT_NEAR(m.tLut(64.0), truth.lutSeconds(64), 1e-6);
+}
+
+TEST(PerfModel, HybridLatencyImplementsEq1)
+{
+    const auto truth = truthModel();
+    const auto m = SearchPerfModel::profile(truth, kBatches, 0.0);
+    const double b = 8.0;
+    for (double eta : {0.0, 0.25, 0.5, 0.75, 1.0})
+        EXPECT_NEAR(m.hybridLatency(b, eta),
+                    m.tCq(b) + (1.0 - eta) * m.tLut(b), 1e-12);
+}
+
+TEST(PerfModel, HybridLatencyMonotoneInHitRate)
+{
+    const auto m = SearchPerfModel::profile(truthModel(), kBatches, 0.0);
+    double prev = 1e9;
+    for (double eta = 0.0; eta <= 1.0; eta += 0.1) {
+        const double t = m.hybridLatency(8.0, eta);
+        EXPECT_LE(t, prev + 1e-12);
+        prev = t;
+    }
+}
+
+TEST(PerfModel, RequiredEtaMinInvertsHybridLatency)
+{
+    const auto m = SearchPerfModel::profile(truthModel(), kBatches, 0.0);
+    const double b = 12.0;
+    for (double eta : {0.1, 0.4, 0.8}) {
+        const double tau = m.hybridLatency(b, eta);
+        EXPECT_NEAR(m.requiredEtaMin(b, tau), eta, 1e-9);
+    }
+}
+
+TEST(PerfModel, RequiredEtaMinSignalsInfeasible)
+{
+    const auto m = SearchPerfModel::profile(truthModel(), kBatches, 0.0);
+    // Tighter than even a fully cached search (tau < T_CQ) -> eta > 1.
+    const double tau = 0.5 * m.tCq(8.0);
+    EXPECT_GT(m.requiredEtaMin(8.0, tau), 1.0);
+    // Looser than a full miss -> eta < 0 ("free").
+    EXPECT_LT(m.requiredEtaMin(8.0, 10.0), 0.0);
+}
+
+TEST(PerfModel, ModelsAreNonDecreasing)
+{
+    const auto m = SearchPerfModel::profile(truthModel(), kBatches, 0.0);
+    EXPECT_TRUE(m.cqModel().isNonDecreasing());
+    EXPECT_TRUE(m.lutModel().isNonDecreasing());
+}
+
+TEST(PerfModel, RepeatsReduceNoise)
+{
+    const auto truth = truthModel();
+    // Aggregate absolute error of 1-repeat vs 31-repeat profiles over a
+    // few seeds: more repeats must not be worse on average.
+    double err1 = 0.0, err31 = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto noisy1 =
+            SearchPerfModel::profile(truth, kBatches, 0.1, seed, 1);
+        const auto noisy31 =
+            SearchPerfModel::profile(truth, kBatches, 0.1, seed, 31);
+        for (const std::size_t b : kBatches) {
+            const double t = truth.searchSeconds(b, 0.0);
+            err1 += std::abs(noisy1.tSearch(b) - t);
+            err31 += std::abs(noisy31.tSearch(b) - t);
+        }
+    }
+    EXPECT_LT(err31, err1);
+}
+
+} // namespace
+} // namespace vlr::core

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the piecewise-linear latency model used by the profiled
+ * performance model (paper Fig. 8 left).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/piecewise_linear.h"
+
+namespace vlr
+{
+namespace
+{
+
+PiecewiseLinearModel
+makeModel(std::vector<PlKnot> knots)
+{
+    return PiecewiseLinearModel::fit(knots);
+}
+
+TEST(PiecewiseLinear, SingleKnotIsConstant)
+{
+    const auto m = makeModel({{2.0, 5.0}});
+    EXPECT_DOUBLE_EQ(m.eval(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(m.eval(2.0), 5.0);
+    EXPECT_DOUBLE_EQ(m.eval(100.0), 5.0);
+}
+
+TEST(PiecewiseLinear, ExactAtKnots)
+{
+    const auto m = makeModel({{1.0, 1.0}, {2.0, 4.0}, {4.0, 5.0}});
+    EXPECT_DOUBLE_EQ(m.eval(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.eval(2.0), 4.0);
+    EXPECT_DOUBLE_EQ(m.eval(4.0), 5.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots)
+{
+    const auto m = makeModel({{0.0, 0.0}, {10.0, 20.0}});
+    EXPECT_NEAR(m.eval(5.0), 10.0, 1e-12);
+    EXPECT_NEAR(m.eval(2.5), 5.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, ExtrapolatesWithLastSlope)
+{
+    const auto m = makeModel({{0.0, 0.0}, {1.0, 1.0}, {2.0, 3.0}});
+    // Last segment slope is 2.
+    EXPECT_NEAR(m.eval(4.0), 3.0 + 2.0 * 2.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, ExtrapolatesBelowWithFirstSlope)
+{
+    const auto m = makeModel({{2.0, 4.0}, {4.0, 8.0}});
+    EXPECT_NEAR(m.eval(0.0), 0.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, UnsortedSamplesAreSorted)
+{
+    const auto m = makeModel({{4.0, 5.0}, {1.0, 1.0}, {2.0, 4.0}});
+    EXPECT_DOUBLE_EQ(m.eval(2.0), 4.0);
+    EXPECT_EQ(m.knots().size(), 3u);
+    EXPECT_DOUBLE_EQ(m.knots().front().x, 1.0);
+    EXPECT_DOUBLE_EQ(m.knots().back().x, 4.0);
+}
+
+TEST(PiecewiseLinear, DuplicateXValuesAveraged)
+{
+    const auto m = makeModel({{1.0, 2.0}, {1.0, 4.0}, {2.0, 6.0}});
+    EXPECT_EQ(m.knots().size(), 2u);
+    EXPECT_DOUBLE_EQ(m.eval(1.0), 3.0);
+}
+
+TEST(PiecewiseLinear, InvertRecoversX)
+{
+    const auto m = makeModel({{0.0, 1.0}, {5.0, 6.0}, {10.0, 21.0}});
+    EXPECT_NEAR(m.invert(1.0), 0.0, 1e-9);
+    EXPECT_NEAR(m.invert(6.0), 5.0, 1e-9);
+    EXPECT_NEAR(m.invert(3.5), 2.5, 1e-9);
+    // Beyond the last knot: extrapolated with slope 3.
+    EXPECT_NEAR(m.invert(24.0), 11.0, 1e-9);
+}
+
+TEST(PiecewiseLinear, InvertBelowRangeClampsToFirstKnot)
+{
+    // Targets at or below the profiled range clamp to the first knot's
+    // x: sub-range extrapolation is meaningless for latency inversion.
+    const auto m = makeModel({{2.0, 4.0}, {4.0, 8.0}});
+    EXPECT_NEAR(m.invert(2.0), 2.0, 1e-9);
+    EXPECT_NEAR(m.invert(4.0), 2.0, 1e-9);
+}
+
+TEST(PiecewiseLinear, IsNonDecreasingDetection)
+{
+    EXPECT_TRUE(makeModel({{0.0, 0.0}, {1.0, 1.0}}).isNonDecreasing());
+    EXPECT_TRUE(makeModel({{0.0, 1.0}, {1.0, 1.0}}).isNonDecreasing());
+    EXPECT_FALSE(makeModel({{0.0, 2.0}, {1.0, 1.0}}).isNonDecreasing());
+}
+
+TEST(PiecewiseLinear, EmptyDefaultConstructed)
+{
+    PiecewiseLinearModel m;
+    EXPECT_TRUE(m.empty());
+}
+
+/**
+ * Round-trip property: for any non-decreasing model, invert(eval(x))
+ * recovers x on strictly increasing segments.
+ */
+class PlRoundTripTest : public ::testing::TestWithParam<double>
+{
+  protected:
+    PiecewiseLinearModel model_ = makeModel(
+        {{1.0, 0.5}, {2.0, 1.5}, {4.0, 2.0}, {8.0, 5.0}, {16.0, 12.0}});
+};
+
+TEST_P(PlRoundTripTest, InvertEvalIdentity)
+{
+    const double x = GetParam();
+    EXPECT_NEAR(model_.invert(model_.eval(x)), x, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlRoundTripTest,
+                         ::testing::Values(1.0, 1.5, 3.0, 6.0, 12.0,
+                                           20.0));
+
+} // namespace
+} // namespace vlr

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the product quantizer: training, encode/decode round trips,
+ * ADC lookup-table distances and reconstruction error.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vecsearch/metric.h"
+#include "vecsearch/pq.h"
+
+namespace vlr::vs
+{
+namespace
+{
+
+std::vector<float>
+gaussianData(Rng &rng, std::size_t n, std::size_t d)
+{
+    std::vector<float> data(n * d);
+    for (auto &x : data)
+        x = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return data;
+}
+
+TEST(Pq, ConstructionValidatesDimensions)
+{
+    ProductQuantizer pq(32, 4, 8);
+    EXPECT_EQ(pq.dim(), 32u);
+    EXPECT_EQ(pq.numSub(), 4u);
+    EXPECT_EQ(pq.dsub(), 8u);
+    EXPECT_EQ(pq.ksub(), 256u);
+    EXPECT_EQ(pq.codeSize(), 4u);
+    EXPECT_EQ(pq.lutSize(), 4u * 256u);
+    EXPECT_FALSE(pq.isTrained());
+}
+
+TEST(Pq, FourBitKsub)
+{
+    ProductQuantizer pq(16, 4, 4);
+    EXPECT_EQ(pq.ksub(), 16u);
+}
+
+TEST(Pq, TrainSetsTrainedFlag)
+{
+    Rng rng(1);
+    const auto data = gaussianData(rng, 500, 16);
+    ProductQuantizer pq(16, 4, 4);
+    pq.train(data, 500);
+    EXPECT_TRUE(pq.isTrained());
+}
+
+TEST(Pq, CodesAreWithinRange)
+{
+    Rng rng(2);
+    const auto data = gaussianData(rng, 400, 16);
+    ProductQuantizer pq(16, 4, 4);
+    pq.train(data, 400);
+    const auto codes = pq.encodeBatch(data, 400);
+    ASSERT_EQ(codes.size(), 400u * 4u);
+    for (auto c : codes)
+        EXPECT_LT(c, 16);
+}
+
+TEST(Pq, DecodeReconstructsApproximately)
+{
+    Rng rng(3);
+    const auto data = gaussianData(rng, 2000, 16);
+    ProductQuantizer pq(16, 8, 8);
+    pq.train(data, 2000);
+
+    std::vector<std::uint8_t> code(pq.codeSize());
+    std::vector<float> rec(16);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < 100; ++i) {
+        pq.encode(data.data() + i * 16, code.data());
+        pq.decode(code.data(), rec.data());
+        mse += l2Sqr(data.data() + i * 16, rec.data(), 16);
+    }
+    mse /= 100;
+    // Unit Gaussian has E||x||^2 = 16; 8x256 codebooks should cut the
+    // error well below half of that.
+    EXPECT_LT(mse, 8.0);
+}
+
+TEST(Pq, ReconstructionErrorMatchesManualMse)
+{
+    Rng rng(4);
+    const auto data = gaussianData(rng, 300, 8);
+    ProductQuantizer pq(8, 4, 4);
+    pq.train(data, 300);
+
+    std::vector<std::uint8_t> code(pq.codeSize());
+    std::vector<float> rec(8);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < 300; ++i) {
+        pq.encode(data.data() + i * 8, code.data());
+        pq.decode(code.data(), rec.data());
+        mse += l2Sqr(data.data() + i * 8, rec.data(), 8);
+    }
+    mse /= 300;
+    EXPECT_NEAR(pq.reconstructionError(data, 300), mse, 1e-6);
+}
+
+TEST(Pq, MoreSubquantizersReduceError)
+{
+    Rng rng(5);
+    const auto data = gaussianData(rng, 1500, 32);
+    ProductQuantizer coarse(32, 2, 8);
+    ProductQuantizer fine(32, 8, 8);
+    coarse.train(data, 1500);
+    fine.train(data, 1500);
+    EXPECT_LT(fine.reconstructionError(data, 1500),
+              coarse.reconstructionError(data, 1500));
+}
+
+TEST(Pq, AdcDistanceEqualsLutSum)
+{
+    Rng rng(6);
+    const auto data = gaussianData(rng, 500, 16);
+    ProductQuantizer pq(16, 4, 4);
+    pq.train(data, 500);
+
+    const auto query = gaussianData(rng, 1, 16);
+    std::vector<float> lut(pq.lutSize());
+    pq.computeLut(query.data(), lut.data());
+
+    std::vector<std::uint8_t> code(pq.codeSize());
+    pq.encode(data.data(), code.data());
+
+    float manual = 0.f;
+    for (std::size_t m = 0; m < pq.numSub(); ++m)
+        manual += lut[m * pq.ksub() + code[m]];
+    EXPECT_NEAR(pq.adcDistance(lut.data(), code.data()), manual, 1e-5f);
+}
+
+TEST(Pq, LutEntriesAreSubspaceDistances)
+{
+    Rng rng(7);
+    const auto data = gaussianData(rng, 400, 8);
+    ProductQuantizer pq(8, 2, 4);
+    pq.train(data, 400);
+
+    const auto query = gaussianData(rng, 1, 8);
+    std::vector<float> lut(pq.lutSize());
+    pq.computeLut(query.data(), lut.data());
+
+    for (std::size_t m = 0; m < 2; ++m) {
+        const auto cb = pq.codebook(m);
+        for (std::size_t j = 0; j < pq.ksub(); ++j) {
+            const float expect =
+                l2Sqr(query.data() + m * pq.dsub(),
+                      cb.data() + j * pq.dsub(), pq.dsub());
+            EXPECT_NEAR(lut[m * pq.ksub() + j], expect, 1e-5f);
+        }
+    }
+}
+
+TEST(Pq, AdcApproximatesTrueDistance)
+{
+    Rng rng(8);
+    const auto data = gaussianData(rng, 3000, 16);
+    ProductQuantizer pq(16, 8, 8);
+    pq.train(data, 3000);
+
+    const auto query = gaussianData(rng, 1, 16);
+    std::vector<float> lut(pq.lutSize());
+    pq.computeLut(query.data(), lut.data());
+
+    std::vector<std::uint8_t> code(pq.codeSize());
+    std::vector<float> rec(16);
+    double err = 0.0, scale = 0.0;
+    for (std::size_t i = 0; i < 200; ++i) {
+        pq.encode(data.data() + i * 16, code.data());
+        pq.decode(code.data(), rec.data());
+        const float adc = pq.adcDistance(lut.data(), code.data());
+        const float reconstructed = l2Sqr(query.data(), rec.data(), 16);
+        // ADC distance equals the query-to-reconstruction distance.
+        err += std::abs(adc - reconstructed);
+        scale += reconstructed;
+    }
+    EXPECT_LT(err / scale, 0.01);
+}
+
+TEST(Pq, EncodePicksNearestCodeword)
+{
+    Rng rng(9);
+    const auto data = gaussianData(rng, 600, 8);
+    ProductQuantizer pq(8, 2, 4);
+    pq.train(data, 600);
+
+    std::vector<std::uint8_t> code(2);
+    for (std::size_t i = 0; i < 50; ++i) {
+        const float *x = data.data() + i * 8;
+        pq.encode(x, code.data());
+        for (std::size_t m = 0; m < 2; ++m) {
+            const auto cb = pq.codebook(m);
+            float best = 1e30f;
+            std::uint8_t bestj = 0;
+            for (std::size_t j = 0; j < pq.ksub(); ++j) {
+                const float dd = l2Sqr(x + m * 4, cb.data() + j * 4, 4);
+                if (dd < best) {
+                    best = dd;
+                    bestj = static_cast<std::uint8_t>(j);
+                }
+            }
+            EXPECT_EQ(code[m], bestj);
+        }
+    }
+}
+
+TEST(Pq, EncodeBatchMatchesSingle)
+{
+    Rng rng(10);
+    const auto data = gaussianData(rng, 100, 16);
+    ProductQuantizer pq(16, 4, 4);
+    pq.train(data, 100);
+    const auto batch = pq.encodeBatch(data, 100);
+    std::vector<std::uint8_t> single(4);
+    for (std::size_t i = 0; i < 100; ++i) {
+        pq.encode(data.data() + i * 16, single.data());
+        for (std::size_t m = 0; m < 4; ++m)
+            EXPECT_EQ(batch[i * 4 + m], single[m]);
+    }
+}
+
+/** Reconstruction error shrinks as bits per sub-quantizer grow. */
+class PqBitsTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PqBitsTest, TrainedErrorIsBoundedByVariance)
+{
+    const std::size_t nbits = GetParam();
+    Rng rng(20 + nbits);
+    const auto data = gaussianData(rng, 1000, 16);
+    ProductQuantizer pq(16, 4, nbits);
+    pq.train(data, 1000);
+    // Quantizing cannot be worse than the raw variance (16 for unit
+    // Gaussians), and must recover a meaningful fraction of it.
+    EXPECT_LT(pq.reconstructionError(data, 1000), 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSweep, PqBitsTest, ::testing::Values(4, 8));
+
+} // namespace
+} // namespace vlr::vs

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the retrieval strategies: VectorLiteRAG and the CPU-Only /
+ * DED-GPU / ALL-GPU / HedraRAG baselines (Sections V-A, VI-D).
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/retriever.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+struct RetrieverFixture : public ::testing::Test
+{
+    static void
+    SetUpTestSuite()
+    {
+        ctx_ = new DatasetContext(wl::tinySpec());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete ctx_;
+        ctx_ = nullptr;
+    }
+
+    RetrieverConfig
+    config(RetrieverKind kind) const
+    {
+        RetrieverConfig cfg;
+        cfg.kind = kind;
+        cfg.numGpus = 4;
+        cfg.gpuSpec = gpu::h100Spec();
+        cfg.sloSearchSeconds = 0.1;
+        cfg.peakLlmThroughput = 20.0;
+        cfg.kvBaselineBytes = 4 * 30e9;
+        return cfg;
+    }
+
+    static DatasetContext *ctx_;
+};
+
+DatasetContext *RetrieverFixture::ctx_ = nullptr;
+
+TEST_F(RetrieverFixture, NamesAreStable)
+{
+    EXPECT_EQ(retrieverName(RetrieverKind::CpuOnly), "CPU-Only");
+    EXPECT_EQ(retrieverName(RetrieverKind::DedicatedGpu), "DED-GPU");
+    EXPECT_EQ(retrieverName(RetrieverKind::AllGpu), "ALL-GPU");
+    EXPECT_EQ(retrieverName(RetrieverKind::VectorLite), "vLiteRAG");
+    EXPECT_EQ(retrieverName(RetrieverKind::HedraRag), "HedraRAG");
+}
+
+TEST_F(RetrieverFixture, CpuOnlyPlacesNothingOnGpu)
+{
+    const auto setup =
+        buildRetrieverSetup(config(RetrieverKind::CpuOnly), *ctx_);
+    EXPECT_EQ(setup.kind, RetrieverKind::CpuOnly);
+    EXPECT_NEAR(setup.rho, 0.0, 1e-12);
+    EXPECT_EQ(setup.dedicatedGpu, -1);
+    for (const double b : setup.indexBytesPerGpu)
+        EXPECT_NEAR(b, 0.0, 1e-12);
+    EXPECT_FALSE(setup.dispatcher);
+}
+
+TEST_F(RetrieverFixture, AllGpuShardsWholeIndexUniformly)
+{
+    const auto setup =
+        buildRetrieverSetup(config(RetrieverKind::AllGpu), *ctx_);
+    EXPECT_NEAR(setup.rho, 1.0, 1e-12);
+    EXPECT_EQ(setup.assignment.numShards(), 4u);
+    // Full index resident across all GPUs.
+    EXPECT_NEAR(setup.assignment.totalGpuBytes(),
+                ctx_->profile().totalBytes(), 1e-6);
+    // IndexIVFShards semantics: no probe pruning.
+    EXPECT_FALSE(setup.pruneProbes);
+    EXPECT_EQ(setup.dedicatedGpu, -1);
+}
+
+TEST_F(RetrieverFixture, DedicatedGpuExcludesOneFromLlmPool)
+{
+    const auto setup =
+        buildRetrieverSetup(config(RetrieverKind::DedicatedGpu), *ctx_);
+    EXPECT_GE(setup.dedicatedGpu, 0);
+    EXPECT_LT(setup.dedicatedGpu, 4);
+    // Whole index on the dedicated GPU: one shard.
+    EXPECT_EQ(setup.assignment.numShards(), 1u);
+    EXPECT_NEAR(setup.rho, 1.0, 1e-12);
+    // The LLM pool must not carry index bytes.
+    for (int g = 0; g < 4; ++g) {
+        if (g != setup.dedicatedGpu)
+            EXPECT_NEAR(setup.indexBytesPerGpu[g], 0.0, 1e-12);
+        else
+            EXPECT_GT(setup.indexBytesPerGpu[g], 0.0);
+    }
+}
+
+TEST_F(RetrieverFixture, VectorLiteUsesPartitionerAndDispatcher)
+{
+    const auto setup =
+        buildRetrieverSetup(config(RetrieverKind::VectorLite), *ctx_);
+    EXPECT_TRUE(setup.dispatcher);
+    EXPECT_TRUE(setup.pruneProbes);
+    EXPECT_GT(setup.rho, 0.0);
+    EXPECT_LT(setup.rho, 1.0);
+    EXPECT_TRUE(setup.partition.converged);
+    EXPECT_NEAR(setup.rho, setup.partition.rho, 1e-12);
+    // Occupancy cap below the baselines' full usage.
+    EXPECT_LT(setup.occupancyCap, 1.0);
+}
+
+TEST_F(RetrieverFixture, VectorLiteRespectsFixedRhoOverride)
+{
+    auto cfg = config(RetrieverKind::VectorLite);
+    cfg.fixedRho = 0.37;
+    const auto setup = buildRetrieverSetup(cfg, *ctx_);
+    EXPECT_NEAR(setup.rho, 0.37, 1e-12);
+}
+
+TEST_F(RetrieverFixture, VectorLiteBytesBalanceAcrossGpus)
+{
+    const auto setup =
+        buildRetrieverSetup(config(RetrieverKind::VectorLite), *ctx_);
+    double total = 0.0;
+    for (const double b : setup.indexBytesPerGpu)
+        total += b;
+    EXPECT_NEAR(total, setup.assignment.totalGpuBytes(), 1e-6);
+}
+
+TEST_F(RetrieverFixture, HedraRagGoesCpuOnlyWhenLlmIsSlower)
+{
+    // Paper Section VI-D: when the LLM's peak throughput is below the
+    // retriever's, HedraRAG allocates all GPU memory to the LLM and
+    // searches on the CPU.
+    auto cfg = config(RetrieverKind::HedraRag);
+    cfg.peakLlmThroughput = 10.0; // far below CPU search capacity
+    const auto hedra = buildRetrieverSetup(cfg, *ctx_);
+    EXPECT_NEAR(hedra.rho, 0.0, 1e-9);
+    // HedraRAG inherits IndexIVFShards (no pruned routing, no
+    // dispatcher).
+    EXPECT_FALSE(hedra.pruneProbes);
+    EXPECT_FALSE(hedra.dispatcher);
+}
+
+TEST_F(RetrieverFixture, HedraRagCachesAggressivelyUnderHeavyRetrieval)
+{
+    // When retrieval is the slower stage, HedraRAG grows its cache
+    // until retrieval throughput balances the LLM — without a latency
+    // objective in sight (paper Fig. 13 places 73% on the GPUs).
+    auto cfg = config(RetrieverKind::HedraRag);
+    cfg.peakLlmThroughput = 300.0;
+    const auto mid = buildRetrieverSetup(cfg, *ctx_);
+    EXPECT_GT(mid.rho, 0.1);
+    cfg.peakLlmThroughput = 600.0;
+    const auto heavy = buildRetrieverSetup(cfg, *ctx_);
+    EXPECT_GE(heavy.rho, mid.rho - 1e-9);
+}
+
+TEST_F(RetrieverFixture, TighterSloRaisesVectorLiteCoverage)
+{
+    auto tight = config(RetrieverKind::VectorLite);
+    tight.sloSearchSeconds = 0.06;
+    auto loose = config(RetrieverKind::VectorLite);
+    loose.sloSearchSeconds = 0.2;
+    const auto ts = buildRetrieverSetup(tight, *ctx_);
+    const auto ls = buildRetrieverSetup(loose, *ctx_);
+    EXPECT_GE(ts.rho, ls.rho - 0.01);
+}
+
+TEST_F(RetrieverFixture, ShardToGpuMapsOntoNode)
+{
+    for (const auto kind :
+         {RetrieverKind::AllGpu, RetrieverKind::VectorLite,
+          RetrieverKind::HedraRag}) {
+        const auto setup = buildRetrieverSetup(config(kind), *ctx_);
+        ASSERT_EQ(setup.shardToGpu.size(),
+                  setup.assignment.numShards());
+        for (const int g : setup.shardToGpu) {
+            EXPECT_GE(g, 0);
+            EXPECT_LT(g, 4);
+        }
+    }
+}
+
+} // namespace
+} // namespace vlr::core

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and the Zipf sampler.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace vlr
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        differing += a.nextU64() != b.nextU64();
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64StaysBelowBound)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformU64(17), 17u);
+}
+
+TEST(Rng, UniformU64CoversSmallRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformU64(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformInt(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaledMoments)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(3.0, 0.5);
+    EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 200000;
+    const double rate = 4.0;
+    for (int i = 0; i < n; ++i) {
+        const double e = rng.exponential(rate);
+        EXPECT_GE(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(29);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    rng.shuffle(v);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sorted[i], i);
+    // Overwhelmingly likely that at least one element moved.
+    bool moved = false;
+    for (int i = 0; i < 100; ++i)
+        moved |= v[i] != i;
+    EXPECT_TRUE(moved);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(31);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 4);
+}
+
+// --- ZipfSampler -----------------------------------------------------
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfSampler z(100, 1.1);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < 100; ++k)
+        sum += z.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfIsDecreasingInRank)
+{
+    ZipfSampler z(50, 0.8);
+    for (std::size_t k = 1; k < 50; ++k)
+        EXPECT_LE(z.pmf(k), z.pmf(k - 1));
+}
+
+TEST(Zipf, ThetaZeroIsUniform)
+{
+    ZipfSampler z(10, 0.0);
+    for (std::size_t k = 0; k < 10; ++k)
+        EXPECT_NEAR(z.pmf(k), 0.1, 1e-9);
+}
+
+TEST(Zipf, SamplesRespectRange)
+{
+    ZipfSampler z(37, 1.0);
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(z.sample(rng), 37u);
+}
+
+TEST(Zipf, EmpiricalFrequencyTracksPmf)
+{
+    ZipfSampler z(20, 1.2);
+    Rng rng(2);
+    std::vector<int> counts(20, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(rng)];
+    for (std::size_t k = 0; k < 5; ++k) {
+        const double freq = static_cast<double>(counts[k]) / n;
+        EXPECT_NEAR(freq, z.pmf(k), 0.01);
+    }
+}
+
+/** Higher theta concentrates more mass on the top ranks. */
+class ZipfSkewTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewTest, TopRankMassGrowsWithTheta)
+{
+    const double theta = GetParam();
+    ZipfSampler lo(200, theta);
+    ZipfSampler hi(200, theta + 0.4);
+    double mass_lo = 0.0, mass_hi = 0.0;
+    for (std::size_t k = 0; k < 20; ++k) {
+        mass_lo += lo.pmf(k);
+        mass_hi += hi.pmf(k);
+    }
+    EXPECT_GT(mass_hi, mass_lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZipfSkewTest,
+                         ::testing::Values(0.0, 0.4, 0.7, 1.0, 1.3));
+
+} // namespace
+} // namespace vlr

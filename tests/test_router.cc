@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the query router: probe pruning vs IndexIVFShards-style
+ * full-nprobe launches (Section IV-B1).
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/router.h"
+#include "core/splitter.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+struct RouterFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        // 6 clusters, equal accesses except ordering; work 100*(c+1).
+        profile_ = std::make_unique<AccessProfile>(
+            std::vector<double>{60, 50, 40, 30, 20, 10},
+            std::vector<double>{100, 200, 300, 400, 500, 600},
+            std::vector<double>{1, 1, 1, 1, 1, 1});
+        // rho = 0.5: hot clusters {0, 1, 2} across 2 shards.
+        assignment_ = IndexSplitter::split(*profile_, 0.5, 2);
+
+        // Two query plans touching hot and cold clusters.
+        planA_.probes = {0, 3};
+        planA_.probeWork = {100, 400};
+        planA_.totalWork = 500;
+        planB_.probes = {1, 2};
+        planB_.probeWork = {200, 300};
+        planB_.totalWork = 500;
+        batch_ = {&planA_, &planB_};
+    }
+
+    std::unique_ptr<AccessProfile> profile_;
+    ShardAssignment assignment_;
+    wl::QueryPlan planA_, planB_;
+    std::vector<const wl::QueryPlan *> batch_;
+};
+
+TEST_F(RouterFixture, HitRatesAreWorkWeighted)
+{
+    Router router(assignment_, true);
+    const auto routed = router.route(batch_);
+    ASSERT_EQ(routed.size(), 2u);
+    // Plan A: hot work 100 of 500.
+    EXPECT_NEAR(routed.queries[0].hitRate, 0.2, 1e-9);
+    EXPECT_NEAR(routed.queries[0].cpuWorkFraction, 0.8, 1e-9);
+    // Plan B: both probes hot.
+    EXPECT_NEAR(routed.queries[1].hitRate, 1.0, 1e-9);
+    EXPECT_NEAR(routed.queries[1].cpuWorkFraction, 0.0, 1e-9);
+}
+
+TEST_F(RouterFixture, MinAndMeanHitRates)
+{
+    Router router(assignment_, true);
+    const auto routed = router.route(batch_);
+    EXPECT_NEAR(routed.minHitRate, 0.2, 1e-9);
+    EXPECT_NEAR(routed.meanHitRate, 0.6, 1e-9);
+}
+
+TEST_F(RouterFixture, PrunedRoutingLaunchesOnlyResidentPairs)
+{
+    Router router(assignment_, true);
+    const auto routed = router.route(batch_);
+    std::size_t pairs = 0;
+    for (const auto &s : routed.shards)
+        pairs += s.pairs;
+    // Resident probes: A->{0}, B->{1,2} = 3 pairs total.
+    EXPECT_EQ(pairs, 3u);
+}
+
+TEST_F(RouterFixture, UnprunedRoutingLaunchesFullNprobeEverywhere)
+{
+    Router router(assignment_, false);
+    const auto routed = router.route(batch_);
+    std::size_t pairs = 0;
+    for (const auto &s : routed.shards)
+        pairs += s.pairs;
+    // IndexIVFShards: every shard gets nprobe pairs per query:
+    // 2 shards x 2 queries x 2 probes = 8.
+    EXPECT_EQ(pairs, 8u);
+}
+
+TEST_F(RouterFixture, UnprunedScansSameWorkAsPruned)
+{
+    Router pruned(assignment_, true);
+    Router unpruned(assignment_, false);
+    const auto a = pruned.route(batch_);
+    const auto b = unpruned.route(batch_);
+    double wa = 0.0, wb = 0.0;
+    for (const auto &s : a.shards)
+        wa += s.workVectors;
+    for (const auto &s : b.shards)
+        wb += s.workVectors;
+    // The waste is in launches, not in bytes actually scanned.
+    EXPECT_NEAR(wa, wb, 1e-9);
+}
+
+TEST_F(RouterFixture, ShardsUsedListsResidentShardsOnly)
+{
+    Router router(assignment_, true);
+    const auto routed = router.route(batch_);
+    for (const auto &q : routed.queries)
+        for (const auto s : q.shardsUsed) {
+            ASSERT_GE(s, 0);
+            ASSERT_LT(static_cast<std::size_t>(s),
+                      assignment_.numShards());
+        }
+    // Plan A has exactly one resident probe -> one shard used.
+    EXPECT_EQ(routed.queries[0].shardsUsed.size(), 1u);
+}
+
+TEST_F(RouterFixture, ProbeCountsSplitCpuGpu)
+{
+    Router router(assignment_, true);
+    const auto routed = router.route(batch_);
+    EXPECT_EQ(routed.queries[0].cpuProbes, 1u);
+    EXPECT_EQ(routed.queries[0].gpuProbes, 1u);
+    EXPECT_EQ(routed.queries[1].cpuProbes, 0u);
+    EXPECT_EQ(routed.queries[1].gpuProbes, 2u);
+}
+
+TEST_F(RouterFixture, EmptyAssignmentRoutesEverythingToCpu)
+{
+    const auto cpu_only = IndexSplitter::split(*profile_, 0.0, 1);
+    Router router(cpu_only, true);
+    const auto routed = router.route(batch_);
+    EXPECT_NEAR(routed.minHitRate, 0.0, 1e-12);
+    for (const auto &q : routed.queries) {
+        EXPECT_NEAR(q.hitRate, 0.0, 1e-12);
+        EXPECT_TRUE(q.shardsUsed.empty());
+    }
+}
+
+TEST_F(RouterFixture, ShardQueryCountsTrackResidency)
+{
+    Router router(assignment_, true);
+    const auto routed = router.route(batch_);
+    std::size_t queries_total = 0;
+    for (const auto &s : routed.shards)
+        queries_total += s.queries;
+    // A uses one shard; B touches clusters 1 and 2 which may share a
+    // shard or not; in either case the count is 2 or 3.
+    EXPECT_GE(queries_total, 2u);
+    EXPECT_LE(queries_total, 3u);
+}
+
+TEST_F(RouterFixture, EmptyBatchYieldsEmptyRouting)
+{
+    Router router(assignment_, true);
+    const auto routed =
+        router.route(std::vector<const wl::QueryPlan *>{});
+    EXPECT_EQ(routed.size(), 0u);
+}
+
+} // namespace
+} // namespace vlr::core

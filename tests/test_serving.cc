@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Integration tests for the end-to-end RAG serving simulation: SLO
+ * attainment shapes, TTFT composition and baseline orderings that the
+ * paper's Figs. 11-12 rely on.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/serving.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+struct ServingFixture : public ::testing::Test
+{
+    static void
+    SetUpTestSuite()
+    {
+        ctx_ = new DatasetContext(wl::tinySpec());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete ctx_;
+        ctx_ = nullptr;
+    }
+
+    ServingConfig
+    config(RetrieverKind kind, double rate) const
+    {
+        ServingConfig cfg;
+        cfg.llmConfig = llm::llama3_8b();
+        cfg.gpuSpec = gpu::l40sSpec();
+        cfg.cpuSpec = gpu::xeon6426Spec();
+        cfg.numGpus = 4;
+        cfg.retriever = kind;
+        cfg.arrivalRate = rate;
+        cfg.durationSeconds = 30.0;
+        cfg.warmupSeconds = 5.0;
+        cfg.drainSeconds = 20.0;
+        cfg.outputTokens = 64; // keep the test fast
+        if (peak_ < 0.0)
+            peak_ = measurePeak(cfg);
+        cfg.peakThroughputHint = peak_;
+        return cfg;
+    }
+
+    static DatasetContext *ctx_;
+    static double peak_;
+};
+
+DatasetContext *ServingFixture::ctx_ = nullptr;
+double ServingFixture::peak_ = -1.0;
+
+TEST_F(ServingFixture, LightLoadMeetsSlo)
+{
+    const auto res =
+        runServing(config(RetrieverKind::VectorLite, 4.0), *ctx_);
+    EXPECT_GT(res.attainment, 0.95);
+    EXPECT_GT(res.submitted, 50u);
+    EXPECT_GT(res.completedFirstToken, 0u);
+}
+
+TEST_F(ServingFixture, OverloadDegradesAttainment)
+{
+    const auto light =
+        runServing(config(RetrieverKind::VectorLite, 4.0), *ctx_);
+    const auto heavy =
+        runServing(config(RetrieverKind::VectorLite, peak_ * 2.0),
+                   *ctx_);
+    EXPECT_LT(heavy.attainment, light.attainment);
+    EXPECT_GT(heavy.p90Ttft, light.p90Ttft);
+}
+
+TEST_F(ServingFixture, TtftDecomposition)
+{
+    const auto res =
+        runServing(config(RetrieverKind::CpuOnly, 6.0), *ctx_);
+    // Mean TTFT >= queueing + search + prefill means (approximately
+    // equal when every request completes).
+    const double parts =
+        res.meanQueueDelay + res.meanSearch + res.meanPrefill;
+    EXPECT_NEAR(res.meanTtft, parts, 0.25 * res.meanTtft);
+    EXPECT_GT(res.meanSearch, 0.0);
+    EXPECT_GT(res.meanPrefill, 0.0);
+}
+
+TEST_F(ServingFixture, VectorLiteBeatsCpuOnlySearchLatency)
+{
+    const double rate = 8.0;
+    const auto cpu =
+        runServing(config(RetrieverKind::CpuOnly, rate), *ctx_);
+    const auto vlite =
+        runServing(config(RetrieverKind::VectorLite, rate), *ctx_);
+    EXPECT_LT(vlite.meanSearch, cpu.meanSearch);
+    EXPECT_GE(vlite.attainment, cpu.attainment - 0.02);
+}
+
+TEST_F(ServingFixture, DedGpuLosesAnLlmInstance)
+{
+    const auto ded =
+        runServing(config(RetrieverKind::DedicatedGpu, 4.0), *ctx_);
+    const auto cpu =
+        runServing(config(RetrieverKind::CpuOnly, 4.0), *ctx_);
+    EXPECT_LT(ded.llmInstances, cpu.llmInstances);
+}
+
+TEST_F(ServingFixture, AllGpuDisplacesKvEverywhere)
+{
+    const auto all =
+        runServing(config(RetrieverKind::AllGpu, 4.0), *ctx_);
+    EXPECT_NEAR(all.rho, 1.0, 1e-9);
+    EXPECT_GT(all.gpuIndexBytes, 0.0);
+    const auto vlite =
+        runServing(config(RetrieverKind::VectorLite, 4.0), *ctx_);
+    EXPECT_LT(vlite.gpuIndexBytes, all.gpuIndexBytes);
+}
+
+TEST_F(ServingFixture, ResultsAreSeedDeterministic)
+{
+    const auto a =
+        runServing(config(RetrieverKind::VectorLite, 6.0), *ctx_);
+    const auto b =
+        runServing(config(RetrieverKind::VectorLite, 6.0), *ctx_);
+    EXPECT_DOUBLE_EQ(a.meanTtft, b.meanTtft);
+    EXPECT_DOUBLE_EQ(a.p90Ttft, b.p90Ttft);
+    EXPECT_EQ(a.submitted, b.submitted);
+}
+
+TEST_F(ServingFixture, PercentilesAreOrdered)
+{
+    const auto res =
+        runServing(config(RetrieverKind::CpuOnly, 8.0), *ctx_);
+    EXPECT_LE(res.p50Ttft, res.p90Ttft + 1e-12);
+    EXPECT_LE(res.p90Ttft, res.p95Ttft + 1e-12);
+    EXPECT_LE(res.p95Ttft, res.p99Ttft + 1e-12);
+    EXPECT_LE(res.meanTtft, res.meanE2e);
+    EXPECT_LE(res.p90Ttft, res.p90E2e);
+}
+
+TEST_F(ServingFixture, DispatcherAblationReducesTailSearch)
+{
+    auto on = config(RetrieverKind::VectorLite, 10.0);
+    auto off = on;
+    off.dispatcherOverride = 0;
+    const auto with = runServing(on, *ctx_);
+    const auto without = runServing(off, *ctx_);
+    // Fig. 14: dispatcher improves (or at least never hurts) search
+    // latency.
+    EXPECT_LE(with.meanSearch, without.meanSearch * 1.05);
+}
+
+TEST_F(ServingFixture, FixedRhoOverrideHonored)
+{
+    auto cfg = config(RetrieverKind::VectorLite, 4.0);
+    cfg.fixedRho = 0.25;
+    const auto res = runServing(cfg, *ctx_);
+    EXPECT_NEAR(res.rho, 0.25, 1e-9);
+}
+
+TEST_F(ServingFixture, SloOverridesChangeTarget)
+{
+    auto cfg = config(RetrieverKind::CpuOnly, 4.0);
+    cfg.sloSearchOverride = 0.5;
+    cfg.sloLlmOverride = 1.0;
+    const auto res = runServing(cfg, *ctx_);
+    EXPECT_NEAR(res.sloTotalSeconds, 1.5, 1e-9);
+}
+
+TEST_F(ServingFixture, RetrievalBatchGrowsWithLoad)
+{
+    const auto lo =
+        runServing(config(RetrieverKind::CpuOnly, 3.0), *ctx_);
+    const auto hi =
+        runServing(config(RetrieverKind::CpuOnly, 12.0), *ctx_);
+    EXPECT_GT(hi.meanRetrievalBatch, lo.meanRetrievalBatch);
+}
+
+TEST(ServingSlo, TableIGenerationTargets)
+{
+    EXPECT_NEAR(sloLlmSecondsFor(llm::llama3_8b()), 0.217, 1e-9);
+    EXPECT_NEAR(sloLlmSecondsFor(llm::qwen3_32b()), 0.191, 1e-9);
+    EXPECT_NEAR(sloLlmSecondsFor(llm::llama3_70b()), 0.311, 1e-9);
+}
+
+} // namespace
+} // namespace vlr::core

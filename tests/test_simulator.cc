@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the discrete-event simulator and the serial resource that
+ * models the FCFS CPU search stage.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simcore/simulator.h"
+
+namespace vlr::sim
+{
+namespace
+{
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator s;
+    EXPECT_DOUBLE_EQ(s.now(), 0.0);
+    EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    s.schedule(3.0, [&] { order.push_back(3); });
+    s.schedule(1.0, [&] { order.push_back(1); });
+    s.schedule(2.0, [&] { order.push_back(2); });
+    s.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        s.schedule(1.0, [&order, i] { order.push_back(i); });
+    s.run();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesToEventTime)
+{
+    Simulator s;
+    double seen = -1.0;
+    s.schedule(2.5, [&] { seen = s.now(); });
+    s.run();
+    EXPECT_DOUBLE_EQ(seen, 2.5);
+    EXPECT_DOUBLE_EQ(s.now(), 2.5);
+}
+
+TEST(Simulator, NestedScheduling)
+{
+    Simulator s;
+    std::vector<double> times;
+    s.schedule(1.0, [&] {
+        times.push_back(s.now());
+        s.schedule(1.0, [&] { times.push_back(s.now()); });
+    });
+    s.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[0], 1.0);
+    EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime)
+{
+    Simulator s;
+    double seen = -1.0;
+    s.schedule(1.0, [&] {
+        s.scheduleAt(5.0, [&] { seen = s.now(); });
+    });
+    s.run();
+    EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Simulator, CancelPreventsFiring)
+{
+    Simulator s;
+    bool fired = false;
+    const auto id = s.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(s.cancel(id));
+    s.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse)
+{
+    Simulator s;
+    const auto id = s.schedule(1.0, [] {});
+    s.run();
+    EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, DoubleCancelReturnsFalse)
+{
+    Simulator s;
+    const auto id = s.schedule(1.0, [] {});
+    EXPECT_TRUE(s.cancel(id));
+    EXPECT_FALSE(s.cancel(id));
+    s.run();
+}
+
+TEST(Simulator, RunUntilHorizonStops)
+{
+    Simulator s;
+    int count = 0;
+    s.schedule(1.0, [&] { ++count; });
+    s.schedule(10.0, [&] { ++count; });
+    s.run(5.0);
+    EXPECT_EQ(count, 1);
+    // The later event remains pending.
+    EXPECT_GE(s.pendingEvents(), 1u);
+}
+
+TEST(Simulator, StepExecutesOneEvent)
+{
+    Simulator s;
+    int count = 0;
+    s.schedule(1.0, [&] { ++count; });
+    s.schedule(2.0, [&] { ++count; });
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, FiredEventsCounter)
+{
+    Simulator s;
+    for (int i = 0; i < 7; ++i)
+        s.schedule(0.1 * i, [] {});
+    s.run();
+    EXPECT_EQ(s.firedEvents(), 7u);
+}
+
+TEST(Simulator, ZeroDelayFiresImmediately)
+{
+    Simulator s;
+    bool fired = false;
+    s.schedule(0.0, [&] { fired = true; });
+    s.run();
+    EXPECT_TRUE(fired);
+    EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+// --- SerialResource ---------------------------------------------------
+
+TEST(SerialResource, ProcessesJobsFcfs)
+{
+    Simulator s;
+    SerialResource r(s);
+    std::vector<std::pair<int, double>> done;
+    r.submit([] { return 2.0; }, [&] { done.push_back({1, s.now()}); });
+    r.submit([] { return 1.0; }, [&] { done.push_back({2, s.now()}); });
+    s.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].first, 1);
+    EXPECT_DOUBLE_EQ(done[0].second, 2.0);
+    EXPECT_EQ(done[1].first, 2);
+    EXPECT_DOUBLE_EQ(done[1].second, 3.0);
+}
+
+TEST(SerialResource, BusyFlagWhileProcessing)
+{
+    Simulator s;
+    SerialResource r(s);
+    r.submit([] { return 5.0; }, [] {});
+    EXPECT_TRUE(r.busy());
+    s.run();
+    EXPECT_FALSE(r.busy());
+}
+
+TEST(SerialResource, QueueLengthCountsWaitingJobs)
+{
+    Simulator s;
+    SerialResource r(s);
+    r.submit([] { return 1.0; }, [] {});
+    r.submit([] { return 1.0; }, [] {});
+    r.submit([] { return 1.0; }, [] {});
+    // First job started; two remain queued.
+    EXPECT_EQ(r.queueLength(), 2u);
+    s.run();
+    EXPECT_EQ(r.queueLength(), 0u);
+}
+
+TEST(SerialResource, BusyTimeAccumulates)
+{
+    Simulator s;
+    SerialResource r(s);
+    r.submit([] { return 2.0; }, [] {});
+    r.submit([] { return 3.0; }, [] {});
+    s.run();
+    EXPECT_DOUBLE_EQ(r.busyTime(), 5.0);
+}
+
+TEST(SerialResource, DurationEvaluatedAtStartTime)
+{
+    // The duration callback must run when the job starts (allowing
+    // batch-dependent costs), not when it is submitted.
+    Simulator s;
+    SerialResource r(s);
+    double first_started_at = -1.0;
+    double second_started_at = -1.0;
+    r.submit(
+        [&] {
+            first_started_at = s.now();
+            return 2.0;
+        },
+        [] {});
+    r.submit(
+        [&] {
+            second_started_at = s.now();
+            return 1.0;
+        },
+        [] {});
+    s.run();
+    EXPECT_DOUBLE_EQ(first_started_at, 0.0);
+    EXPECT_DOUBLE_EQ(second_started_at, 2.0);
+}
+
+TEST(SerialResource, SubmitFromCompletionCallback)
+{
+    Simulator s;
+    SerialResource r(s);
+    std::vector<double> completions;
+    r.submit([] { return 1.0; }, [&] {
+        completions.push_back(s.now());
+        r.submit([] { return 1.0; },
+                 [&] { completions.push_back(s.now()); });
+    });
+    s.run();
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_DOUBLE_EQ(completions[0], 1.0);
+    EXPECT_DOUBLE_EQ(completions[1], 2.0);
+}
+
+} // namespace
+} // namespace vlr::sim

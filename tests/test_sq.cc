@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the int8 scalar quantizer.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vecsearch/metric.h"
+#include "vecsearch/sq.h"
+
+namespace vlr::vs
+{
+namespace
+{
+
+std::vector<float>
+uniformData(Rng &rng, std::size_t n, std::size_t d, double lo, double hi)
+{
+    std::vector<float> data(n * d);
+    for (auto &x : data)
+        x = static_cast<float>(rng.uniform(lo, hi));
+    return data;
+}
+
+TEST(Sq, TrainSetsFlag)
+{
+    Rng rng(1);
+    const auto data = uniformData(rng, 100, 8, -1.0, 1.0);
+    ScalarQuantizer sq(8);
+    EXPECT_FALSE(sq.isTrained());
+    sq.train(data, 100);
+    EXPECT_TRUE(sq.isTrained());
+    EXPECT_EQ(sq.codeSize(), 8u);
+}
+
+TEST(Sq, RoundTripErrorBoundedByStep)
+{
+    Rng rng(2);
+    const auto data = uniformData(rng, 500, 16, -2.0, 3.0);
+    ScalarQuantizer sq(16);
+    sq.train(data, 500);
+
+    std::vector<std::uint8_t> code(16);
+    std::vector<float> rec(16);
+    // Quantization step per dim is range/255; error <= step/2 + eps.
+    const float step = 5.0f / 255.0f;
+    for (std::size_t i = 0; i < 100; ++i) {
+        sq.encode(data.data() + i * 16, code.data());
+        sq.decode(code.data(), rec.data());
+        for (std::size_t j = 0; j < 16; ++j)
+            EXPECT_NEAR(rec[j], data[i * 16 + j], step);
+    }
+}
+
+TEST(Sq, ExtremesMapToEndpoints)
+{
+    std::vector<float> data = {0.f, 10.f, 5.f, 5.f};
+    ScalarQuantizer sq(2);
+    sq.train(data, 2);
+    std::vector<std::uint8_t> code(2);
+    sq.encode(data.data(), code.data()); // (0, 10)
+    EXPECT_EQ(code[0], 0);
+    EXPECT_EQ(code[1], 255);
+}
+
+TEST(Sq, OutOfRangeValuesClamp)
+{
+    std::vector<float> data = {0.f, 0.f, 1.f, 1.f};
+    ScalarQuantizer sq(2);
+    sq.train(data, 2);
+    const float wild[] = {-100.f, 100.f};
+    std::vector<std::uint8_t> code(2);
+    sq.encode(wild, code.data());
+    EXPECT_EQ(code[0], 0);
+    EXPECT_EQ(code[1], 255);
+}
+
+TEST(Sq, DistanceToCodeMatchesDecodedDistance)
+{
+    Rng rng(3);
+    const auto data = uniformData(rng, 200, 8, -1.0, 1.0);
+    ScalarQuantizer sq(8);
+    sq.train(data, 200);
+
+    const auto query = uniformData(rng, 1, 8, -1.0, 1.0);
+    std::vector<std::uint8_t> code(8);
+    std::vector<float> rec(8);
+    for (std::size_t i = 0; i < 50; ++i) {
+        sq.encode(data.data() + i * 8, code.data());
+        sq.decode(code.data(), rec.data());
+        const float expect = l2Sqr(query.data(), rec.data(), 8);
+        EXPECT_NEAR(sq.distanceToCode(query.data(), code.data()), expect,
+                    1e-4f * (1.f + expect));
+    }
+}
+
+TEST(Sq, ReconstructionErrorSmallForUniformData)
+{
+    Rng rng(4);
+    const auto data = uniformData(rng, 1000, 32, 0.0, 1.0);
+    ScalarQuantizer sq(32);
+    sq.train(data, 1000);
+    // Uniform quantization error variance is step^2/12 per dim.
+    const double step = 1.0 / 255.0;
+    const double bound = 32.0 * step * step / 12.0 * 4.0; // 4x margin
+    EXPECT_LT(sq.reconstructionError(data, 1000), bound);
+}
+
+TEST(Sq, ConstantDimensionHandled)
+{
+    // A dimension with zero range must not divide by zero.
+    std::vector<float> data = {5.f, 1.f, 5.f, 2.f, 5.f, 3.f};
+    ScalarQuantizer sq(2);
+    sq.train(data, 3);
+    std::vector<std::uint8_t> code(2);
+    std::vector<float> rec(2);
+    sq.encode(data.data(), code.data());
+    sq.decode(code.data(), rec.data());
+    EXPECT_NEAR(rec[0], 5.f, 1e-5f);
+}
+
+} // namespace
+} // namespace vlr::vs

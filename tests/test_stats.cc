@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for descriptive statistics: running moments, percentile sets,
+ * concentration curves and histograms.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace vlr
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= xs.size();
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= xs.size();
+
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 16.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 31.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a, empty;
+    a.add(3.0);
+    a.add(5.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_NEAR(a.mean(), 4.0, 1e-12);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+// --- SampleSet -------------------------------------------------------
+
+TEST(SampleSet, PercentileEndpoints)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+}
+
+TEST(SampleSet, PercentileInterpolatesLikeNumpy)
+{
+    SampleSet s;
+    s.addAll(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+    // numpy.percentile([1,2,3,4], 50) == 2.5
+    EXPECT_NEAR(s.percentile(50.0), 2.5, 1e-12);
+    // numpy.percentile([1,2,3,4], 25) == 1.75
+    EXPECT_NEAR(s.percentile(25.0), 1.75, 1e-12);
+}
+
+TEST(SampleSet, PercentileSingleSample)
+{
+    SampleSet s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99.0), 7.0);
+}
+
+TEST(SampleSet, FractionBelow)
+{
+    SampleSet s;
+    for (int i = 1; i <= 10; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.fractionBelow(5.0), 0.5, 1e-12);
+    EXPECT_NEAR(s.fractionBelow(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(s.fractionBelow(10.0), 1.0, 1e-12);
+}
+
+TEST(SampleSet, AddAfterQueryResorts)
+{
+    SampleSet s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 5.0);
+    s.add(9.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 9.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+TEST(SampleSet, MeanVarianceMinMax)
+{
+    SampleSet s;
+    s.addAll(std::vector<double>{2.0, 4.0, 6.0});
+    EXPECT_NEAR(s.mean(), 4.0, 1e-12);
+    EXPECT_NEAR(s.variance(), 8.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(SampleSet, ClearEmpties)
+{
+    SampleSet s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+}
+
+// --- Concentration curve (Fig. 5 machinery) --------------------------
+
+TEST(Concentration, UniformWeightsGiveDiagonal)
+{
+    const std::vector<double> w(100, 1.0);
+    const auto curve = weightConcentrationCurve(w);
+    for (const auto &pt : curve)
+        EXPECT_NEAR(pt.cum, pt.x, 0.02);
+}
+
+TEST(Concentration, SkewedWeightsCurveAboveDiagonal)
+{
+    std::vector<double> w(100);
+    for (int i = 0; i < 100; ++i)
+        w[i] = 1.0 / (1.0 + i); // Zipf-ish
+    const auto curve = weightConcentrationCurve(w);
+    // At 20% coverage, far more than 20% of the mass is covered.
+    EXPECT_GT(evalConcentration(curve, 0.2), 0.5);
+}
+
+TEST(Concentration, EndpointsAreZeroAndOne)
+{
+    std::vector<double> w = {5.0, 1.0, 3.0};
+    const auto curve = weightConcentrationCurve(w);
+    EXPECT_NEAR(evalConcentration(curve, 0.0), 0.0, 1e-9);
+    EXPECT_NEAR(evalConcentration(curve, 1.0), 1.0, 1e-9);
+}
+
+TEST(Concentration, EvalIsMonotone)
+{
+    std::vector<double> w(64);
+    for (int i = 0; i < 64; ++i)
+        w[i] = std::pow(0.9, i);
+    const auto curve = weightConcentrationCurve(w);
+    double prev = -1.0;
+    for (double c = 0.0; c <= 1.0; c += 0.05) {
+        const double v = evalConcentration(curve, c);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Concentration, OrderIndependent)
+{
+    std::vector<double> a = {10.0, 1.0, 5.0, 2.0};
+    std::vector<double> b = {1.0, 2.0, 5.0, 10.0};
+    const auto ca = weightConcentrationCurve(a);
+    const auto cb = weightConcentrationCurve(b);
+    for (double c = 0.0; c <= 1.0; c += 0.1)
+        EXPECT_NEAR(evalConcentration(ca, c), evalConcentration(cb, c),
+                    1e-9);
+}
+
+// --- Histogram -------------------------------------------------------
+
+TEST(Histogram, BinsCoverRange)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.numBins(), 5u);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHi(4), 10.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(1.0);  // bin 0
+    h.add(3.0);  // bin 1
+    h.add(9.99); // bin 4
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClamps)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(42.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Histogram, DensitiesSumToOne)
+{
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 57; ++i)
+        h.add(i * 0.017);
+    const auto d = h.densities();
+    double sum = 0.0;
+    for (double v : d)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace vlr

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the text-table writer and the logging/error helpers.
+ */
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/table.h"
+
+namespace vlr
+{
+namespace
+{
+
+TEST(TextTable, PrintsHeadersAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, CsvIsCommaSeparated)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"1", "2", "3"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("a,b,c"), std::string::npos);
+    EXPECT_NE(os.str().find("1,2,3"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(10.0, 0), "10");
+}
+
+TEST(TextTable, PctFormatsPercent)
+{
+    const std::string p = TextTable::pct(0.5);
+    EXPECT_NE(p.find("50"), std::string::npos);
+    EXPECT_NE(p.find('%'), std::string::npos);
+}
+
+TEST(TextTable, ColumnAlignment)
+{
+    TextTable t({"x", "longheader"});
+    t.addRow({"verylongcell", "1"});
+    std::ostringstream os;
+    t.print(os);
+    // Both rows render and include the widest cell.
+    EXPECT_NE(os.str().find("verylongcell"), std::string::npos);
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream os;
+    printBanner(os, "Figure 5");
+    EXPECT_NE(os.str().find("Figure 5"), std::string::npos);
+}
+
+// --- Logging ----------------------------------------------------------
+
+TEST(Log, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("bad config"), std::runtime_error);
+}
+
+TEST(Log, FatalMessagePropagates)
+{
+    try {
+        fatal("a specific message");
+        FAIL() << "fatal() must throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("a specific message"),
+                  std::string::npos);
+    }
+}
+
+TEST(Log, LevelThresholdIsStored)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(before);
+}
+
+TEST(Log, ConcatBuildsMessage)
+{
+    EXPECT_EQ(detail::concat("x=", 3, ", y=", 1.5), "x=3, y=1.5");
+}
+
+} // namespace
+} // namespace vlr

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the thread pool used by index training and batched search.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/threadpool.h"
+
+namespace vlr
+{
+namespace
+{
+
+TEST(ThreadPool, ZeroThreadsRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), 0u);
+    std::vector<int> hits(10, 0);
+    pool.parallelFor(10, [&](std::size_t i) { hits[i]++; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EachIndexVisitedExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SumReductionViaAtomics)
+{
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    pool.parallelFor(1000, [&](std::size_t i) {
+        sum += static_cast<long>(i);
+    });
+    EXPECT_EQ(sum.load(), 1000L * 999L / 2L);
+}
+
+TEST(ThreadPool, ChunksPartitionRange)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1003;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelChunks(n, [&](std::size_t lo, std::size_t hi) {
+        EXPECT_LE(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i)
+            hits[i]++;
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ChunksWithFewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelChunks(3, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            hits[i]++;
+    });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 20; ++round)
+        pool.parallelFor(50, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 20 * 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolIsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numThreads(), 0u);
+    std::atomic<int> count{0};
+    pool.parallelFor(5, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 5);
+}
+
+} // namespace
+} // namespace vlr

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for bounded top-k selection and hit-list merging.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vecsearch/topk.h"
+
+namespace vlr::vs
+{
+namespace
+{
+
+TEST(TopK, KeepsKSmallest)
+{
+    TopK t(3);
+    for (float d : {5.f, 1.f, 4.f, 2.f, 3.f})
+        t.push(static_cast<idx_t>(d * 10), d);
+    const auto hits = t.sortedHits();
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_FLOAT_EQ(hits[0].dist, 1.f);
+    EXPECT_FLOAT_EQ(hits[1].dist, 2.f);
+    EXPECT_FLOAT_EQ(hits[2].dist, 3.f);
+}
+
+TEST(TopK, FewerThanKItems)
+{
+    TopK t(10);
+    t.push(1, 0.5f);
+    t.push(2, 0.1f);
+    const auto hits = t.sortedHits();
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].id, 2);
+    EXPECT_EQ(hits[1].id, 1);
+}
+
+TEST(TopK, WorstIsInfUntilFull)
+{
+    TopK t(2);
+    EXPECT_GT(t.worst(), 1e30f);
+    t.push(1, 1.f);
+    EXPECT_GT(t.worst(), 1e30f);
+    t.push(2, 2.f);
+    EXPECT_FLOAT_EQ(t.worst(), 2.f);
+}
+
+TEST(TopK, WorstTracksKthBest)
+{
+    TopK t(2);
+    t.push(1, 5.f);
+    t.push(2, 3.f);
+    EXPECT_FLOAT_EQ(t.worst(), 5.f);
+    t.push(3, 1.f); // evicts 5
+    EXPECT_FLOAT_EQ(t.worst(), 3.f);
+}
+
+TEST(TopK, RejectsWorseThanWorst)
+{
+    TopK t(2);
+    t.push(1, 1.f);
+    t.push(2, 2.f);
+    t.push(3, 9.f); // rejected
+    const auto hits = t.sortedHits();
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].id, 1);
+    EXPECT_EQ(hits[1].id, 2);
+}
+
+TEST(TopK, SortedHitsBreakTiesById)
+{
+    TopK t(3);
+    t.push(7, 1.f);
+    t.push(3, 1.f);
+    t.push(5, 1.f);
+    const auto hits = t.sortedHits();
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[0].id, 3);
+    EXPECT_EQ(hits[1].id, 5);
+    EXPECT_EQ(hits[2].id, 7);
+}
+
+TEST(TopK, CapacityAndSizeAccessors)
+{
+    TopK t(4);
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_FALSE(t.full());
+    for (int i = 0; i < 4; ++i)
+        t.push(i, static_cast<float>(i));
+    EXPECT_TRUE(t.full());
+    EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(TopK, AgreesWithFullSort)
+{
+    Rng rng(42);
+    const std::size_t n = 1000, k = 25;
+    std::vector<SearchHit> all(n);
+    TopK t(k);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float d = static_cast<float>(rng.uniform());
+        all[i] = {static_cast<idx_t>(i), d};
+        t.push(static_cast<idx_t>(i), d);
+    }
+    std::sort(all.begin(), all.end(), [](const auto &a, const auto &b) {
+        return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+    });
+    const auto hits = t.sortedHits();
+    ASSERT_EQ(hits.size(), k);
+    for (std::size_t i = 0; i < k; ++i)
+        EXPECT_EQ(hits[i], all[i]) << "rank " << i;
+}
+
+// --- mergeHitLists ----------------------------------------------------
+
+TEST(MergeHits, MergesDisjointLists)
+{
+    std::vector<std::vector<SearchHit>> lists = {
+        {{1, 1.f}, {3, 3.f}},
+        {{2, 2.f}, {4, 4.f}},
+    };
+    const auto merged = mergeHitLists(lists, 3);
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_EQ(merged[0].id, 1);
+    EXPECT_EQ(merged[1].id, 2);
+    EXPECT_EQ(merged[2].id, 3);
+}
+
+TEST(MergeHits, HandlesEmptyLists)
+{
+    std::vector<std::vector<SearchHit>> lists = {
+        {},
+        {{5, 0.5f}},
+        {},
+    };
+    const auto merged = mergeHitLists(lists, 4);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].id, 5);
+}
+
+TEST(MergeHits, TruncatesToK)
+{
+    std::vector<std::vector<SearchHit>> lists = {
+        {{1, 1.f}, {2, 2.f}, {3, 3.f}},
+        {{4, 1.5f}, {5, 2.5f}},
+    };
+    const auto merged = mergeHitLists(lists, 2);
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].id, 1);
+    EXPECT_EQ(merged[1].id, 4);
+}
+
+TEST(MergeHits, EquivalentToTopKOverUnion)
+{
+    Rng rng(7);
+    std::vector<std::vector<SearchHit>> lists(4);
+    TopK ref(10);
+    idx_t id = 0;
+    for (auto &list : lists) {
+        TopK local(50);
+        for (int i = 0; i < 50; ++i) {
+            const float d = static_cast<float>(rng.uniform());
+            local.push(id, d);
+            ref.push(id, d);
+            ++id;
+        }
+        list = local.sortedHits();
+    }
+    const auto merged = mergeHitLists(lists, 10);
+    const auto expect = ref.sortedHits();
+    ASSERT_EQ(merged.size(), expect.size());
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        EXPECT_EQ(merged[i], expect[i]);
+}
+
+} // namespace
+} // namespace vlr::vs

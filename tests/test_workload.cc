@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for arrival processes, synthetic datasets, query generation and
+ * query plans.
+ */
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/arrival.h"
+#include "workload/dataset.h"
+#include "workload/plans.h"
+
+namespace vlr::wl
+{
+namespace
+{
+
+TEST(Arrivals, PoissonCountNearRateTimesHorizon)
+{
+    const auto times = poissonArrivals(50.0, 100.0, 1);
+    // Expected 5000 arrivals; Poisson sd is ~71.
+    EXPECT_NEAR(static_cast<double>(times.size()), 5000.0, 300.0);
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_GE(times[i], times[i - 1]);
+    EXPECT_GE(times.front(), 0.0);
+    EXPECT_LT(times.back(), 100.0);
+}
+
+TEST(Arrivals, PoissonIsSeedDeterministic)
+{
+    const auto a = poissonArrivals(10.0, 10.0, 42);
+    const auto b = poissonArrivals(10.0, 10.0, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Arrivals, UniformIsEvenlySpaced)
+{
+    // First arrival at 1/rate; the horizon endpoint is excluded.
+    const auto times = uniformArrivals(4.0, 2.0);
+    ASSERT_EQ(times.size(), 7u);
+    EXPECT_NEAR(times.front(), 0.25, 1e-12);
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_NEAR(times[i] - times[i - 1], 0.25, 1e-9);
+    EXPECT_LT(times.back(), 2.0);
+}
+
+// --- DatasetSpec presets -------------------------------------------------
+
+TEST(DatasetSpec, PresetsMatchTableI)
+{
+    EXPECT_NEAR(wikiAllSpec().sloSearchSeconds, 0.150, 1e-9);
+    EXPECT_NEAR(orcas1kSpec().sloSearchSeconds, 0.200, 1e-9);
+    EXPECT_NEAR(orcas2kSpec().sloSearchSeconds, 0.300, 1e-9);
+    EXPECT_EQ(wikiAllSpec().paperIndexBytes, 18_GiB);
+    EXPECT_EQ(orcas1kSpec().paperIndexBytes, 40_GiB);
+    EXPECT_EQ(orcas2kSpec().paperIndexBytes, 80_GiB);
+}
+
+TEST(DatasetSpec, OrcasIsMoreSkewedThanWikiAll)
+{
+    EXPECT_GT(orcas1kSpec().queryZipf, wikiAllSpec().queryZipf);
+}
+
+TEST(DatasetSpec, ScaleFactorMapsToPaperScale)
+{
+    const auto s = wikiAllSpec();
+    EXPECT_NEAR(s.scaleFactor(),
+                s.paperVectors / static_cast<double>(s.numVectors),
+                1e-9);
+    EXPECT_GT(s.bytesPerSimVector(), 0.0);
+}
+
+TEST(DatasetSpec, LookupByName)
+{
+    EXPECT_EQ(specByName("wiki-all").name, wikiAllSpec().name);
+    EXPECT_EQ(specByName("orcas-1k").name, orcas1kSpec().name);
+    EXPECT_EQ(specByName("orcas-2k").name, orcas2kSpec().name);
+    EXPECT_EQ(specByName("tiny").name, tinySpec().name);
+    EXPECT_THROW(specByName("nonexistent"), std::runtime_error);
+}
+
+// --- SyntheticDataset ------------------------------------------------------
+
+TEST(Dataset, StatsClusterSizesSumToTotal)
+{
+    SyntheticDataset ds(tinySpec());
+    ds.buildStats();
+    EXPECT_TRUE(ds.hasStats());
+    EXPECT_FALSE(ds.hasVectors());
+    const auto &sizes = ds.clusterSizes();
+    EXPECT_EQ(sizes.size(), ds.spec().numClusters);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0ul),
+              ds.spec().numVectors);
+}
+
+TEST(Dataset, ClusterSizesAreSkewed)
+{
+    SyntheticDataset ds(tinySpec());
+    ds.buildStats();
+    auto sizes = ds.clusterSizes();
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    // Top 10% of clusters hold clearly more than 10% of vectors.
+    const std::size_t top = sizes.size() / 10;
+    std::size_t top_sum = 0;
+    for (std::size_t i = 0; i < top; ++i)
+        top_sum += sizes[i];
+    EXPECT_GT(static_cast<double>(top_sum),
+              0.15 * static_cast<double>(ds.spec().numVectors));
+}
+
+TEST(Dataset, VectorsMatchAssignments)
+{
+    SyntheticDataset ds(tinySpec());
+    ds.buildVectors();
+    EXPECT_TRUE(ds.hasVectors());
+    EXPECT_EQ(ds.vectors().size(),
+              ds.spec().numVectors * ds.spec().dim);
+    EXPECT_EQ(ds.assignments().size(), ds.spec().numVectors);
+    // Per-cluster counts implied by assignments match clusterSizes().
+    std::vector<std::size_t> counts(ds.spec().numClusters, 0);
+    for (const auto a : ds.assignments())
+        ++counts[a];
+    for (std::size_t c = 0; c < counts.size(); ++c)
+        EXPECT_EQ(counts[c], ds.clusterSizes()[c]) << "cluster " << c;
+}
+
+TEST(Dataset, ClusterBytesProportionalToSize)
+{
+    SyntheticDataset ds(tinySpec());
+    ds.buildStats();
+    double total = 0.0;
+    for (cluster_id_t c = 0;
+         c < static_cast<cluster_id_t>(ds.spec().numClusters); ++c)
+        total += ds.clusterBytes(c);
+    EXPECT_NEAR(total, static_cast<double>(ds.spec().paperIndexBytes),
+                0.01 * total);
+}
+
+TEST(Dataset, CoarseQuantizerUsesGeneratorCenters)
+{
+    SyntheticDataset ds(tinySpec());
+    ds.buildStats();
+    const auto cq = ds.makeCoarseQuantizer();
+    EXPECT_EQ(cq->nlist(), ds.spec().numClusters);
+    EXPECT_EQ(cq->dim(), ds.spec().dim);
+    // Probing with a center returns that cluster first.
+    const float *center = ds.centers().data() + 5 * ds.spec().dim;
+    const auto probes = cq->probe(center, 1);
+    EXPECT_EQ(probes.clusters[0], 5);
+}
+
+TEST(Dataset, DeterministicAcrossInstances)
+{
+    SyntheticDataset a(tinySpec()), b(tinySpec());
+    a.buildStats();
+    b.buildStats();
+    for (std::size_t i = 0; i < a.centers().size(); ++i)
+        EXPECT_FLOAT_EQ(a.centers()[i], b.centers()[i]);
+}
+
+// --- QueryGenerator ---------------------------------------------------------
+
+TEST(QueryGen, GeneratesRequestedCount)
+{
+    SyntheticDataset ds(tinySpec());
+    ds.buildStats();
+    QueryGenerator gen(ds, 3);
+    const auto q = gen.generate(17);
+    EXPECT_EQ(q.size(), 17u * ds.spec().dim);
+}
+
+TEST(QueryGen, DriftChangesPopularityOrder)
+{
+    SyntheticDataset ds(tinySpec());
+    ds.buildStats();
+    QueryGenerator gen(ds, 3);
+    const auto before = gen.popularityOrder();
+    gen.drift(0.5);
+    const auto &after = gen.popularityOrder();
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < before.size(); ++i)
+        moved += before[i] != after[i];
+    EXPECT_GT(moved, 0u);
+}
+
+TEST(QueryGen, ZeroDriftKeepsOrder)
+{
+    SyntheticDataset ds(tinySpec());
+    ds.buildStats();
+    QueryGenerator gen(ds, 3);
+    const auto before = gen.popularityOrder();
+    gen.drift(0.0);
+    const auto &after = gen.popularityOrder();
+    for (std::size_t i = 0; i < before.size(); ++i)
+        EXPECT_EQ(before[i], after[i]);
+}
+
+// --- PlanSet -----------------------------------------------------------------
+
+struct PlanFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        ds_ = std::make_unique<SyntheticDataset>(tinySpec());
+        ds_->buildStats();
+        cq_ = ds_->makeCoarseQuantizer();
+        QueryGenerator gen(*ds_, 5);
+        queries_ = gen.generate(nq_);
+        work_.resize(ds_->spec().numClusters);
+        for (std::size_t c = 0; c < work_.size(); ++c)
+            work_[c] = static_cast<double>(ds_->clusterSizes()[c]) *
+                       ds_->spec().scaleFactor();
+        plans_ = PlanSet::build(*cq_, queries_, nq_,
+                                ds_->spec().nprobe, work_);
+    }
+
+    const std::size_t nq_ = 64;
+    std::unique_ptr<SyntheticDataset> ds_;
+    std::shared_ptr<vs::FlatCoarseQuantizer> cq_;
+    std::vector<float> queries_;
+    std::vector<double> work_;
+    PlanSet plans_;
+};
+
+TEST_F(PlanFixture, PlansHaveNprobeProbes)
+{
+    EXPECT_EQ(plans_.size(), nq_);
+    for (std::size_t i = 0; i < nq_; ++i) {
+        EXPECT_EQ(plans_.plan(i).probes.size(), ds_->spec().nprobe);
+        EXPECT_EQ(plans_.plan(i).probeWork.size(), ds_->spec().nprobe);
+    }
+}
+
+TEST_F(PlanFixture, TotalWorkIsSumOfProbeWork)
+{
+    for (std::size_t i = 0; i < nq_; ++i) {
+        const auto &p = plans_.plan(i);
+        double sum = 0.0;
+        for (std::size_t j = 0; j < p.probeWork.size(); ++j) {
+            sum += p.probeWork[j];
+            EXPECT_NEAR(p.probeWork[j], work_[p.probes[j]], 1e-9);
+        }
+        EXPECT_NEAR(p.totalWork, sum, 1e-6);
+    }
+}
+
+TEST_F(PlanFixture, AccessCountsSumToTotalProbes)
+{
+    const auto counts =
+        plans_.clusterAccessCounts(ds_->spec().numClusters);
+    const double total =
+        std::accumulate(counts.begin(), counts.end(), 0.0);
+    EXPECT_NEAR(total, static_cast<double>(nq_ * ds_->spec().nprobe),
+                1e-9);
+}
+
+TEST_F(PlanFixture, HitRateBoundsAndExtremes)
+{
+    const std::vector<bool> none(ds_->spec().numClusters, false);
+    const std::vector<bool> all(ds_->spec().numClusters, true);
+    for (std::size_t i = 0; i < nq_; ++i) {
+        EXPECT_DOUBLE_EQ(plans_.hitRate(i, none), 0.0);
+        EXPECT_NEAR(plans_.hitRate(i, all), 1.0, 1e-9);
+    }
+}
+
+TEST_F(PlanFixture, HitRateIsWorkWeighted)
+{
+    // Mark only the first probe of plan 0 as hot.
+    const auto &p = plans_.plan(0);
+    std::vector<bool> hot(ds_->spec().numClusters, false);
+    hot[p.probes[0]] = true;
+    const double expect = p.probeWork[0] / p.totalWork;
+    EXPECT_NEAR(plans_.hitRate(0, hot), expect, 1e-9);
+}
+
+TEST_F(PlanFixture, AllHitRatesMatchesPerPlan)
+{
+    std::vector<bool> hot(ds_->spec().numClusters, false);
+    for (std::size_t c = 0; c < hot.size(); c += 3)
+        hot[c] = true;
+    const auto rates = plans_.allHitRates(hot);
+    ASSERT_EQ(rates.size(), nq_);
+    for (std::size_t i = 0; i < nq_; ++i)
+        EXPECT_NEAR(rates[i], plans_.hitRate(i, hot), 1e-12);
+}
+
+TEST_F(PlanFixture, SkewedQueriesConcentrateAccesses)
+{
+    const auto counts =
+        plans_.clusterAccessCounts(ds_->spec().numClusters);
+    auto sorted = counts;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    const std::size_t top = sorted.size() / 5;
+    double top_mass = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        total += sorted[i];
+        if (i < top)
+            top_mass += sorted[i];
+    }
+    // Tiny spec uses Zipf 0.9: top 20% must hold well over 20%.
+    EXPECT_GT(top_mass / total, 0.35);
+}
+
+} // namespace
+} // namespace vlr::wl
