@@ -42,7 +42,7 @@ main()
         auto cfg = bench::makeServingConfig(
             spec, model, core::RetrieverKind::VectorLite, rate);
         cfg.peakThroughputHint = peak;
-        cfg.maxRetrievalBatch = cap;
+        cfg.batching.maxBatch = cap;
         const auto res = core::runServing(cfg, ctx);
         t.addRow({cap == 64 ? "adaptive (64)" : std::to_string(cap),
                   TextTable::num(res.meanRetrievalBatch, 1),

@@ -169,6 +169,22 @@ SampleSet::ensureSorted() const
     sortedValid_ = true;
 }
 
+LatencySummary
+summarizeLatency(const SampleSet &samples)
+{
+    LatencySummary s;
+    if (samples.empty())
+        return s;
+    s.count = samples.count();
+    s.mean = samples.mean();
+    s.p50 = samples.percentile(50);
+    s.p90 = samples.percentile(90);
+    s.p95 = samples.percentile(95);
+    s.p99 = samples.percentile(99);
+    s.max = samples.max();
+    return s;
+}
+
 std::vector<CdfPoint>
 weightConcentrationCurve(std::span<const double> weights,
                          std::size_t max_points)

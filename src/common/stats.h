@@ -79,6 +79,25 @@ class SampleSet
     mutable bool sortedValid_ = false;
 };
 
+/**
+ * Fixed latency-percentile digest shared by the serving simulator and
+ * the real retrieval engine, so modeled and measured distributions are
+ * reported (and compared) through one type.
+ */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Digest a sample set (all zeros when empty). */
+LatencySummary summarizeLatency(const SampleSet &samples);
+
 /** One (x, cumulative fraction) point of an empirical CDF. */
 struct CdfPoint
 {

@@ -1,6 +1,7 @@
 #include "common/threadpool.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace vlr
 {
@@ -39,11 +40,6 @@ ThreadPool::workerLoop()
             tasks_.pop();
         }
         task();
-        {
-            std::lock_guard<std::mutex> lk(mutex_);
-            --inflight_;
-        }
-        cvDone_.notify_all();
     }
 }
 
@@ -52,17 +48,19 @@ ThreadPool::submit(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lk(mutex_);
-        ++inflight_;
         tasks_.push(std::move(task));
     }
     cvTask_.notify_one();
 }
 
 void
-ThreadPool::waitAll()
+ThreadPool::submitDetached(std::function<void()> task)
 {
-    std::unique_lock<std::mutex> lk(mutex_);
-    cvDone_.wait(lk, [this] { return inflight_ == 0; });
+    if (threads_.empty()) {
+        task();
+        return;
+    }
+    submit(std::move(task));
 }
 
 void
@@ -87,11 +85,69 @@ ThreadPool::parallelChunks(
         return;
     }
     const std::size_t chunk = (n + workers - 1) / workers;
-    for (std::size_t b = 0; b < n; b += chunk) {
-        const std::size_t e = std::min(n, b + chunk);
-        submit([&fn, b, e] { fn(b, e); });
+    // The caller runs the first chunk itself while the pool works on the
+    // rest; its Sync latch only counts this call's tasks, so concurrent
+    // loops on the same pool don't wait on each other.
+    const auto sync = std::make_shared<Sync>();
+    {
+        std::lock_guard<std::mutex> lk(sync->m);
+        for (std::size_t b = chunk; b < n; b += chunk)
+            ++sync->remaining;
     }
-    waitAll();
+    for (std::size_t b = chunk; b < n; b += chunk) {
+        const std::size_t e = std::min(n, b + chunk);
+        submit([sync, &fn, b, e] {
+            fn(b, e);
+            sync->finishOne();
+        });
+    }
+    fn(0, std::min(n, chunk));
+    sync->wait();
+}
+
+void
+ThreadPool::parallelForDynamic(std::size_t n, std::size_t grain,
+                               const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    grain = std::max<std::size_t>(grain, 1);
+    if (threads_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    struct DynState
+    {
+        std::atomic<std::size_t> next{0};
+        Sync sync;
+    };
+    const auto state = std::make_shared<DynState>();
+    const auto work = [state, &fn, n, grain] {
+        for (;;) {
+            const std::size_t b = state->next.fetch_add(grain);
+            if (b >= n)
+                return;
+            const std::size_t e = std::min(n, b + grain);
+            for (std::size_t i = b; i < e; ++i)
+                fn(i);
+        }
+    };
+
+    const std::size_t chunks = (n + grain - 1) / grain;
+    const std::size_t helpers = std::min(threads_.size(), chunks);
+    {
+        std::lock_guard<std::mutex> lk(state->sync.m);
+        state->sync.remaining = helpers;
+    }
+    for (std::size_t h = 0; h < helpers; ++h)
+        submit([state, work] {
+            work();
+            state->sync.finishOne();
+        });
+    work();
+    state->sync.wait();
 }
 
 } // namespace vlr

@@ -1,15 +1,26 @@
 /**
  * @file
- * Minimal fixed-size thread pool with a blocking parallelFor.
+ * Minimal fixed-size thread pool with blocking parallel loops.
  *
  * Used by the vector-search substrate for index training and batched
- * search. Falls back to inline execution when constructed with zero or
- * one worker, which keeps single-core CI environments deterministic.
+ * search, and by the retrieval engine's batch executor. Falls back to
+ * inline execution when constructed with zero or one worker, which keeps
+ * single-core CI environments deterministic.
+ *
+ * All parallel loops track completion with per-call state, so the pool
+ * is safe to share between concurrent *external* callers (e.g. the
+ * engine's dispatcher thread running a batch while a bench thread
+ * profiles): a caller only waits for its own work, and the calling
+ * thread participates in the loop so external loops make progress even
+ * when every worker is busy. Nesting a blocking loop *inside* a pool
+ * task is not supported — the inner wait parks a worker without
+ * draining the queue and can deadlock.
  */
 
 #ifndef VLR_COMMON_THREADPOOL_H
 #define VLR_COMMON_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -48,17 +59,52 @@ class ThreadPool
         std::size_t n,
         const std::function<void(std::size_t, std::size_t)> &fn);
 
+    /**
+     * Run fn(i) for i in [0, n) with dynamic scheduling: workers steal
+     * `grain`-sized index ranges from a shared cursor, so skewed
+     * per-index costs (e.g. queries probing lists of very different
+     * sizes) stay balanced. Blocks until every index is processed.
+     */
+    void parallelForDynamic(std::size_t n, std::size_t grain,
+                            const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Enqueue a fire-and-forget task. Runs inline when the pool has no
+     * workers. The task must not outlive the pool.
+     */
+    void submitDetached(std::function<void()> task);
+
   private:
+    /** Per-call completion latch for the blocking loops. */
+    struct Sync
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::size_t remaining = 0;
+
+        void
+        finishOne()
+        {
+            std::lock_guard<std::mutex> lk(m);
+            if (--remaining == 0)
+                cv.notify_all();
+        }
+
+        void
+        wait()
+        {
+            std::unique_lock<std::mutex> lk(m);
+            cv.wait(lk, [this] { return remaining == 0; });
+        }
+    };
+
     void workerLoop();
     void submit(std::function<void()> task);
-    void waitAll();
 
     std::vector<std::thread> threads_;
     std::queue<std::function<void()>> tasks_;
     std::mutex mutex_;
     std::condition_variable cvTask_;
-    std::condition_variable cvDone_;
-    std::size_t inflight_ = 0;
     bool stop_ = false;
 };
 

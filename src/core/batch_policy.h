@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Dynamic batching policy shared by the serving simulator and the real
+ * retrieval engine (paper Section IV-B2): queries admitted to a queue
+ * are dispatched as one batch when the batch cap fills or the oldest
+ * admitted query has waited out the timeout.
+ */
+
+#ifndef VLR_CORE_BATCH_POLICY_H
+#define VLR_CORE_BATCH_POLICY_H
+
+#include <cstddef>
+
+namespace vlr::core
+{
+
+struct BatchPolicy
+{
+    /** Maximum queries dispatched in one retrieval batch. */
+    std::size_t maxBatch = 64;
+
+    /**
+     * Longest the oldest admitted query may wait before the partial
+     * batch is dispatched anyway. The event-driven simulator batches
+     * strictly on demand (whatever is pending when the previous batch
+     * finishes), which corresponds to a timeout of zero.
+     */
+    double timeoutSeconds = 0.0;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_BATCH_POLICY_H

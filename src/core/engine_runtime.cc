@@ -1,0 +1,222 @@
+#include "core/engine_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace vlr::core
+{
+
+namespace
+{
+
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+RetrievalEngine::RetrievalEngine(const vs::IvfPqFastScanIndex &index,
+                                 EngineOptions options)
+    : index_(index), options_(options), pool_(options.numSearchThreads)
+{
+    if (options_.batching.maxBatch == 0)
+        options_.batching.maxBatch = 1;
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+RetrievalEngine::~RetrievalEngine()
+{
+    shutdown();
+}
+
+std::future<EngineQueryResult>
+RetrievalEngine::submit(std::span<const float> query)
+{
+    const std::size_t d = index_.dim();
+    assert(query.size() >= d);
+
+    Pending p;
+    p.query.assign(query.begin(), query.begin() + d);
+    p.admitted = Clock::now();
+    auto fut = p.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!accepting_)
+            throw std::runtime_error(
+                "RetrievalEngine: submit after shutdown");
+        // Count before the dispatcher can see the query, so stats()
+        // never observes completed > submitted. statsMutex_ nests
+        // inside mutex_ only here; no path takes them reversed.
+        {
+            std::lock_guard<std::mutex> slk(statsMutex_);
+            ++submitted_;
+        }
+        queue_.push_back(std::move(p));
+    }
+    cvDispatch_.notify_all();
+    return fut;
+}
+
+void
+RetrievalEngine::drain()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    flushing_ = true;
+    cvDispatch_.notify_all();
+    cvIdle_.wait(lk, [this] { return queue_.empty() && !batchInFlight_; });
+    flushing_ = false;
+    cvDispatch_.notify_all();
+}
+
+void
+RetrievalEngine::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        accepting_ = false;
+    }
+    if (dispatcher_.joinable()) {
+        drain();
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            stop_ = true;
+        }
+        cvDispatch_.notify_all();
+        dispatcher_.join();
+    }
+}
+
+bool
+RetrievalEngine::accepting() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return accepting_;
+}
+
+std::size_t
+RetrievalEngine::pendingQueries() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return queue_.size();
+}
+
+EngineStatsSnapshot
+RetrievalEngine::stats() const
+{
+    std::lock_guard<std::mutex> lk(statsMutex_);
+    EngineStatsSnapshot s;
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.batches = batches_;
+    s.meanBatchSize = batchSizes_.mean();
+    const auto digest = [](const Reservoir &r) {
+        SampleSet ss;
+        ss.addAll(r.samples);
+        return summarizeLatency(ss);
+    };
+    s.queueLatency = digest(queueSamples_);
+    s.searchLatency = digest(searchSamples_);
+    s.totalLatency = digest(totalSamples_);
+    return s;
+}
+
+void
+RetrievalEngine::dispatcherLoop()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+        cvDispatch_.wait(lk, [this] {
+            return stop_ || flushing_ || !queue_.empty();
+        });
+        if (queue_.empty()) {
+            if (stop_)
+                return;
+            // Drain requested with nothing queued: report idle, then
+            // sleep until the flush flag clears or new work arrives
+            // (avoids spinning on the outer predicate).
+            cvIdle_.notify_all();
+            cvDispatch_.wait(lk, [this] {
+                return stop_ || !flushing_ || !queue_.empty();
+            });
+            continue;
+        }
+
+        // Batch formation (paper IV-B2): dispatch once the cap fills,
+        // the oldest admitted query has waited out the timeout, or a
+        // drain/stop forces the partial batch out.
+        const auto deadline =
+            queue_.front().admitted +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(
+                    options_.batching.timeoutSeconds));
+        while (!stop_ && !flushing_ &&
+               queue_.size() < options_.batching.maxBatch) {
+            if (cvDispatch_.wait_until(lk, deadline) ==
+                std::cv_status::timeout)
+                break;
+        }
+
+        const std::size_t take =
+            std::min(queue_.size(), options_.batching.maxBatch);
+        std::vector<Pending> batch;
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        batchInFlight_ = true;
+        lk.unlock();
+        executeBatch(std::move(batch));
+        lk.lock();
+        batchInFlight_ = false;
+        cvIdle_.notify_all();
+    }
+}
+
+void
+RetrievalEngine::executeBatch(std::vector<Pending> batch)
+{
+    const std::size_t nq = batch.size();
+    const std::size_t d = index_.dim();
+
+    std::vector<float> queries(nq * d);
+    for (std::size_t i = 0; i < nq; ++i)
+        std::copy(batch[i].query.begin(), batch[i].query.end(),
+                  queries.begin() + i * d);
+
+    const auto t0 = Clock::now();
+    auto results = index_.searchBatchParallel(queries, nq, options_.k,
+                                              options_.nprobe, pool_);
+    const auto t1 = Clock::now();
+    const double search_s = secondsBetween(t0, t1);
+
+    {
+        std::lock_guard<std::mutex> slk(statsMutex_);
+        ++batches_;
+        batchSizes_.add(static_cast<double>(nq));
+        for (std::size_t i = 0; i < nq; ++i) {
+            queueSamples_.add(secondsBetween(batch[i].admitted, t0),
+                              statsRng_);
+            searchSamples_.add(search_s, statsRng_);
+            totalSamples_.add(secondsBetween(batch[i].admitted, t1),
+                              statsRng_);
+            ++completed_;
+        }
+    }
+
+    for (std::size_t i = 0; i < nq; ++i) {
+        EngineQueryResult r;
+        r.hits = std::move(results[i]);
+        r.queueSeconds = secondsBetween(batch[i].admitted, t0);
+        r.searchSeconds = search_s;
+        r.totalSeconds = secondsBetween(batch[i].admitted, t1);
+        r.batchSize = nq;
+        batch[i].promise.set_value(std::move(r));
+    }
+}
+
+} // namespace vlr::core

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Executable concurrent retrieval engine — the online counterpart of
+ * the event-driven serving simulator.
+ *
+ * Queries enter an admission queue via submit(); a dispatcher thread
+ * forms dynamic batches under the shared BatchPolicy (dispatch when the
+ * batch cap fills or the oldest admitted query times out, paper Section
+ * IV-B2) and executes each batch as a *real* IVF-PQ fast-scan search
+ * fanned out across a ThreadPool with per-query top-k results. Per-query
+ * queue/search/total latencies are recorded as LatencySummary digests —
+ * the same type the simulator reports — so measured percentiles can be
+ * compared directly against the analytic perf-model predictions.
+ */
+
+#ifndef VLR_CORE_ENGINE_RUNTIME_H
+#define VLR_CORE_ENGINE_RUNTIME_H
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/threadpool.h"
+#include "core/batch_policy.h"
+#include "vecsearch/ivf_pq_fastscan.h"
+
+namespace vlr::core
+{
+
+struct EngineOptions
+{
+    /** Dispatcher policy shared with ServingConfig. */
+    BatchPolicy batching{.maxBatch = 64, .timeoutSeconds = 2e-3};
+    /** Results returned per query. */
+    std::size_t k = 10;
+    /** Probed IVF lists per query. */
+    std::size_t nprobe = 16;
+    /** Search worker threads (0/1 = batch executes inline). */
+    std::size_t numSearchThreads = 4;
+};
+
+/** Outcome of one engine query. */
+struct EngineQueryResult
+{
+    std::vector<vs::SearchHit> hits;
+    /** Admission to batch start. */
+    double queueSeconds = 0.0;
+    /** Batch start to batch completion. */
+    double searchSeconds = 0.0;
+    /** Admission to completion. */
+    double totalSeconds = 0.0;
+    /** Size of the batch this query rode in. */
+    std::size_t batchSize = 0;
+};
+
+/**
+ * Aggregate engine statistics since construction. Latency digests are
+ * computed over a bounded uniform reservoir (capacity 65536 per
+ * distribution), so a long-running engine's memory stays constant;
+ * percentiles become approximate once more queries than that have been
+ * served. Counters are exact.
+ */
+struct EngineStatsSnapshot
+{
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t batches = 0;
+    double meanBatchSize = 0.0;
+    LatencySummary queueLatency;
+    LatencySummary searchLatency;
+    LatencySummary totalLatency;
+};
+
+/**
+ * Online serving front-end over an IvfPqFastScanIndex. submit() is
+ * thread-safe and may be called from any number of client threads; the
+ * index must outlive the engine. Destruction drains pending queries.
+ */
+class RetrievalEngine
+{
+  public:
+    RetrievalEngine(const vs::IvfPqFastScanIndex &index,
+                    EngineOptions options);
+    ~RetrievalEngine();
+
+    RetrievalEngine(const RetrievalEngine &) = delete;
+    RetrievalEngine &operator=(const RetrievalEngine &) = delete;
+
+    /**
+     * Admit one query (copied; dim() floats). The future resolves when
+     * the query's batch completes. @throws std::runtime_error after
+     * shutdown().
+     */
+    std::future<EngineQueryResult> submit(std::span<const float> query);
+
+    /** Block until every admitted query has completed. */
+    void drain();
+
+    /**
+     * Drain, then stop the dispatcher. Idempotent; subsequent submits
+     * throw.
+     */
+    void shutdown();
+
+    bool accepting() const;
+    std::size_t pendingQueries() const;
+    EngineStatsSnapshot stats() const;
+    const EngineOptions &options() const { return options_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        std::vector<float> query;
+        std::promise<EngineQueryResult> promise;
+        Clock::time_point admitted;
+    };
+
+    /** Fixed-size uniform reservoir of latency samples. */
+    struct Reservoir
+    {
+        static constexpr std::size_t kCapacity = 65536;
+        std::vector<double> samples;
+        std::size_t seen = 0;
+
+        void
+        add(double x, Rng &rng)
+        {
+            ++seen;
+            if (samples.size() < kCapacity) {
+                samples.push_back(x);
+                return;
+            }
+            const std::uint64_t j = rng.uniformU64(seen);
+            if (j < kCapacity)
+                samples[j] = x;
+        }
+    };
+
+    void dispatcherLoop();
+    void executeBatch(std::vector<Pending> batch);
+
+    const vs::IvfPqFastScanIndex &index_;
+    EngineOptions options_;
+    ThreadPool pool_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cvDispatch_;
+    std::condition_variable cvIdle_;
+    std::deque<Pending> queue_;
+    bool accepting_ = true;
+    bool stop_ = false;
+    bool flushing_ = false;
+    bool batchInFlight_ = false;
+
+    mutable std::mutex statsMutex_;
+    Rng statsRng_{0x5eed11fe};
+    Reservoir queueSamples_;
+    Reservoir searchSamples_;
+    Reservoir totalSamples_;
+    RunningStats batchSizes_;
+    std::size_t submitted_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t batches_ = 0;
+
+    std::thread dispatcher_;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_ENGINE_RUNTIME_H

@@ -35,6 +35,18 @@ SearchPerfModel::profile(const gpu::CpuSearchModel &truth,
     return m;
 }
 
+SearchPerfModel
+SearchPerfModel::fromKnots(std::span<const PlKnot> cq_samples,
+                           std::span<const PlKnot> lut_samples)
+{
+    assert(!cq_samples.empty());
+    assert(!lut_samples.empty());
+    SearchPerfModel m;
+    m.cq_ = PiecewiseLinearModel::fit(cq_samples);
+    m.lut_ = PiecewiseLinearModel::fit(lut_samples);
+    return m;
+}
+
 double
 SearchPerfModel::tCq(double b) const
 {

@@ -39,6 +39,15 @@ class SearchPerfModel
                                    std::uint64_t seed = 99,
                                    std::size_t repeats = 3);
 
+    /**
+     * Build directly from measured (batch size, seconds) samples of the
+     * CQ and LUT stages — the path used when profiling the *real*
+     * retrieval engine (bench/bench_engine) instead of the calibrated
+     * cost model.
+     */
+    static SearchPerfModel fromKnots(std::span<const PlKnot> cq_samples,
+                                     std::span<const PlKnot> lut_samples);
+
     /** Modeled coarse-quantization latency at batch size b. */
     double tCq(double b) const;
     /** Modeled full-miss LUT latency at batch size b. */

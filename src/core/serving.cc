@@ -144,7 +144,7 @@ runServing(const ServingConfig &config, DatasetContext &ctx)
         retrieval_busy = true;
         std::vector<std::size_t> batch;
         const std::size_t take =
-            std::min(pending.size(), config.maxRetrievalBatch);
+            std::min(pending.size(), config.batching.maxBatch);
         batch.assign(pending.begin(), pending.begin() + take);
         pending.erase(pending.begin(), pending.begin() + take);
 
@@ -254,11 +254,12 @@ runServing(const ServingConfig &config, DatasetContext &ctx)
 
     if (res.submitted > 0) {
         res.attainment = ttft.fractionBelow(res.sloTotalSeconds);
-        res.meanTtft = ttft.mean();
-        res.p50Ttft = ttft.percentile(50);
-        res.p90Ttft = ttft.percentile(90);
-        res.p95Ttft = ttft.percentile(95);
-        res.p99Ttft = ttft.percentile(99);
+        const LatencySummary ts = summarizeLatency(ttft);
+        res.meanTtft = ts.mean;
+        res.p50Ttft = ts.p50;
+        res.p90Ttft = ts.p90;
+        res.p95Ttft = ts.p95;
+        res.p99Ttft = ts.p99;
         res.meanE2e = e2e.mean();
         res.p90E2e = e2e.percentile(90);
         res.meanQueueDelay = queue_delay.mean();

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "core/batch_policy.h"
 #include "core/batch_search.h"
 #include "core/context.h"
 #include "core/retriever.h"
@@ -48,7 +49,8 @@ struct ServingConfig
     /** Force the dispatcher off (Fig. 14 ablation); -1 = strategy's. */
     int dispatcherOverride = -1;
 
-    std::size_t maxRetrievalBatch = 64;
+    /** Retrieval batching (the simulator only honors maxBatch). */
+    BatchPolicy batching;
     double contentionAlpha = 1.0;
     std::uint64_t seed = 77;
 

@@ -34,8 +34,10 @@
 
 // Core pipeline
 #include "core/access_profile.h"
+#include "core/batch_policy.h"
 #include "core/batch_search.h"
 #include "core/context.h"
+#include "core/engine_runtime.h"
 #include "core/hitrate_estimator.h"
 #include "core/online_update.h"
 #include "core/partitioner.h"

@@ -87,26 +87,31 @@ IvfPqFastScanIndex::addPreassigned(std::span<const float> vecs,
 
 std::vector<SearchHit>
 IvfPqFastScanIndex::search(const float *query, std::size_t k,
-                           std::size_t nprobe, SearchBreakdown *bd) const
+                           std::size_t nprobe, SearchBreakdown *bd,
+                           SearchScratch *scratch) const
 {
     WallTimer t;
     const auto pl = cq_->probe(query, nprobe);
     if (bd)
         bd->cqSeconds += t.elapsed();
-    return searchClusters(query, k, pl.clusters, bd);
+    return searchClusters(query, k, pl.clusters, bd, scratch);
 }
 
 std::vector<SearchHit>
 IvfPqFastScanIndex::searchClusters(const float *query, std::size_t k,
                                    std::span<const cluster_id_t> clusters,
-                                   SearchBreakdown *bd) const
+                                   SearchBreakdown *bd,
+                                   SearchScratch *scratch) const
 {
     const std::size_t m = pq_.numSub();
 
+    SearchScratch local;
+    SearchScratch &sc = scratch ? *scratch : local;
+
     WallTimer t;
-    std::vector<float> flut(pq_.lutSize());
-    pq_.computeLut(query, flut.data());
-    const QuantizedLut qlut = quantizeLut(m, flut);
+    sc.lut.resize(pq_.lutSize());
+    pq_.computeLut(query, sc.lut.data());
+    const QuantizedLut qlut = quantizeLut(m, sc.lut);
     if (bd)
         bd->lutBuildSeconds += t.elapsed();
 
@@ -120,12 +125,13 @@ IvfPqFastScanIndex::searchClusters(const float *query, std::size_t k,
             continue;
         const std::size_t nblocks =
             (list_ids.size() + kFastScanBlock - 1) / kFastScanBlock;
-        scores_.resize(nblocks * kFastScanBlock);
+        if (sc.scores.size() < nblocks * kFastScanBlock)
+            sc.scores.resize(nblocks * kFastScanBlock);
         scanPq4Blocks(m, packed_[ci].data(), nblocks, qlut,
-                      scores_.data());
+                      sc.scores.data());
         for (std::size_t i = 0; i < list_ids.size(); ++i) {
             const float dist =
-                qlut.bias + qlut.step * static_cast<float>(scores_[i]);
+                qlut.bias + qlut.step * static_cast<float>(sc.scores[i]);
             topk.push(list_ids[i], dist);
         }
     }
@@ -142,9 +148,33 @@ IvfPqFastScanIndex::searchBatch(std::span<const float> queries,
 {
     const std::size_t d = dim();
     assert(queries.size() >= nq * d);
+    SearchScratch scratch;
     std::vector<std::vector<SearchHit>> out(nq);
     for (std::size_t i = 0; i < nq; ++i)
-        out[i] = search(queries.data() + i * d, k, nprobe, bd);
+        out[i] = search(queries.data() + i * d, k, nprobe, bd, &scratch);
+    return out;
+}
+
+std::vector<std::vector<SearchHit>>
+IvfPqFastScanIndex::searchBatchParallel(std::span<const float> queries,
+                                        std::size_t nq, std::size_t k,
+                                        std::size_t nprobe,
+                                        ThreadPool &pool,
+                                        SearchBreakdown *bd) const
+{
+    const std::size_t d = dim();
+    assert(queries.size() >= nq * d);
+    std::vector<std::vector<SearchHit>> out(nq);
+    std::vector<SearchBreakdown> bds(bd ? nq : 0);
+    pool.parallelForDynamic(nq, 1, [&](std::size_t i) {
+        // One scratch per OS thread, reused across queries and batches.
+        static thread_local SearchScratch scratch;
+        out[i] = search(queries.data() + i * d, k, nprobe,
+                        bd ? &bds[i] : nullptr, &scratch);
+    });
+    if (bd)
+        for (const auto &b : bds)
+            bd->accumulate(b);
     return out;
 }
 

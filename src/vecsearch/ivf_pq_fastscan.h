@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/threadpool.h"
 #include "vecsearch/fastscan.h"
 #include "vecsearch/ivf.h"
 #include "vecsearch/ivf_pq.h"
@@ -21,9 +22,25 @@ namespace vlr::vs
 {
 
 /**
+ * Reusable per-thread buffers for fast-scan searches. Passing one in
+ * avoids re-allocating the LUT and score buffers on every query; a
+ * default-constructed scratch is grown on first use.
+ */
+struct SearchScratch
+{
+    std::vector<float> lut;
+    std::vector<std::uint16_t> scores;
+};
+
+/**
  * IVF + PQ4 fast-scan index. PQ must use nbits = 4. Distances returned
  * are the uint8-LUT approximations mapped back to floats; they track the
  * plain ADC distances to within one quantization step per sub-quantizer.
+ *
+ * Search is reentrant: const search methods share no mutable state, so
+ * any number of threads may query one index concurrently (the engine's
+ * batch executor relies on this). The coarse quantizer must itself be
+ * thread-safe for concurrent probes — FlatCoarseQuantizer is.
  */
 class IvfPqFastScanIndex
 {
@@ -40,16 +57,30 @@ class IvfPqFastScanIndex
 
     std::vector<SearchHit> search(const float *query, std::size_t k,
                                   std::size_t nprobe,
-                                  SearchBreakdown *bd = nullptr) const;
+                                  SearchBreakdown *bd = nullptr,
+                                  SearchScratch *scratch = nullptr) const;
 
     std::vector<SearchHit> searchClusters(
         const float *query, std::size_t k,
         std::span<const cluster_id_t> clusters,
-        SearchBreakdown *bd = nullptr) const;
+        SearchBreakdown *bd = nullptr,
+        SearchScratch *scratch = nullptr) const;
 
     std::vector<std::vector<SearchHit>> searchBatch(
         std::span<const float> queries, std::size_t nq, std::size_t k,
         std::size_t nprobe, SearchBreakdown *bd = nullptr) const;
+
+    /**
+     * Multi-query search fanned out across a thread pool with dynamic
+     * load balancing and per-thread scratch reuse. Results are
+     * bit-identical to searchBatch() regardless of thread count; the
+     * aggregated breakdown sums per-query stage times (CPU work, not
+     * wall clock).
+     */
+    std::vector<std::vector<SearchHit>> searchBatchParallel(
+        std::span<const float> queries, std::size_t nq, std::size_t k,
+        std::size_t nprobe, ThreadPool &pool,
+        SearchBreakdown *bd = nullptr) const;
 
     const CoarseQuantizer &quantizer() const { return *cq_; }
     const ProductQuantizer &pq() const { return pq_; }
@@ -66,8 +97,6 @@ class IvfPqFastScanIndex
     std::size_t total_ = 0;
     std::vector<std::vector<idx_t>> ids_;
     std::vector<std::vector<std::uint8_t>> packed_;
-    /** Scratch reused across scans (per call, not thread-safe). */
-    mutable std::vector<std::uint16_t> scores_;
 };
 
 } // namespace vlr::vs

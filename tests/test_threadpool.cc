@@ -4,7 +4,9 @@
  */
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -96,6 +98,97 @@ TEST(ThreadPool, SingleThreadPoolIsInline)
     std::atomic<int> count{0};
     pool.parallelFor(5, [&](std::size_t) { count++; });
     EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, DynamicForVisitsEachIndexOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelForDynamic(n, 7, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, DynamicForInlineWhenNoWorkers)
+{
+    ThreadPool pool(0);
+    std::vector<int> hits(100, 0);
+    pool.parallelForDynamic(100, 16, [&](std::size_t i) { hits[i]++; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, DynamicForBalancesSkewedWork)
+{
+    // Index 0 is ~1000x heavier than the rest; dynamic scheduling with
+    // grain 1 must still visit everything exactly once.
+    ThreadPool pool(4);
+    const std::size_t n = 64;
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<long> sink{0};
+    pool.parallelForDynamic(n, 1, [&](std::size_t i) {
+        const long spins = i == 0 ? 200000 : 200;
+        long acc = 0;
+        for (long s = 0; s < spins; ++s)
+            acc += s;
+        sink += acc;
+        hits[i]++;
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, DynamicForZeroGrainIsClampedToOne)
+{
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(17);
+    pool.parallelForDynamic(17, 0, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < 17; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SubmitDetachedRunsTask)
+{
+    std::promise<int> done;
+    auto fut = done.get_future();
+    {
+        ThreadPool pool(2);
+        pool.submitDetached([&] { done.set_value(41 + 1); });
+        EXPECT_EQ(fut.get(), 42);
+    }
+}
+
+TEST(ThreadPool, SubmitDetachedInlineWhenNoWorkers)
+{
+    ThreadPool pool(0);
+    int x = 0;
+    pool.submitDetached([&] { x = 7; });
+    EXPECT_EQ(x, 7);
+}
+
+TEST(ThreadPool, ConcurrentLoopsFromMultipleCallers)
+{
+    // Two external threads drive independent loops through one shared
+    // pool; per-call completion tracking must keep them isolated.
+    ThreadPool pool(4);
+    std::atomic<long> sum_a{0}, sum_b{0};
+    std::thread ta([&] {
+        for (int round = 0; round < 10; ++round)
+            pool.parallelForDynamic(500, 8, [&](std::size_t i) {
+                sum_a += static_cast<long>(i);
+            });
+    });
+    std::thread tb([&] {
+        for (int round = 0; round < 10; ++round)
+            pool.parallelFor(500, [&](std::size_t i) {
+                sum_b += static_cast<long>(i);
+            });
+    });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(sum_a.load(), 10L * 500L * 499L / 2L);
+    EXPECT_EQ(sum_b.load(), 10L * 500L * 499L / 2L);
 }
 
 } // namespace
