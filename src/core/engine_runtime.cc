@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/online_update.h"
+
 namespace vlr::core
 {
 
@@ -22,6 +24,16 @@ secondsBetween(std::chrono::steady_clock::time_point a,
 RetrievalEngine::RetrievalEngine(const vs::IvfPqFastScanIndex &index,
                                  EngineOptions options)
     : index_(index), options_(options), pool_(options.numSearchThreads)
+{
+    if (options_.batching.maxBatch == 0)
+        options_.batching.maxBatch = 1;
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+RetrievalEngine::RetrievalEngine(const TieredIndex &index,
+                                 EngineOptions options)
+    : index_(index.source()), tiered_(&index), options_(options),
+      pool_(options.numSearchThreads)
 {
     if (options_.batching.maxBatch == 0)
         options_.batching.maxBatch = 1;
@@ -189,10 +201,21 @@ RetrievalEngine::executeBatch(std::vector<Pending> batch)
                   queries.begin() + i * d);
 
     const auto t0 = Clock::now();
-    auto results = index_.searchBatchParallel(queries, nq, options_.k,
-                                              options_.nprobe, pool_);
+    TieredBatchStats tstats;
+    std::vector<std::vector<vs::SearchHit>> results;
+    if (tiered_)
+        results = tiered_->searchBatchParallel(
+            queries, nq, options_.k, options_.nprobe, pool_,
+            updater_ ? &tstats : nullptr);
+    else
+        results = index_.searchBatchParallel(queries, nq, options_.k,
+                                             options_.nprobe, pool_);
     const auto t1 = Clock::now();
     const double search_s = secondsBetween(t0, t1);
+
+    if (tiered_ && updater_)
+        updater_->record(tstats.meanHitRate,
+                         search_s <= options_.sloSearchSeconds);
 
     {
         std::lock_guard<std::mutex> slk(statsMutex_);

@@ -11,6 +11,12 @@
  * queue/search/total latencies are recorded as LatencySummary digests —
  * the same type the simulator reports — so measured percentiles can be
  * compared directly against the analytic perf-model predictions.
+ *
+ * The engine serves either a flat single-tier index or a TieredIndex
+ * (hot/cold partition-aware path). In tiered mode each batch's routed
+ * hit rates are recorded and, when an OnlineUpdater is attached, fed to
+ * the drift monitor together with whether the batch met the search SLO
+ * — closing the paper's online-update loop on the live path.
  */
 
 #ifndef VLR_CORE_ENGINE_RUNTIME_H
@@ -29,6 +35,7 @@
 #include "common/stats.h"
 #include "common/threadpool.h"
 #include "core/batch_policy.h"
+#include "core/tiered_index.h"
 #include "vecsearch/ivf_pq_fastscan.h"
 
 namespace vlr::core
@@ -44,6 +51,11 @@ struct EngineOptions
     std::size_t nprobe = 16;
     /** Search worker threads (0/1 = batch executes inline). */
     std::size_t numSearchThreads = 4;
+    /**
+     * Retrieval-stage SLO (Table I); tiered batches whose search stage
+     * exceeds it are reported to the drift monitor as SLO misses.
+     */
+    double sloSearchSeconds = 0.150;
 };
 
 /** Outcome of one engine query. */
@@ -78,20 +90,40 @@ struct EngineStatsSnapshot
     LatencySummary totalLatency;
 };
 
+class OnlineUpdater;
+
 /**
- * Online serving front-end over an IvfPqFastScanIndex. submit() is
- * thread-safe and may be called from any number of client threads; the
- * index must outlive the engine. Destruction drains pending queries.
+ * Online serving front-end over an IvfPqFastScanIndex or a TieredIndex.
+ * submit() is thread-safe and may be called from any number of client
+ * threads; the index must outlive the engine. Destruction drains
+ * pending queries.
  */
 class RetrievalEngine
 {
   public:
     RetrievalEngine(const vs::IvfPqFastScanIndex &index,
                     EngineOptions options);
+
+    /**
+     * Serve from a tiered hot/cold index: batches run the partition-
+     * aware routed search and per-batch hit rates feed the attached
+     * updater (if any).
+     */
+    RetrievalEngine(const TieredIndex &index, EngineOptions options);
     ~RetrievalEngine();
 
     RetrievalEngine(const RetrievalEngine &) = delete;
     RetrievalEngine &operator=(const RetrievalEngine &) = delete;
+
+    /**
+     * Attach a drift-monitoring updater fed after every tiered batch.
+     * Call before submitting queries; the updater must outlive the
+     * engine. No-op wiring for flat-index engines.
+     */
+    void attachUpdater(OnlineUpdater *updater) { updater_ = updater; }
+
+    /** Tiered index served by this engine, or nullptr in flat mode. */
+    const TieredIndex *tiered() const { return tiered_; }
 
     /**
      * Admit one query (copied; dim() floats). The future resolves when
@@ -148,7 +180,11 @@ class RetrievalEngine
     void dispatcherLoop();
     void executeBatch(std::vector<Pending> batch);
 
+    /** Flat-mode index (tiered_->source() when tiered). */
     const vs::IvfPqFastScanIndex &index_;
+    /** Tiered-mode index; nullptr when serving the flat path. */
+    const TieredIndex *tiered_ = nullptr;
+    OnlineUpdater *updater_ = nullptr;
     EngineOptions options_;
     ThreadPool pool_;
 

@@ -91,6 +91,91 @@ estimateUpdateTimings(const DatasetContext &ctx, double rho, int num_shards,
     return t;
 }
 
+OnlineUpdater::OnlineUpdater(TieredIndex &index, Options opts,
+                             double expected_hit_rate)
+    : index_(index), opts_(opts),
+      monitor_(opts.drift, expected_hit_rate),
+      expectedHitRate_(expected_hit_rate)
+{
+}
+
+OnlineUpdater::~OnlineUpdater()
+{
+    waitForRebuild();
+}
+
+bool
+OnlineUpdater::record(double hit_rate, bool slo_met)
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    monitor_.record(hit_rate, slo_met);
+    if (!monitor_.driftDetected()) {
+        if (monitor_.windowFull())
+            monitor_.reset(expectedHitRate_);
+        return false;
+    }
+    if (inFlight_)
+        return false;
+
+    // Promote/demote: re-rank clusters by the live access counts and
+    // rebuild the hot tier at the configured coverage. The expensive
+    // replica build + swap runs on a background thread; record() only
+    // pays for count draining and the profile sort.
+    if (worker_.joinable())
+        worker_.join();
+    const AccessProfile profile =
+        index_.profileFromCounts(index_.drainAccessCounts());
+    const double new_expected = profile.meanWorkHitRate(opts_.rho);
+    auto hot = profile.hotClusters(opts_.rho);
+    inFlight_ = true;
+    expectedHitRate_ = new_expected;
+    worker_ = std::thread([this, hot = std::move(hot)]() mutable {
+        index_.repartition(std::move(hot));
+        std::lock_guard<std::mutex> wlk(mutex_);
+        inFlight_ = false;
+        ++completed_;
+        // Observations recorded while the rebuild was in flight judged
+        // the *old* snapshot; resetting only now (not at launch) keeps
+        // them from re-triggering drift against the new expectation the
+        // moment the swap lands.
+        monitor_.reset(expectedHitRate_);
+    });
+    return true;
+}
+
+bool
+OnlineUpdater::rebuildInFlight() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return inFlight_;
+}
+
+std::size_t
+OnlineUpdater::rebuildsCompleted() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return completed_;
+}
+
+void
+OnlineUpdater::waitForRebuild()
+{
+    std::thread t;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        t.swap(worker_);
+    }
+    if (t.joinable())
+        t.join();
+}
+
+double
+OnlineUpdater::expectedHitRate() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return expectedHitRate_;
+}
+
 UpdateOutcome
 runUpdateCycle(DatasetContext &ctx, wl::QueryGenerator &gen,
                const PartitionInputs &inputs, int num_shards)

@@ -15,9 +15,13 @@
 #ifndef VLR_CORE_ONLINE_UPDATE_H
 #define VLR_CORE_ONLINE_UPDATE_H
 
+#include <mutex>
+#include <thread>
+
 #include "core/context.h"
 #include "core/partitioner.h"
 #include "core/splitter.h"
+#include "core/tiered_index.h"
 
 namespace vlr::core
 {
@@ -105,6 +109,68 @@ struct UpdateOutcome
 
 UpdateOutcome runUpdateCycle(DatasetContext &ctx, wl::QueryGenerator &gen,
                              const PartitionInputs &inputs, int num_shards);
+
+/**
+ * Live-path online updater: the executable-engine counterpart of
+ * runUpdateCycle (paper Section IV-B3 against a real TieredIndex).
+ *
+ * The serving loop feeds record() with each request's (or batch's)
+ * observed work-weighted hit rate and whether its search met the SLO.
+ * When the drift monitor fires, the updater drains the tiered index's
+ * live per-cluster access counts, re-ranks clusters by observed
+ * popularity (promote/demote) and rebuilds the hot tier on a background
+ * thread — record() never blocks on the rebuild, and in-flight batches
+ * keep searching the old snapshot until the atomic swap.
+ */
+class OnlineUpdater
+{
+  public:
+    struct Options
+    {
+        DriftMonitorParams drift;
+        /** Coverage target for rebuilt hot sets. */
+        double rho = 0.25;
+    };
+
+    /**
+     * @param index tiered index to monitor and rebuild (must outlive
+     *        the updater).
+     * @param opts drift thresholds + rebuild coverage.
+     * @param expected_hit_rate the planning-time mean hit rate the
+     *        monitor compares live observations against.
+     */
+    OnlineUpdater(TieredIndex &index, Options opts,
+                  double expected_hit_rate);
+    ~OnlineUpdater();
+
+    OnlineUpdater(const OnlineUpdater &) = delete;
+    OnlineUpdater &operator=(const OnlineUpdater &) = delete;
+
+    /**
+     * Record one served request or batch. Thread-safe. Returns true
+     * when this call launched a background repartition.
+     */
+    bool record(double hit_rate, bool slo_met);
+
+    bool rebuildInFlight() const;
+    std::size_t rebuildsCompleted() const;
+
+    /** Block until any in-flight rebuild has swapped in. */
+    void waitForRebuild();
+
+    double expectedHitRate() const;
+
+  private:
+    TieredIndex &index_;
+    Options opts_;
+
+    mutable std::mutex mutex_;
+    DriftMonitor monitor_;
+    double expectedHitRate_;
+    std::thread worker_;
+    bool inFlight_ = false;
+    std::size_t completed_ = 0;
+};
 
 } // namespace vlr::core
 

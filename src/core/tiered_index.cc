@@ -1,0 +1,296 @@
+#include "core/tiered_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "vecsearch/topk.h"
+#include "workload/plans.h"
+
+namespace vlr::core
+{
+
+namespace
+{
+
+/** fetch_add for atomic<double> without relying on C++20 FP atomics. */
+void
+atomicAddDouble(std::atomic<double> &a, double x)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + x,
+                                    std::memory_order_relaxed))
+        ;
+}
+
+/** Single-shard placement: every hot cluster on shard 0, rest on CPU. */
+ShardAssignment
+makeHotAssignment(const vs::IvfPqFastScanIndex &source,
+                  std::vector<cluster_id_t> hot_clusters)
+{
+    const std::size_t nlist = source.nlist();
+    ShardAssignment a;
+    a.clusterShard.assign(nlist, kCpuShard);
+    a.localId.assign(nlist, -1);
+    double bytes = 0.0;
+    for (std::size_t i = 0; i < hot_clusters.size(); ++i) {
+        const cluster_id_t c = hot_clusters[i];
+        assert(c >= 0 && static_cast<std::size_t>(c) < nlist);
+        a.clusterShard[static_cast<std::size_t>(c)] = 0;
+        a.localId[static_cast<std::size_t>(c)] =
+            static_cast<std::int32_t>(i);
+        bytes += static_cast<double>(source.listBytes(c));
+    }
+    a.rho = nlist == 0 ? 0.0
+                       : static_cast<double>(hot_clusters.size()) /
+                             static_cast<double>(nlist);
+    a.shardClusters.push_back(std::move(hot_clusters));
+    a.shardBytes.push_back(bytes);
+    return a;
+}
+
+} // namespace
+
+TieredIndex::Tiers::Tiers(const vs::IvfPqFastScanIndex &source,
+                          std::vector<cluster_id_t> hot_clusters)
+    : assignment(makeHotAssignment(source, std::move(hot_clusters))),
+      router(assignment, /*prune_probes=*/true),
+      hot(source.subsetClusters(assignment.shardClusters[0])),
+      numHot(assignment.shardClusters[0].size()),
+      rho(assignment.rho),
+      hotBytes(static_cast<std::size_t>(assignment.shardBytes[0]))
+{
+}
+
+TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
+                         std::vector<cluster_id_t> hot_clusters)
+    : source_(source),
+      tiers_(std::make_shared<const Tiers>(source,
+                                           std::move(hot_clusters))),
+      accessCounts_(
+          std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist()))
+{
+}
+
+TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
+                         const AccessProfile &profile, double rho)
+    : TieredIndex(source, profile.hotClusters(rho))
+{
+}
+
+std::shared_ptr<const TieredIndex::Tiers>
+TieredIndex::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(snapshotMutex_);
+    return tiers_;
+}
+
+std::vector<vs::SearchHit>
+TieredIndex::searchRouted(const Tiers &tiers, const float *query,
+                          std::size_t k,
+                          std::span<const cluster_id_t> clusters,
+                          vs::SearchScratch *scratch,
+                          TieredQueryStats *qs) const
+{
+    // Route the probe list through the pruned router: the same
+    // work-weighted accounting the simulator uses, over real list
+    // sizes. The plan and the hot/cold split are built in one pass;
+    // the router then provides the hit-rate/shard-load accounting.
+    wl::QueryPlan plan;
+    plan.probes.assign(clusters.begin(), clusters.end());
+    plan.probeWork.reserve(clusters.size());
+    std::vector<cluster_id_t> hotList, coldList;
+    hotList.reserve(clusters.size());
+    for (const cluster_id_t c : clusters) {
+        const auto w = static_cast<double>(source_.listSize(c));
+        plan.probeWork.push_back(w);
+        plan.totalWork += w;
+        accessCounts_[static_cast<std::size_t>(c)].fetch_add(
+            1, std::memory_order_relaxed);
+        (tiers.assignment.isGpuResident(c) ? hotList : coldList)
+            .push_back(c);
+    }
+    const wl::QueryPlan *pp = &plan;
+    const RoutedBatch routed =
+        tiers.router.route(std::span<const wl::QueryPlan *const>(&pp, 1));
+    const RoutedQuery &rq = routed.queries[0];
+
+    std::vector<vs::SearchHit> hits;
+    if (coldList.empty()) {
+        // Fully hot-covered: the cold tier is skipped entirely (the
+        // pruned-routing fast path).
+        hits = tiers.hot.searchClusters(query, k, hotList, nullptr,
+                                        scratch);
+    } else if (hotList.empty()) {
+        hits = source_.searchClusters(query, k, coldList, nullptr,
+                                      scratch);
+    } else {
+        std::vector<std::vector<vs::SearchHit>> parts(2);
+        parts[0] = tiers.hot.searchClusters(query, k, hotList, nullptr,
+                                            scratch);
+        parts[1] = source_.searchClusters(query, k, coldList, nullptr,
+                                          scratch);
+        hits = vs::mergeHitLists(parts, k);
+    }
+
+    const bool hot_only = coldList.empty() && !hotList.empty();
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (hot_only)
+        hotOnly_.fetch_add(1, std::memory_order_relaxed);
+    else if (hotList.empty())
+        coldOnly_.fetch_add(1, std::memory_order_relaxed);
+    else
+        split_.fetch_add(1, std::memory_order_relaxed);
+    hotProbes_.fetch_add(hotList.size(), std::memory_order_relaxed);
+    totalProbes_.fetch_add(clusters.size(), std::memory_order_relaxed);
+    atomicAddDouble(hitRateSum_, rq.hitRate);
+
+    if (qs) {
+        qs->hotProbes = hotList.size();
+        qs->coldProbes = coldList.size();
+        qs->hitRate = rq.hitRate;
+        qs->hotOnly = hot_only;
+    }
+    return hits;
+}
+
+std::vector<vs::SearchHit>
+TieredIndex::search(const float *query, std::size_t k, std::size_t nprobe,
+                    vs::SearchScratch *scratch, TieredQueryStats *qs) const
+{
+    const auto tiers = snapshot();
+    const auto pl = source_.quantizer().probe(query, nprobe);
+    return searchRouted(*tiers, query, k, pl.clusters, scratch, qs);
+}
+
+std::vector<std::vector<vs::SearchHit>>
+TieredIndex::searchBatchParallel(std::span<const float> queries,
+                                 std::size_t nq, std::size_t k,
+                                 std::size_t nprobe, ThreadPool &pool,
+                                 TieredBatchStats *bs) const
+{
+    const std::size_t d = dim();
+    assert(queries.size() >= nq * d);
+    // One snapshot serves the whole batch, so a concurrent repartition
+    // cannot split a batch across placement generations.
+    const auto tiers = snapshot();
+    std::vector<std::vector<vs::SearchHit>> out(nq);
+    std::vector<TieredQueryStats> qstats(bs ? nq : 0);
+    pool.parallelForDynamic(nq, 1, [&](std::size_t i) {
+        static thread_local vs::SearchScratch scratch;
+        const float *q = queries.data() + i * d;
+        const auto pl = source_.quantizer().probe(q, nprobe);
+        out[i] = searchRouted(*tiers, q, k, pl.clusters, &scratch,
+                              bs ? &qstats[i] : nullptr);
+    });
+    if (bs) {
+        *bs = {};
+        bs->queries = nq;
+        double sum = 0.0;
+        for (const auto &s : qstats) {
+            if (s.hotOnly)
+                ++bs->hotOnlyQueries;
+            else if (s.hotProbes == 0)
+                ++bs->coldOnlyQueries;
+            else
+                ++bs->splitQueries;
+            sum += s.hitRate;
+            bs->minHitRate = std::min(bs->minHitRate, s.hitRate);
+        }
+        bs->meanHitRate =
+            nq == 0 ? 0.0 : sum / static_cast<double>(nq);
+        if (nq == 0)
+            bs->minHitRate = 0.0;
+    }
+    return out;
+}
+
+void
+TieredIndex::repartition(std::vector<cluster_id_t> hot_clusters)
+{
+    // Build the replacement generation outside the lock: in-flight and
+    // newly admitted searches keep using the old snapshot meanwhile.
+    auto next =
+        std::make_shared<const Tiers>(source_, std::move(hot_clusters));
+    {
+        std::lock_guard<std::mutex> lk(snapshotMutex_);
+        tiers_ = std::move(next);
+    }
+    repartitions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<double>
+TieredIndex::drainAccessCounts()
+{
+    const std::size_t n = nlist();
+    std::vector<double> out(n);
+    for (std::size_t c = 0; c < n; ++c)
+        out[c] = static_cast<double>(
+            accessCounts_[c].exchange(0, std::memory_order_relaxed));
+    return out;
+}
+
+AccessProfile
+TieredIndex::profileFromCounts(std::vector<double> counts) const
+{
+    const std::size_t n = nlist();
+    assert(counts.size() == n);
+    std::vector<double> work(n), bytes(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        const auto id = static_cast<cluster_id_t>(c);
+        work[c] = static_cast<double>(source_.listSize(id));
+        bytes[c] = static_cast<double>(source_.listBytes(id));
+    }
+    return AccessProfile(std::move(counts), std::move(work),
+                         std::move(bytes));
+}
+
+TieredStatsSnapshot
+TieredIndex::stats() const
+{
+    TieredStatsSnapshot s;
+    s.queries = queries_.load(std::memory_order_relaxed);
+    s.hotOnlyQueries = hotOnly_.load(std::memory_order_relaxed);
+    s.coldOnlyQueries = coldOnly_.load(std::memory_order_relaxed);
+    s.splitQueries = split_.load(std::memory_order_relaxed);
+    const auto hot_probes = hotProbes_.load(std::memory_order_relaxed);
+    const auto total_probes = totalProbes_.load(std::memory_order_relaxed);
+    s.meanHitRate =
+        s.queries == 0
+            ? 0.0
+            : hitRateSum_.load(std::memory_order_relaxed) /
+                  static_cast<double>(s.queries);
+    s.hotProbeFraction =
+        total_probes == 0 ? 0.0
+                          : static_cast<double>(hot_probes) /
+                                static_cast<double>(total_probes);
+    s.repartitions = repartitions_.load(std::memory_order_relaxed);
+    const auto tiers = snapshot();
+    s.rho = tiers->rho;
+    s.numHot = tiers->numHot;
+    s.hotBytes = tiers->hotBytes;
+    return s;
+}
+
+std::vector<bool>
+TieredIndex::hotBitmap() const
+{
+    const auto tiers = snapshot();
+    std::vector<bool> bm(nlist(), false);
+    for (const cluster_id_t c : tiers->assignment.shardClusters[0])
+        bm[static_cast<std::size_t>(c)] = true;
+    return bm;
+}
+
+double
+TieredIndex::rho() const
+{
+    return snapshot()->rho;
+}
+
+std::size_t
+TieredIndex::numHotClusters() const
+{
+    return snapshot()->numHot;
+}
+
+} // namespace vlr::core

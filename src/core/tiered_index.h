@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tiered hot/cold index runtime — the live-engine counterpart of the
+ * analytic partitioning pipeline (paper Sections IV-A/IV-B).
+ *
+ * A TieredIndex splits a trained IvfPqFastScanIndex by cluster: the hot
+ * tier is a fast-path replica of the most-accessed clusters (extracted
+ * with subsetClusters(), standing in for the GPU-resident shards; a
+ * later PR swaps its backend for a real device), while cold probes scan
+ * the source index in place — the CPU keeps the full index, exactly as
+ * the paper's host-side master copy does. Each query's probe list is
+ * routed through the pruned Router over a single-shard ShardAssignment,
+ * so hot-covered queries skip the cold tier entirely and the router's
+ * work-weighted hit rates come from the same code path the simulator
+ * uses. Live searches bump per-cluster atomic access counters; the
+ * OnlineUpdater drains them to drive skew-tracking repartitions
+ * (cluster promote/demote) that swap in a new tier snapshot without
+ * stalling in-flight batches.
+ */
+
+#ifndef VLR_CORE_TIERED_INDEX_H
+#define VLR_CORE_TIERED_INDEX_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "core/access_profile.h"
+#include "core/router.h"
+#include "core/splitter.h"
+#include "vecsearch/ivf_pq_fastscan.h"
+
+namespace vlr::core
+{
+
+/** Routing outcome of one live query through the tiers. */
+struct TieredQueryStats
+{
+    /** Probes resident on the hot tier. */
+    std::size_t hotProbes = 0;
+    /** Probes served by the cold (source) tier. */
+    std::size_t coldProbes = 0;
+    /** Work-weighted hot hit rate (router semantics). */
+    double hitRate = 0.0;
+    /** True when the cold tier was skipped entirely. */
+    bool hotOnly = false;
+};
+
+/** Aggregate routing outcome of one batch. */
+struct TieredBatchStats
+{
+    std::size_t queries = 0;
+    std::size_t hotOnlyQueries = 0;
+    std::size_t coldOnlyQueries = 0;
+    std::size_t splitQueries = 0;
+    double meanHitRate = 0.0;
+    double minHitRate = 1.0;
+};
+
+/** Cumulative tier statistics since construction. */
+struct TieredStatsSnapshot
+{
+    std::size_t queries = 0;
+    std::size_t hotOnlyQueries = 0;
+    std::size_t coldOnlyQueries = 0;
+    std::size_t splitQueries = 0;
+    /** Mean work-weighted hit rate over all served queries. */
+    double meanHitRate = 0.0;
+    /** Fraction of all probes that landed on the hot tier. */
+    double hotProbeFraction = 0.0;
+    /** Completed repartitions (snapshot swaps). */
+    std::size_t repartitions = 0;
+    /** Current coverage: hot clusters / nlist. */
+    double rho = 0.0;
+    std::size_t numHot = 0;
+    /** Resident bytes of the current hot-tier replica. */
+    std::size_t hotBytes = 0;
+};
+
+/**
+ * Partition-aware retrieval path over a trained IvfPqFastScanIndex.
+ *
+ * Search results are exactly the single-tier results for any hot set:
+ * both tiers share the source's coarse quantizer and PQ, distances are
+ * bit-identical, and top-k selection is a total order on (dist, id), so
+ * merging per-tier top-k lists reproduces the serial scan.
+ *
+ * Thread-safety: search methods are const and may run from any number
+ * of threads; repartition() may run concurrently with searches (each
+ * search pins the tier snapshot it started with via shared_ptr). The
+ * source index must outlive the TieredIndex and must not be mutated
+ * while tiered searches run.
+ */
+class TieredIndex
+{
+  public:
+    /**
+     * @param source trained and populated single-tier index.
+     * @param hot_clusters clusters replicated on the hot tier (any
+     *        subset of [0, nlist), e.g. AccessProfile::hotClusters).
+     */
+    TieredIndex(const vs::IvfPqFastScanIndex &source,
+                std::vector<cluster_id_t> hot_clusters);
+
+    /** Convenience: hot set = profile's top-rho clusters. */
+    TieredIndex(const vs::IvfPqFastScanIndex &source,
+                const AccessProfile &profile, double rho);
+
+    /**
+     * Serial tiered search: probe the shared coarse quantizer, route
+     * probes through the pruned router, scan the hot replica and (only
+     * if needed) the cold source, merge. Records per-cluster access
+     * counts.
+     */
+    std::vector<vs::SearchHit> search(const float *query, std::size_t k,
+                                      std::size_t nprobe,
+                                      vs::SearchScratch *scratch = nullptr,
+                                      TieredQueryStats *qs = nullptr) const;
+
+    /**
+     * Batched tiered search across a thread pool; one snapshot serves
+     * the whole batch. Results are bit-identical to per-query search().
+     */
+    std::vector<std::vector<vs::SearchHit>> searchBatchParallel(
+        std::span<const float> queries, std::size_t nq, std::size_t k,
+        std::size_t nprobe, ThreadPool &pool,
+        TieredBatchStats *bs = nullptr) const;
+
+    /**
+     * Rebuild the hot tier around a new hot set and atomically swap it
+     * in. The (expensive) replica build runs before the swap, outside
+     * any lock; searches started on the old snapshot finish on it.
+     */
+    void repartition(std::vector<cluster_id_t> hot_clusters);
+
+    /**
+     * Return and reset the live per-cluster access counts (probes per
+     * cluster since the last drain) — the profiling input of an online
+     * repartition cycle.
+     */
+    std::vector<double> drainAccessCounts();
+
+    /**
+     * Build an AccessProfile from live access counts and the source
+     * index's real per-cluster sizes/bytes, ready for hotClusters()
+     * selection or the latency-bounded partitioner.
+     */
+    AccessProfile profileFromCounts(std::vector<double> counts) const;
+
+    TieredStatsSnapshot stats() const;
+
+    /** Current hot-tier membership bitmap (copy; nlist entries). */
+    std::vector<bool> hotBitmap() const;
+
+    double rho() const;
+    std::size_t numHotClusters() const;
+    std::size_t dim() const { return source_.dim(); }
+    std::size_t nlist() const { return source_.nlist(); }
+    const vs::IvfPqFastScanIndex &source() const { return source_; }
+
+  private:
+    /** One immutable hot/cold placement generation. */
+    struct Tiers
+    {
+        ShardAssignment assignment;
+        Router router;
+        /** Hot-cluster replica (global ids, absent lists empty). */
+        vs::IvfPqFastScanIndex hot;
+        std::size_t numHot = 0;
+        double rho = 0.0;
+        std::size_t hotBytes = 0;
+
+        Tiers(const vs::IvfPqFastScanIndex &source,
+              std::vector<cluster_id_t> hot_clusters);
+    };
+
+    std::shared_ptr<const Tiers> snapshot() const;
+
+    std::vector<vs::SearchHit> searchRouted(
+        const Tiers &tiers, const float *query, std::size_t k,
+        std::span<const cluster_id_t> clusters, vs::SearchScratch *scratch,
+        TieredQueryStats *qs) const;
+
+    const vs::IvfPqFastScanIndex &source_;
+
+    mutable std::mutex snapshotMutex_;
+    std::shared_ptr<const Tiers> tiers_;
+
+    /** Live per-cluster probe counters (relaxed; profiling input). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> accessCounts_;
+
+    mutable std::atomic<std::uint64_t> queries_{0};
+    mutable std::atomic<std::uint64_t> hotOnly_{0};
+    mutable std::atomic<std::uint64_t> coldOnly_{0};
+    mutable std::atomic<std::uint64_t> split_{0};
+    mutable std::atomic<std::uint64_t> hotProbes_{0};
+    mutable std::atomic<std::uint64_t> totalProbes_{0};
+    /** Sum of per-query hit rates (CAS loop; see atomicAddDouble). */
+    mutable std::atomic<double> hitRateSum_{0.0};
+    std::atomic<std::uint64_t> repartitions_{0};
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_TIERED_INDEX_H

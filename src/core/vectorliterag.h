@@ -46,5 +46,6 @@
 #include "core/router.h"
 #include "core/serving.h"
 #include "core/splitter.h"
+#include "core/tiered_index.h"
 
 #endif // VLR_CORE_VECTORLITERAG_H

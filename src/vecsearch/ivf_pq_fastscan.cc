@@ -178,6 +178,24 @@ IvfPqFastScanIndex::searchBatchParallel(std::span<const float> queries,
     return out;
 }
 
+IvfPqFastScanIndex
+IvfPqFastScanIndex::subsetClusters(
+    std::span<const cluster_id_t> clusters) const
+{
+    IvfPqFastScanIndex out(cq_, pq_.numSub());
+    out.pq_ = pq_;
+    std::size_t resident = 0;
+    for (const cluster_id_t c : clusters) {
+        const auto ci = static_cast<std::size_t>(c);
+        assert(ci < ids_.size());
+        out.ids_[ci] = ids_[ci];
+        out.packed_[ci] = packed_[ci];
+        resident += ids_[ci].size();
+    }
+    out.total_ = resident;
+    return out;
+}
+
 std::size_t
 IvfPqFastScanIndex::listSize(cluster_id_t c) const
 {
@@ -192,6 +210,14 @@ IvfPqFastScanIndex::listSizes() const
     for (std::size_t c = 0; c < ids_.size(); ++c)
         out[c] = ids_[c].size();
     return out;
+}
+
+std::size_t
+IvfPqFastScanIndex::listBytes(cluster_id_t c) const
+{
+    assert(c >= 0 && static_cast<std::size_t>(c) < ids_.size());
+    const auto ci = static_cast<std::size_t>(c);
+    return ids_[ci].size() * sizeof(idx_t) + packed_[ci].size();
 }
 
 std::size_t

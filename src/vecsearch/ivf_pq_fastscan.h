@@ -82,6 +82,20 @@ class IvfPqFastScanIndex
         std::size_t nprobe, ThreadPool &pool,
         SearchBreakdown *bd = nullptr) const;
 
+    /**
+     * Extract a read-only sub-index holding only the given clusters'
+     * inverted lists. The subset shares this index's coarse quantizer
+     * and trained PQ, keeps global cluster and vector ids (lists of
+     * absent clusters are empty), and its packed codes are byte-for-byte
+     * copies — so searchClusters() on the subset returns bit-identical
+     * distances to the source. This is the index-splitting primitive of
+     * the tiered runtime: the hot tier is a subset replica of the hot
+     * clusters. Do not add() to a subset; new vectors would be
+     * mis-numbered relative to the source.
+     */
+    IvfPqFastScanIndex subsetClusters(
+        std::span<const cluster_id_t> clusters) const;
+
     const CoarseQuantizer &quantizer() const { return *cq_; }
     const ProductQuantizer &pq() const { return pq_; }
     std::size_t dim() const { return cq_->dim(); }
@@ -89,6 +103,8 @@ class IvfPqFastScanIndex
     std::size_t size() const { return total_; }
     std::size_t listSize(cluster_id_t c) const;
     std::vector<std::size_t> listSizes() const;
+    /** Resident bytes (ids + packed codes) of one inverted list. */
+    std::size_t listBytes(cluster_id_t c) const;
     std::size_t memoryBytes() const;
 
   private:

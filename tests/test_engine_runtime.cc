@@ -8,6 +8,7 @@
 
 #include <future>
 #include <memory>
+#include <numeric>
 #include <stdexcept>
 #include <vector>
 
@@ -15,6 +16,8 @@
 
 #include "common/rng.h"
 #include "core/engine_runtime.h"
+#include "core/online_update.h"
+#include "core/tiered_index.h"
 #include "vecsearch/ivf_pq_fastscan.h"
 #include "vecsearch/kmeans.h"
 
@@ -228,6 +231,99 @@ TEST_F(EngineFixture, ShutdownDrainsAndRejectsNewQueries)
                                                       d_)),
                  std::runtime_error);
     engine.shutdown(); // idempotent
+}
+
+TEST_F(EngineFixture, TieredEngineMatchesSerialSearch)
+{
+    const std::size_t k = 10, nprobe = 8;
+    const auto serial = serialResults(k, nprobe);
+
+    // Hot tier = half the clusters by descending size.
+    std::vector<cluster_id_t> order(nlist_);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](cluster_id_t a, cluster_id_t b) {
+                  const auto sa = index_->listSize(a);
+                  const auto sb = index_->listSize(b);
+                  if (sa != sb)
+                      return sa > sb;
+                  return a < b;
+              });
+    order.resize(nlist_ / 2);
+    TieredIndex tiered(*index_, order);
+
+    EngineOptions opts;
+    opts.k = k;
+    opts.nprobe = nprobe;
+    opts.numSearchThreads = 4;
+    opts.batching.maxBatch = 16;
+    opts.batching.timeoutSeconds = 1e-3;
+    RetrievalEngine engine(tiered, opts);
+    ASSERT_EQ(engine.tiered(), &tiered);
+
+    std::vector<std::future<EngineQueryResult>> futures;
+    futures.reserve(nq_);
+    for (std::size_t i = 0; i < nq_; ++i)
+        futures.push_back(engine.submit(
+            std::span<const float>(queries_.data() + i * d_, d_)));
+    for (std::size_t i = 0; i < nq_; ++i) {
+        const auto r = futures[i].get();
+        ASSERT_EQ(r.hits.size(), serial[i].size()) << "query " << i;
+        for (std::size_t j = 0; j < serial[i].size(); ++j) {
+            EXPECT_EQ(r.hits[j].id, serial[i][j].id)
+                << "query " << i << " rank " << j;
+            EXPECT_EQ(r.hits[j].dist, serial[i][j].dist)
+                << "query " << i << " rank " << j;
+        }
+    }
+
+    const auto ts = tiered.stats();
+    EXPECT_EQ(ts.queries, nq_);
+    EXPECT_EQ(ts.hotOnlyQueries + ts.coldOnlyQueries + ts.splitQueries,
+              nq_);
+}
+
+TEST_F(EngineFixture, TieredEngineDrivesOnlineUpdater)
+{
+    // Empty hot tier + sloSearchSeconds = 0 forces every batch to
+    // report (hit rate 0, SLO miss); the updater must launch a
+    // background rebuild, after which queries still resolve correctly.
+    TieredIndex tiered(*index_, {});
+    OnlineUpdater::Options uopts;
+    uopts.drift.hitRateDivergence = 0.2;
+    uopts.drift.attainmentThreshold = 0.85;
+    uopts.drift.windowRequests = 4;
+    uopts.rho = 0.25;
+    OnlineUpdater updater(tiered, uopts, /*expected_hit_rate=*/0.9);
+
+    EngineOptions opts;
+    opts.k = 10;
+    opts.nprobe = 8;
+    opts.numSearchThreads = 2;
+    opts.batching.maxBatch = 8;
+    opts.batching.timeoutSeconds = 1e-3;
+    opts.sloSearchSeconds = 0.0;
+    RetrievalEngine engine(tiered, opts);
+    engine.attachUpdater(&updater);
+
+    const auto serial = serialResults(opts.k, opts.nprobe);
+    std::vector<std::future<EngineQueryResult>> futures;
+    for (std::size_t i = 0; i < nq_; ++i)
+        futures.push_back(engine.submit(
+            std::span<const float>(queries_.data() + i * d_, d_)));
+    engine.drain();
+    updater.waitForRebuild();
+
+    EXPECT_GE(updater.rebuildsCompleted(), 1u);
+    EXPECT_GE(tiered.stats().repartitions, 1u);
+    EXPECT_GT(tiered.numHotClusters(), 0u);
+    for (std::size_t i = 0; i < nq_; ++i) {
+        const auto r = futures[i].get();
+        ASSERT_EQ(r.hits.size(), serial[i].size()) << "query " << i;
+        for (std::size_t j = 0; j < serial[i].size(); ++j)
+            EXPECT_EQ(r.hits[j].id, serial[i][j].id)
+                << "query " << i << " rank " << j;
+    }
 }
 
 TEST_F(EngineFixture, StatsSnapshotIsConsistent)

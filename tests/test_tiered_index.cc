@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Tests for the tiered hot/cold index runtime: exact result parity with
+ * single-tier serial search for any coverage, pruned-routing edge cases
+ * (fully hot / fully cold / split probe lists, rho = 0 and rho = 1),
+ * live access counting, concurrent repartition, and the OnlineUpdater's
+ * drift-triggered background rebuild.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/online_update.h"
+#include "core/tiered_index.h"
+#include "vecsearch/kmeans.h"
+
+namespace vlr::core
+{
+namespace
+{
+
+/** Fixed-seed clustered corpus + a trained fast-scan index. */
+struct TieredFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        Rng rng(42);
+        std::vector<float> centers(ncenters_ * d_);
+        for (auto &x : centers)
+            x = static_cast<float>(rng.uniform(-1.0, 1.0));
+        data_.resize(n_ * d_);
+        for (std::size_t i = 0; i < n_; ++i) {
+            const std::size_t c = rng.uniformU64(ncenters_);
+            for (std::size_t j = 0; j < d_; ++j)
+                data_[i * d_ + j] =
+                    centers[c * d_ + j] +
+                    static_cast<float>(rng.gaussian(0.0, 0.15));
+        }
+        vs::KMeansParams p;
+        p.k = nlist_;
+        const auto km = vs::kmeansTrain(data_, n_, d_, p);
+        cq_ = std::make_shared<vs::FlatCoarseQuantizer>(km.centroids,
+                                                        nlist_, d_);
+        index_ = std::make_unique<vs::IvfPqFastScanIndex>(cq_, m_);
+        index_->train(data_, n_);
+        index_->add(data_, n_);
+
+        queries_.resize(nq_ * d_);
+        for (std::size_t i = 0; i < nq_; ++i) {
+            const std::size_t c = rng.uniformU64(ncenters_);
+            for (std::size_t j = 0; j < d_; ++j)
+                queries_[i * d_ + j] =
+                    centers[c * d_ + j] +
+                    static_cast<float>(rng.gaussian(0.0, 0.2));
+        }
+    }
+
+    /** Top-`count` clusters by descending list size (deterministic). */
+    std::vector<cluster_id_t>
+    topBySize(std::size_t count) const
+    {
+        std::vector<cluster_id_t> order(nlist_);
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](cluster_id_t a, cluster_id_t b) {
+                      const auto sa = index_->listSize(a);
+                      const auto sb = index_->listSize(b);
+                      if (sa != sb)
+                          return sa > sb;
+                      return a < b;
+                  });
+        order.resize(std::min(count, order.size()));
+        return order;
+    }
+
+    void
+    expectParity(const TieredIndex &tiered, std::size_t k,
+                 std::size_t nprobe) const
+    {
+        for (std::size_t i = 0; i < nq_; ++i) {
+            const float *q = queries_.data() + i * d_;
+            const auto expected = index_->search(q, k, nprobe);
+            const auto got = tiered.search(q, k, nprobe);
+            ASSERT_EQ(got.size(), expected.size()) << "query " << i;
+            for (std::size_t j = 0; j < expected.size(); ++j) {
+                EXPECT_EQ(got[j].id, expected[j].id)
+                    << "query " << i << " rank " << j;
+                EXPECT_EQ(got[j].dist, expected[j].dist)
+                    << "query " << i << " rank " << j;
+            }
+        }
+    }
+
+    const std::size_t n_ = 3000;
+    const std::size_t d_ = 16;
+    const std::size_t m_ = 8;
+    const std::size_t ncenters_ = 24;
+    const std::size_t nlist_ = 32;
+    const std::size_t nq_ = 48;
+    const std::size_t k_ = 10;
+    const std::size_t nprobe_ = 8;
+    std::vector<float> data_;
+    std::vector<float> queries_;
+    std::shared_ptr<vs::FlatCoarseQuantizer> cq_;
+    std::unique_ptr<vs::IvfPqFastScanIndex> index_;
+};
+
+TEST_F(TieredFixture, SubsetClustersPreservesListsExactly)
+{
+    const auto hot = topBySize(nlist_ / 2);
+    const auto subset = index_->subsetClusters(hot);
+
+    std::size_t expected_total = 0;
+    for (const cluster_id_t c : hot)
+        expected_total += index_->listSize(c);
+    EXPECT_EQ(subset.size(), expected_total);
+    EXPECT_EQ(subset.nlist(), index_->nlist());
+    EXPECT_EQ(subset.dim(), index_->dim());
+
+    // Scanning the subset's clusters returns bit-identical hits.
+    for (std::size_t i = 0; i < 8; ++i) {
+        const float *q = queries_.data() + i * d_;
+        const auto a = index_->searchClusters(q, k_, hot);
+        const auto b = subset.searchClusters(q, k_, hot);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t j = 0; j < a.size(); ++j) {
+            EXPECT_EQ(a[j].id, b[j].id);
+            EXPECT_EQ(a[j].dist, b[j].dist);
+        }
+    }
+}
+
+TEST_F(TieredFixture, ParityAcrossCoverages)
+{
+    // Acceptance: exact top-k parity with single-tier serial search at
+    // rho in {0, 0.25, 1.0} (and an arbitrary split for good measure).
+    for (const double rho : {0.0, 0.25, 1.0}) {
+        const auto count = static_cast<std::size_t>(
+            rho * static_cast<double>(nlist_) + 0.5);
+        TieredIndex tiered(*index_, topBySize(count));
+        EXPECT_EQ(tiered.numHotClusters(), count);
+        expectParity(tiered, k_, nprobe_);
+    }
+}
+
+TEST_F(TieredFixture, ParallelBatchMatchesSerialTiered)
+{
+    TieredIndex tiered(*index_, topBySize(nlist_ / 4));
+    const std::size_t threads = 4;
+    ThreadPool pool(threads);
+    TieredBatchStats bs;
+    const auto batched = tiered.searchBatchParallel(
+        queries_, nq_, k_, nprobe_, pool, &bs);
+    ASSERT_EQ(batched.size(), nq_);
+    EXPECT_EQ(bs.queries, nq_);
+    EXPECT_EQ(bs.hotOnlyQueries + bs.coldOnlyQueries + bs.splitQueries,
+              nq_);
+    for (std::size_t i = 0; i < nq_; ++i) {
+        const auto expected =
+            index_->search(queries_.data() + i * d_, k_, nprobe_);
+        ASSERT_EQ(batched[i].size(), expected.size()) << "query " << i;
+        for (std::size_t j = 0; j < expected.size(); ++j) {
+            EXPECT_EQ(batched[i][j].id, expected[j].id);
+            EXPECT_EQ(batched[i][j].dist, expected[j].dist);
+        }
+    }
+}
+
+TEST_F(TieredFixture, FullyHotQuerySkipsColdTier)
+{
+    // Hot set = exactly query 0's probe list: the routed query must be
+    // served by the hot tier alone.
+    const auto pl = cq_->probe(queries_.data(), nprobe_);
+    TieredIndex tiered(*index_, pl.clusters);
+
+    TieredQueryStats qs;
+    const auto hits = tiered.search(queries_.data(), k_, nprobe_,
+                                    nullptr, &qs);
+    EXPECT_TRUE(qs.hotOnly);
+    EXPECT_EQ(qs.coldProbes, 0u);
+    EXPECT_EQ(qs.hotProbes, pl.clusters.size());
+    EXPECT_DOUBLE_EQ(qs.hitRate, 1.0);
+
+    const auto expected = index_->search(queries_.data(), k_, nprobe_);
+    ASSERT_EQ(hits.size(), expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j)
+        EXPECT_EQ(hits[j].id, expected[j].id);
+
+    const auto s = tiered.stats();
+    EXPECT_EQ(s.hotOnlyQueries, 1u);
+}
+
+TEST_F(TieredFixture, SplitQueryMergesTiers)
+{
+    // Hot set = the first half of query 1's probes: the query must
+    // split across both tiers and still match the serial result.
+    const float *q = queries_.data() + d_;
+    const auto pl = cq_->probe(q, nprobe_);
+    ASSERT_GE(pl.clusters.size(), 2u);
+    const std::vector<cluster_id_t> hot(
+        pl.clusters.begin(),
+        pl.clusters.begin() + pl.clusters.size() / 2);
+    TieredIndex tiered(*index_, hot);
+
+    TieredQueryStats qs;
+    const auto hits = tiered.search(q, k_, nprobe_, nullptr, &qs);
+    EXPECT_FALSE(qs.hotOnly);
+    EXPECT_EQ(qs.hotProbes, hot.size());
+    EXPECT_EQ(qs.coldProbes, pl.clusters.size() - hot.size());
+    EXPECT_GT(qs.hitRate, 0.0);
+    EXPECT_LT(qs.hitRate, 1.0);
+
+    const auto expected = index_->search(q, k_, nprobe_);
+    ASSERT_EQ(hits.size(), expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j) {
+        EXPECT_EQ(hits[j].id, expected[j].id);
+        EXPECT_EQ(hits[j].dist, expected[j].dist);
+    }
+
+    const auto s = tiered.stats();
+    EXPECT_EQ(s.splitQueries, 1u);
+}
+
+TEST_F(TieredFixture, EmptyHotTierServesEverythingCold)
+{
+    // rho = 0 degenerate: every probe routes to the cold (source) tier.
+    TieredIndex tiered(*index_, {});
+    EXPECT_EQ(tiered.numHotClusters(), 0u);
+    EXPECT_DOUBLE_EQ(tiered.rho(), 0.0);
+
+    expectParity(tiered, k_, nprobe_);
+    const auto s = tiered.stats();
+    EXPECT_EQ(s.coldOnlyQueries, s.queries);
+    EXPECT_EQ(s.hotOnlyQueries, 0u);
+    EXPECT_EQ(s.splitQueries, 0u);
+    EXPECT_DOUBLE_EQ(s.hotProbeFraction, 0.0);
+    EXPECT_DOUBLE_EQ(s.meanHitRate, 0.0);
+    EXPECT_EQ(s.hotBytes, 0u);
+}
+
+TEST_F(TieredFixture, FullCoverageNeverTouchesColdTier)
+{
+    // rho = 1 degenerate: the hot replica holds every cluster.
+    std::vector<cluster_id_t> all(nlist_);
+    std::iota(all.begin(), all.end(), 0);
+    TieredIndex tiered(*index_, all);
+    EXPECT_DOUBLE_EQ(tiered.rho(), 1.0);
+
+    expectParity(tiered, k_, nprobe_);
+    const auto s = tiered.stats();
+    EXPECT_EQ(s.hotOnlyQueries, s.queries);
+    EXPECT_EQ(s.coldOnlyQueries, 0u);
+    EXPECT_EQ(s.splitQueries, 0u);
+    EXPECT_DOUBLE_EQ(s.hotProbeFraction, 1.0);
+    EXPECT_DOUBLE_EQ(s.meanHitRate, 1.0);
+}
+
+TEST_F(TieredFixture, AccessCountsMatchProbeTraffic)
+{
+    TieredIndex tiered(*index_, topBySize(nlist_ / 4));
+    for (std::size_t i = 0; i < nq_; ++i)
+        tiered.search(queries_.data() + i * d_, k_, nprobe_);
+
+    // Recompute expected per-cluster probe counts independently.
+    std::vector<double> expected(nlist_, 0.0);
+    for (std::size_t i = 0; i < nq_; ++i) {
+        const auto pl = cq_->probe(queries_.data() + i * d_, nprobe_);
+        for (const cluster_id_t c : pl.clusters)
+            expected[static_cast<std::size_t>(c)] += 1.0;
+    }
+
+    const auto counts = tiered.drainAccessCounts();
+    ASSERT_EQ(counts.size(), nlist_);
+    for (std::size_t c = 0; c < nlist_; ++c)
+        EXPECT_DOUBLE_EQ(counts[c], expected[c]) << "cluster " << c;
+
+    // Draining resets.
+    for (const double v : tiered.drainAccessCounts())
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST_F(TieredFixture, RepartitionPromotesObservedHotClusters)
+{
+    TieredIndex tiered(*index_, {});
+    // Hammer the first 8 queries so their clusters dominate the counts.
+    for (std::size_t rep = 0; rep < 4; ++rep)
+        for (std::size_t i = 0; i < 8; ++i)
+            tiered.search(queries_.data() + i * d_, k_, nprobe_);
+
+    auto counts = tiered.drainAccessCounts();
+    cluster_id_t most = 0;
+    for (std::size_t c = 1; c < nlist_; ++c)
+        if (counts[c] > counts[static_cast<std::size_t>(most)])
+            most = static_cast<cluster_id_t>(c);
+
+    const auto profile = tiered.profileFromCounts(std::move(counts));
+    tiered.repartition(profile.hotClusters(0.25));
+
+    const auto bm = tiered.hotBitmap();
+    EXPECT_TRUE(bm[static_cast<std::size_t>(most)]);
+    EXPECT_EQ(tiered.numHotClusters(), profile.numHot(0.25));
+    EXPECT_EQ(tiered.stats().repartitions, 1u);
+    expectParity(tiered, k_, nprobe_);
+}
+
+TEST_F(TieredFixture, RepartitionIsSafeUnderConcurrentSearches)
+{
+    TieredIndex tiered(*index_, topBySize(nlist_ / 4));
+
+    // Precompute serial expectations once; any snapshot must match.
+    std::vector<std::vector<vs::SearchHit>> expected(nq_);
+    for (std::size_t i = 0; i < nq_; ++i)
+        expected[i] = index_->search(queries_.data() + i * d_, k_,
+                                     nprobe_);
+
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> searchers;
+    for (std::size_t t = 0; t < 4; ++t) {
+        searchers.emplace_back([&, t] {
+            vs::SearchScratch scratch;
+            for (std::size_t rep = 0; rep < 20; ++rep) {
+                for (std::size_t i = t; i < nq_; i += 4) {
+                    const auto got =
+                        tiered.search(queries_.data() + i * d_, k_,
+                                      nprobe_, &scratch);
+                    if (got.size() != expected[i].size()) {
+                        failed = true;
+                        continue;
+                    }
+                    for (std::size_t j = 0; j < got.size(); ++j)
+                        if (got[j].id != expected[i][j].id ||
+                            got[j].dist != expected[i][j].dist)
+                            failed = true;
+                }
+            }
+        });
+    }
+
+    // Flip between placements while the searchers run.
+    for (std::size_t rep = 0; rep < 10; ++rep) {
+        tiered.repartition(topBySize(nlist_ / 2));
+        tiered.repartition({});
+        tiered.repartition(topBySize(nlist_ / 8));
+    }
+    for (auto &th : searchers)
+        th.join();
+
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(tiered.stats().repartitions, 30u);
+}
+
+TEST_F(TieredFixture, OnlineUpdaterTriggersBackgroundRebuild)
+{
+    // Start with an empty hot tier but claim a high expected hit rate:
+    // observed rates of ~0 diverge immediately once the window fills.
+    TieredIndex tiered(*index_, {});
+    OnlineUpdater::Options opts;
+    opts.drift.hitRateDivergence = 0.2;
+    opts.drift.attainmentThreshold = 0.85;
+    opts.drift.windowRequests = 16;
+    opts.rho = 0.5;
+    OnlineUpdater updater(tiered, opts, /*expected_hit_rate=*/0.9);
+
+    bool launched = false;
+    for (std::size_t i = 0; i < nq_ && !launched; ++i) {
+        TieredQueryStats qs;
+        tiered.search(queries_.data() + (i % nq_) * d_, k_, nprobe_,
+                      nullptr, &qs);
+        launched = updater.record(qs.hitRate, /*slo_met=*/false);
+    }
+    EXPECT_TRUE(launched);
+    updater.waitForRebuild();
+
+    EXPECT_EQ(updater.rebuildsCompleted(), 1u);
+    EXPECT_FALSE(updater.rebuildInFlight());
+    const auto s = tiered.stats();
+    EXPECT_EQ(s.repartitions, 1u);
+    EXPECT_EQ(s.numHot, (nlist_ + 1) / 2);
+    // The rebuilt expectation reflects the drained counts at rho.
+    EXPECT_GT(updater.expectedHitRate(), 0.0);
+    expectParity(tiered, k_, nprobe_);
+}
+
+} // namespace
+} // namespace vlr::core
