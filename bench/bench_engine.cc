@@ -7,7 +7,7 @@
  * engine's observed batch latency (the real-hardware analogue of the
  * Fig. 10 model validation).
  *
- * Run: ./bench_engine [num_queries]
+ * Run: ./bench_engine [num_queries] [--smoke]
  */
 
 #include <cstdlib>
@@ -26,21 +26,26 @@ main(int argc, char **argv)
     using namespace vlr;
 
     // The perf-model profiling phase below reads up to 64 queries.
-    const long requested = argc > 1 ? std::atol(argv[1]) : 2000;
-    if (requested < 64) {
-        std::cerr << "usage: bench_engine [num_queries >= 64]\n";
+    const auto args = bench::parseBenchArgs(argc, argv,
+                                            /*default_queries=*/2000,
+                                            /*smoke_queries=*/256,
+                                            /*min_queries=*/64);
+    if (!args.ok) {
+        std::cerr << "usage: bench_engine [num_queries >= 64] "
+                     "[--smoke]\n";
         return 1;
     }
-    const auto n_queries = static_cast<std::size_t>(requested);
+    const std::size_t n_queries = args.numQueries;
 
-    std::cout << "Concurrent retrieval engine bench\n"
+    std::cout << "Concurrent retrieval engine bench"
+              << (args.smoke ? " (smoke mode)" : "") << "\n"
               << "=================================\n\n";
 
     // --- corpus + index (real vectors, not the timing model) ---
     wl::DatasetSpec spec = wl::tinySpec();
-    spec.numVectors = 40000;
+    spec.numVectors = args.smoke ? 8000 : 40000;
     spec.dim = 64;
-    spec.numClusters = 256;
+    spec.numClusters = args.smoke ? 64 : 256;
     spec.nprobe = 16;
     wl::SyntheticDataset dataset(spec);
     dataset.buildVectors();
@@ -75,7 +80,10 @@ main(int argc, char **argv)
     TextTable t({"threads", "wall (s)", "QPS", "speedup", "mean batch",
                  "p50 search (ms)", "p99 search (ms)", "model (ms)"});
     double qps1 = 0.0;
-    for (const std::size_t threads : {1ul, 2ul, 4ul, 8ul}) {
+    const std::vector<std::size_t> thread_counts =
+        args.smoke ? std::vector<std::size_t>{1, 4}
+                   : std::vector<std::size_t>{1, 2, 4, 8};
+    for (const std::size_t threads : thread_counts) {
         core::EngineOptions opts;
         opts.k = k;
         opts.nprobe = spec.nprobe;

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Repartition-under-load bench (paper Fig. 9: updates run in the
+ * background). A Zipf query stream drifts mid-run while the tiered
+ * engine keeps serving; a static configuration keeps the stale hot set,
+ * an adaptive one attaches the OnlineUpdater so drift triggers
+ * background multi-shard rebuilds + snapshot swaps. The bench reports
+ * per-phase search p50/p99 and the measured hot-probe fraction: the
+ * adaptive run should recover the hit rate after drift with a p99
+ * comparable to the static run — i.e. snapshot swaps must not stall
+ * in-flight batches.
+ *
+ * Run: ./bench_repartition [num_queries] [--smoke]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/engine_runtime.h"
+#include "core/online_update.h"
+#include "core/tiered_index.h"
+#include "workload/dataset.h"
+
+namespace
+{
+
+using namespace vlr;
+
+/** Latency digest + hit-rate measurements of one serving phase. */
+struct PhaseResult
+{
+    LatencySummary search;
+    double hotProbeFraction = 0.0;
+    /** Mean work-weighted hit rate over the phase's queries. */
+    double meanHitRate = 0.0;
+};
+
+PhaseResult
+servePhase(core::RetrievalEngine &engine, const core::TieredIndex &tiered,
+           std::span<const float> queries, std::size_t n, std::size_t dim)
+{
+    const auto before = tiered.stats();
+    std::vector<std::future<core::EngineQueryResult>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(engine.submit(
+            std::span<const float>(queries.data() + i * dim, dim)));
+    engine.drain();
+
+    SampleSet samples;
+    for (auto &f : futures)
+        samples.add(f.get().searchSeconds);
+    const auto after = tiered.stats();
+
+    PhaseResult r;
+    r.search = summarizeLatency(samples);
+    const auto probes = after.totalProbes - before.totalProbes;
+    r.hotProbeFraction =
+        probes == 0 ? 0.0
+                    : static_cast<double>(after.hotProbes -
+                                          before.hotProbes) /
+                          static_cast<double>(probes);
+    const auto queries_served = after.queries - before.queries;
+    if (queries_served > 0)
+        r.meanHitRate =
+            (after.meanHitRate * static_cast<double>(after.queries) -
+             before.meanHitRate * static_cast<double>(before.queries)) /
+            static_cast<double>(queries_served);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vlr;
+
+    const auto args = bench::parseBenchArgs(argc, argv,
+                                            /*default_queries=*/4000,
+                                            /*smoke_queries=*/600,
+                                            /*min_queries=*/2);
+    if (!args.ok) {
+        std::cerr << "usage: bench_repartition [num_queries >= 2] "
+                     "[--smoke]\n";
+        return 1;
+    }
+    const std::size_t n_phase = args.numQueries / 2;
+
+    std::cout << "Repartition-under-load bench"
+              << (args.smoke ? " (smoke mode)" : "") << "\n"
+              << "============================\n\n";
+
+    // --- corpus + index ------------------------------------------------
+    wl::DatasetSpec spec = wl::tinySpec();
+    spec.numVectors = args.smoke ? 8000 : 40000;
+    spec.dim = 64;
+    spec.numClusters = args.smoke ? 64 : 256;
+    spec.nprobe = 16;
+    wl::SyntheticDataset dataset(spec);
+    dataset.buildVectors();
+    const auto cq = dataset.makeCoarseQuantizer();
+    vs::IvfPqFastScanIndex index(cq, spec.dim / 4);
+    index.train(dataset.vectors(), spec.numVectors);
+    index.addPreassigned(dataset.vectors(), spec.numVectors,
+                         dataset.assignments());
+
+    const double rho = 0.25;
+    const std::size_t num_shards = 2;
+    std::cout << "index: " << index.size() << " vectors, nlist "
+              << index.nlist() << "; hot tier rho=" << rho << " across "
+              << num_shards << " shards; drift after " << n_phase
+              << " queries\n\n";
+
+    TextTable t({"config", "phase", "p50 srch (ms)", "p99 srch (ms)",
+                 "mean hit", "hot probes", "rebuilds"});
+
+    for (const bool adaptive : {false, true}) {
+        // Identical streams per config: same calibration + drift seeds.
+        wl::QueryGenerator gen(dataset, 123);
+        const std::size_t n_cal = args.smoke ? 400 : 1500;
+        const auto cal = gen.generate(n_cal);
+        std::vector<double> work(spec.numClusters);
+        for (std::size_t c = 0; c < spec.numClusters; ++c)
+            work[c] = static_cast<double>(dataset.clusterSizes()[c]) *
+                      spec.scaleFactor();
+        const auto plans =
+            wl::PlanSet::build(*cq, cal, n_cal, spec.nprobe, work);
+        const auto profile =
+            core::AccessProfile::fromPlans(plans, dataset);
+        const core::HitRateEstimator estimator(profile, plans);
+
+        core::TieredOptions topts;
+        topts.numShards = num_shards;
+        core::TieredIndex tiered(index, profile, rho, topts);
+
+        core::EngineOptions opts;
+        opts.k = 10;
+        opts.nprobe = spec.nprobe;
+        opts.numSearchThreads = 4;
+        opts.batching.maxBatch = 32;
+        opts.batching.timeoutSeconds = 1e-3;
+        core::RetrievalEngine engine(tiered, opts);
+
+        core::OnlineUpdater::Options uopts;
+        uopts.rho = rho;
+        // At this reduced scale a popularity reshuffle moves the mean
+        // hit rate by a few points, not the paper's tens: trigger on a
+        // 3-point divergence from the estimator's per-query-mean
+        // prediction (the same semantics the engine records).
+        uopts.drift.hitRateDivergence = 0.03;
+        // The engine records one observation per *batch*; keep the
+        // window small enough to fill (and re-trigger) within a phase.
+        uopts.drift.windowRequests = args.smoke ? 16 : 32;
+        // Gate the rebuild on hit-rate divergence alone: at this
+        // reduced scale searches always meet the paper-scale SLO, so
+        // an attainment threshold above 1 keeps the second drift
+        // condition permanently satisfied.
+        uopts.drift.attainmentThreshold = 1.01;
+        std::unique_ptr<core::OnlineUpdater> updater;
+        if (adaptive) {
+            updater = std::make_unique<core::OnlineUpdater>(
+                tiered, uopts, estimator.meanHitRate(rho));
+            engine.attachUpdater(updater.get());
+        }
+
+        const char *label = adaptive ? "adaptive" : "static";
+
+        const auto pre_queries = gen.generate(n_phase);
+        const auto pre = servePhase(engine, tiered, pre_queries, n_phase,
+                                    spec.dim);
+        t.addRow({label, "pre-drift",
+                  TextTable::num(pre.search.p50 * 1e3, 2),
+                  TextTable::num(pre.search.p99 * 1e3, 2),
+                  TextTable::pct(pre.meanHitRate),
+                  TextTable::pct(pre.hotProbeFraction),
+                  adaptive ? std::to_string(
+                                 updater->rebuildsCompleted())
+                           : "-"});
+
+        // Shift popularity for most clusters: the calibrated hot set
+        // goes stale.
+        gen.drift(0.9);
+        const auto post_queries = gen.generate(n_phase);
+        const auto post = servePhase(engine, tiered, post_queries,
+                                     n_phase, spec.dim);
+        if (updater)
+            updater->waitForRebuild();
+        t.addRow({label, "post-drift",
+                  TextTable::num(post.search.p50 * 1e3, 2),
+                  TextTable::num(post.search.p99 * 1e3, 2),
+                  TextTable::pct(post.meanHitRate),
+                  TextTable::pct(post.hotProbeFraction),
+                  adaptive ? std::to_string(
+                                 updater->rebuildsCompleted())
+                           : "-"});
+
+        // Same drifted stream once more: the adaptive config now
+        // serves it from the rebuilt placement.
+        const auto rec_queries = gen.generate(n_phase);
+        const auto rec = servePhase(engine, tiered, rec_queries, n_phase,
+                                    spec.dim);
+        if (updater)
+            updater->waitForRebuild();
+        t.addRow({label, "recovered",
+                  TextTable::num(rec.search.p50 * 1e3, 2),
+                  TextTable::num(rec.search.p99 * 1e3, 2),
+                  TextTable::pct(rec.meanHitRate),
+                  TextTable::pct(rec.hotProbeFraction),
+                  adaptive ? std::to_string(
+                                 updater->rebuildsCompleted())
+                           : "-"});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\n'hot probes' is the fraction of probes served by the hot "
+           "shards in each\nphase. After drift the static config keeps "
+           "the stale placement; the\nadaptive config's OnlineUpdater "
+           "drains live access counts and rebuilds\nall shards on a "
+           "background thread — p99 should stay comparable because\n"
+           "in-flight batches keep searching the old snapshot until the "
+           "atomic swap\n(paper Fig. 9's background-update claim).\n";
+    return 0;
+}

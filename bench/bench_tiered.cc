@@ -7,11 +7,15 @@
  * fraction of queries served entirely by the hot tier (cold tier
  * skipped via pruned routing), and the *measured* work-weighted hot hit
  * fraction next to the HitRateEstimator's calibration-time prediction —
- * the live analogue of the paper's Fig. 6 hit-rate model.
+ * the live analogue of the paper's Fig. 6 hit-rate model. A second
+ * sweep scales the hot tier across shard counts and backends
+ * (fast-scan replica vs the throttled slow-device double), reporting
+ * per-shard probe balance from the multi-shard router.
  *
- * Run: ./bench_tiered [num_queries]
+ * Run: ./bench_tiered [num_queries] [--smoke]
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <vector>
@@ -27,21 +31,24 @@ main(int argc, char **argv)
 {
     using namespace vlr;
 
-    const long requested = argc > 1 ? std::atol(argv[1]) : 2000;
-    if (requested < 1) {
-        std::cerr << "usage: bench_tiered [num_queries >= 1]\n";
+    const auto args = bench::parseBenchArgs(argc, argv,
+                                            /*default_queries=*/2000,
+                                            /*smoke_queries=*/300);
+    if (!args.ok) {
+        std::cerr << "usage: bench_tiered [num_queries >= 1] [--smoke]\n";
         return 1;
     }
-    const auto n_queries = static_cast<std::size_t>(requested);
+    const std::size_t n_queries = args.numQueries;
 
-    std::cout << "Tiered hot/cold engine bench\n"
+    std::cout << "Tiered hot/cold engine bench"
+              << (args.smoke ? " (smoke mode)" : "") << "\n"
               << "============================\n\n";
 
     // --- corpus + index (real vectors, Zipf-skewed query popularity) ---
     wl::DatasetSpec spec = wl::tinySpec();
-    spec.numVectors = 40000;
+    spec.numVectors = args.smoke ? 8000 : 40000;
     spec.dim = 64;
-    spec.numClusters = 256;
+    spec.numClusters = args.smoke ? 64 : 256;
     spec.nprobe = 16;
     wl::SyntheticDataset dataset(spec);
     dataset.buildVectors();
@@ -57,7 +64,7 @@ main(int argc, char **argv)
 
     // --- calibration: profile access skew, fit the hit-rate model ---
     wl::QueryGenerator gen(dataset, 123);
-    const std::size_t n_cal = 1500;
+    const std::size_t n_cal = args.smoke ? 400 : 1500;
     const auto cal_queries = gen.generate(n_cal);
     std::vector<double> work(spec.numClusters);
     for (std::size_t c = 0; c < spec.numClusters; ++c)
@@ -108,7 +115,10 @@ main(int argc, char **argv)
                   "-"});
     }
 
-    for (const double rho : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const std::vector<double> rhos =
+        args.smoke ? std::vector<double>{0.0, 0.25, 1.0}
+                   : std::vector<double>{0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+    for (const double rho : rhos) {
         core::TieredIndex tiered(index, profile, rho);
         core::RetrievalEngine engine(tiered, opts);
         const double secs = run_engine(engine);
@@ -137,6 +147,67 @@ main(int argc, char **argv)
            "fully\nhot-resident (cold tier skipped by the pruned "
            "router); 'hit meas' is the\nlive work-weighted hot hit rate "
            "and 'hit pred' the HitRateEstimator's\ncalibration-time "
-           "prediction at the same coverage.\n";
+           "prediction at the same coverage.\n\n";
+
+    // --- multi-shard hot tier: shard count x backend sweep ------------
+    std::cout << "Multi-shard hot tier at rho=0.25 "
+              << "(per-query shard scans fan out)\n"
+              << "----------------------------------------------------"
+              << "-----------\n";
+    TextTable st({"backend", "shards", "QPS", "p50 srch (ms)",
+                  "p99 srch (ms)", "probe balance"});
+    struct BackendCase
+    {
+        const char *label;
+        core::ShardBackendFactory factory;
+    };
+    const std::vector<BackendCase> backends = {
+        {"fastscan", core::fastScanShardFactory()},
+        // 50us per shard scan: a stand-in for a device with per-kernel
+        // launch overhead, stressing the fan-out path.
+        {"throttled 50us", core::throttledShardFactory(50e-6)},
+    };
+    const std::vector<std::size_t> shard_counts =
+        args.smoke ? std::vector<std::size_t>{1, 2}
+                   : std::vector<std::size_t>{1, 2, 4};
+    for (const auto &bc : backends) {
+        for (const std::size_t shards : shard_counts) {
+            core::EngineOptions sopts = opts;
+            sopts.numHotShards = shards;
+            sopts.shardBackendFactory = bc.factory;
+            core::RetrievalEngine engine(index, profile, 0.25, sopts);
+            const double secs = run_engine(engine);
+            const auto s = engine.stats();
+            const auto ts = engine.tiered()->stats();
+            // Balance: smallest / largest cumulative per-shard probe
+            // count (1.0 = perfectly even routing).
+            std::size_t mn = ts.shardProbeCounts.empty()
+                                 ? 0
+                                 : ts.shardProbeCounts[0];
+            std::size_t mx = mn;
+            for (const std::size_t p : ts.shardProbeCounts) {
+                mn = std::min(mn, p);
+                mx = std::max(mx, p);
+            }
+            st.addRow({bc.label, std::to_string(shards),
+                       TextTable::num(
+                           static_cast<double>(s.completed) / secs, 0),
+                       TextTable::num(s.searchLatency.p50 * 1e3, 2),
+                       TextTable::num(s.searchLatency.p99 * 1e3, 2),
+                       mx == 0 ? "-"
+                               : TextTable::num(
+                                     static_cast<double>(mn) /
+                                         static_cast<double>(mx),
+                                     2)});
+        }
+    }
+    st.print(std::cout);
+
+    std::cout << "\n'probe balance' is min/max cumulative probes routed "
+                 "per shard (1.0 =\nperfectly even); the throttled "
+                 "backend adds a per-scan launch delay and\nstresses "
+                 "the fan-out path, where shard scans of different "
+                 "queries run\nconcurrently instead of serializing the "
+                 "batch.\n";
     return 0;
 }

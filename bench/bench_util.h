@@ -7,6 +7,7 @@
 #ifndef VLR_BENCH_BENCH_UTIL_H
 #define VLR_BENCH_BENCH_UTIL_H
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -16,6 +17,45 @@
 
 namespace vlr::bench
 {
+
+/**
+ * Minimal CLI shared by the engine/tiered/repartition benches:
+ * an optional positional query count plus `--smoke`, which shrinks the
+ * dataset and iteration counts so CI can run every bench on every
+ * commit (bench code that never runs rots).
+ */
+struct BenchArgs
+{
+    std::size_t numQueries = 0;
+    bool smoke = false;
+    bool ok = true;
+};
+
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, std::size_t default_queries,
+               std::size_t smoke_queries, long min_queries = 1)
+{
+    BenchArgs a;
+    a.numQueries = default_queries;
+    bool explicit_n = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            a.smoke = true;
+            continue;
+        }
+        const long v = std::atol(arg.c_str());
+        if (v < min_queries) {
+            a.ok = false;
+            return a;
+        }
+        a.numQueries = static_cast<std::size_t>(v);
+        explicit_n = true;
+    }
+    if (a.smoke && !explicit_n)
+        a.numQueries = smoke_queries;
+    return a;
+}
 
 /** The paper's model->node pairing: Llama3-8B on L40S, others on H100. */
 inline gpu::GpuSpec

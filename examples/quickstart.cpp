@@ -9,9 +9,10 @@
  *
  * 4 (executable): take the simulator-chosen coverage rho to a *real*
  * reduced-scale IVF-PQ fast-scan index, split it into a hot/cold
- * TieredIndex, and serve a skewed query stream through the concurrent
- * RetrievalEngine — printing measured latency percentiles and how much
- * traffic the hot tier absorbed.
+ * TieredIndex whose hot tier is dealt across two shard backends, and
+ * serve a skewed query stream through the concurrent RetrievalEngine —
+ * printing measured latency percentiles, how much traffic the hot tier
+ * absorbed, and how evenly the shards were loaded.
  *
  * Run: ./examples/quickstart
  */
@@ -102,13 +103,17 @@ main()
     const auto plans =
         wl::PlanSet::build(*cq, cal, n_cal, spec.nprobe, work);
     const auto profile = core::AccessProfile::fromPlans(plans, corpus);
-    core::TieredIndex tiered(index, profile, chosen_rho);
 
+    // The engine builds and owns the tiered index: the hot set is dealt
+    // across two shard backends (in-memory fast-scan replicas standing
+    // in for two GPU-resident shards) by IndexSplitter::split.
     core::EngineOptions eopts;
     eopts.k = k;
     eopts.nprobe = spec.nprobe;
     eopts.numSearchThreads = 4;
-    core::RetrievalEngine engine(tiered, eopts);
+    eopts.numHotShards = 2;
+    core::RetrievalEngine engine(index, profile, chosen_rho, eopts);
+    const core::TieredIndex &tiered = *engine.tiered();
 
     const auto queries = gen.generate(n_serve);
     std::vector<std::future<core::EngineQueryResult>> futures;
@@ -125,7 +130,8 @@ main()
     std::cout << "served " << es.completed << " queries (k=" << k
               << ", nprobe=" << spec.nprobe << ") at rho="
               << TextTable::pct(ts.rho) << ": " << ts.numHot << "/"
-              << index.nlist() << " clusters hot\n"
+              << index.nlist() << " clusters hot across "
+              << ts.numShards << " " << ts.backend << " shards\n"
               << "search p50/p99: "
               << TextTable::num(es.searchLatency.p50 * 1e3, 2) << " / "
               << TextTable::num(es.searchLatency.p99 * 1e3, 2)
@@ -139,6 +145,11 @@ main()
                          ? 0.0
                          : static_cast<double>(ts.hotOnlyQueries) /
                                static_cast<double>(ts.queries))
-              << " of queries never touched the cold tier\n";
+              << " of queries never touched the cold tier\n"
+              << "per-shard probes:";
+    for (std::size_t s = 0; s < ts.shardProbeCounts.size(); ++s)
+        std::cout << " shard" << s << "="
+                  << ts.shardProbeCounts[s];
+    std::cout << "\n";
     return 0;
 }

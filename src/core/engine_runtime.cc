@@ -40,6 +40,22 @@ RetrievalEngine::RetrievalEngine(const TieredIndex &index,
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
 }
 
+RetrievalEngine::RetrievalEngine(const vs::IvfPqFastScanIndex &index,
+                                 const AccessProfile &profile, double rho,
+                                 EngineOptions options)
+    : index_(index),
+      ownedTiered_(std::make_unique<TieredIndex>(
+          index, profile, rho,
+          TieredOptions{options.numHotShards,
+                        options.shardBackendFactory})),
+      tiered_(ownedTiered_.get()), options_(options),
+      pool_(options.numSearchThreads)
+{
+    if (options_.batching.maxBatch == 0)
+        options_.batching.maxBatch = 1;
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
 RetrievalEngine::~RetrievalEngine()
 {
     shutdown();

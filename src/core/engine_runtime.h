@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -56,6 +57,17 @@ struct EngineOptions
      * exceeds it are reported to the drift monitor as SLO misses.
      */
     double sloSearchSeconds = 0.150;
+    /**
+     * Hot shards for engines that build their own TieredIndex (the
+     * profile-based constructor); ignored when serving a caller-owned
+     * index or the flat path.
+     */
+    std::size_t numHotShards = 1;
+    /**
+     * Per-shard backend factory for the same constructor; null means
+     * the default in-memory fast-scan replica.
+     */
+    ShardBackendFactory shardBackendFactory;
 };
 
 /** Outcome of one engine query. */
@@ -110,6 +122,17 @@ class RetrievalEngine
      * updater (if any).
      */
     RetrievalEngine(const TieredIndex &index, EngineOptions options);
+
+    /**
+     * Build and own a TieredIndex over `index` at coverage rho, with
+     * options.numHotShards hot shards behind
+     * options.shardBackendFactory, then serve it tiered — convenience
+     * wiring for callers that don't need to share the tiered index.
+     * The owned index is reachable through tiered().
+     */
+    RetrievalEngine(const vs::IvfPqFastScanIndex &index,
+                    const AccessProfile &profile, double rho,
+                    EngineOptions options);
     ~RetrievalEngine();
 
     RetrievalEngine(const RetrievalEngine &) = delete;
@@ -182,6 +205,8 @@ class RetrievalEngine
 
     /** Flat-mode index (tiered_->source() when tiered). */
     const vs::IvfPqFastScanIndex &index_;
+    /** Tiered index built by the profile-based constructor, if any. */
+    std::unique_ptr<TieredIndex> ownedTiered_;
     /** Tiered-mode index; nullptr when serving the flat path. */
     const TieredIndex *tiered_ = nullptr;
     OnlineUpdater *updater_ = nullptr;

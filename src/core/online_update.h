@@ -118,9 +118,10 @@ UpdateOutcome runUpdateCycle(DatasetContext &ctx, wl::QueryGenerator &gen,
  * observed work-weighted hit rate and whether its search met the SLO.
  * When the drift monitor fires, the updater drains the tiered index's
  * live per-cluster access counts, re-ranks clusters by observed
- * popularity (promote/demote) and rebuilds the hot tier on a background
- * thread — record() never blocks on the rebuild, and in-flight batches
- * keep searching the old snapshot until the atomic swap.
+ * popularity (promote/demote) and rebuilds every hot shard on a
+ * background thread, swapping one snapshot when all backends are ready
+ * — record() never blocks on the rebuild, and in-flight batches keep
+ * searching the old snapshot until the atomic swap.
  */
 class OnlineUpdater
 {

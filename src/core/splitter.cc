@@ -61,23 +61,48 @@ IndexSplitter::split(const AccessProfile &profile, double rho,
 {
     if (rho > 0.0 && num_shards < 1)
         fatal("IndexSplitter::split: need at least one shard");
-    num_shards = std::max(num_shards, 1);
-    ShardAssignment a = makeEmpty(profile, rho, num_shards);
+    return dealClusters(
+        profile.hotClusters(rho),
+        [&profile](cluster_id_t c) { return profile.clusterBytes(c); },
+        profile.nlist(), rho, num_shards);
+}
 
-    auto hot = profile.hotClusters(rho);
-    // Sort hot clusters by size (bytes) descending; round-robin dealing
-    // of a descending sequence keeps shard footprints balanced.
-    std::sort(hot.begin(), hot.end(),
-              [&profile](cluster_id_t x, cluster_id_t y) {
-                  const double bx = profile.clusterBytes(x);
-                  const double by = profile.clusterBytes(y);
+ShardAssignment
+IndexSplitter::dealClusters(
+    std::vector<cluster_id_t> clusters,
+    const std::function<double(cluster_id_t)> &bytes_of,
+    std::size_t nlist, double rho, int num_shards)
+{
+    num_shards = std::max(num_shards, 1);
+    ShardAssignment a;
+    a.rho = rho;
+    a.shardClusters.resize(static_cast<std::size_t>(num_shards));
+    a.shardBytes.assign(static_cast<std::size_t>(num_shards), 0.0);
+    a.clusterShard.assign(nlist, kCpuShard);
+    a.localId.assign(nlist, -1);
+
+    // Sort clusters by footprint descending; round-robin dealing of a
+    // descending sequence keeps shard footprints balanced.
+    std::sort(clusters.begin(), clusters.end(),
+              [&bytes_of](cluster_id_t x, cluster_id_t y) {
+                  const double bx = bytes_of(x);
+                  const double by = bytes_of(y);
                   if (bx != by)
                       return bx > by;
                   return x < y;
               });
-    for (std::size_t i = 0; i < hot.size(); ++i)
-        place(a, profile, hot[i],
-              i % static_cast<std::size_t>(num_shards));
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+        const cluster_id_t c = clusters[i];
+        assert(c >= 0 && static_cast<std::size_t>(c) < nlist);
+        const std::size_t shard =
+            i % static_cast<std::size_t>(num_shards);
+        a.clusterShard[static_cast<std::size_t>(c)] =
+            static_cast<shard_id_t>(shard);
+        a.localId[static_cast<std::size_t>(c)] =
+            static_cast<std::int32_t>(a.shardClusters[shard].size());
+        a.shardClusters[shard].push_back(c);
+        a.shardBytes[shard] += bytes_of(c);
+    }
     return a;
 }
 

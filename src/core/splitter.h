@@ -9,6 +9,7 @@
 #ifndef VLR_CORE_SPLITTER_H
 #define VLR_CORE_SPLITTER_H
 
+#include <functional>
 #include <vector>
 
 #include "core/access_profile.h"
@@ -52,6 +53,23 @@ class IndexSplitter
      */
     static ShardAssignment split(const AccessProfile &profile, double rho,
                                  int num_shards);
+
+    /**
+     * Deal an explicit cluster set across num_shards with the size-
+     * balanced policy (descending bytes_of, ties by id, round-robin)
+     * and build the mapping tables. This is the single placement
+     * policy: split() applies it to profile bytes, the tiered runtime
+     * to real list bytes.
+     * @param clusters hot set to place (each in [0, nlist)).
+     * @param bytes_of per-cluster footprint used for balancing.
+     * @param nlist total clusters (sizes the mapping tables).
+     * @param rho coverage recorded on the assignment.
+     * @param num_shards shards to deal across (clamped to >= 1).
+     */
+    static ShardAssignment dealClusters(
+        std::vector<cluster_id_t> clusters,
+        const std::function<double(cluster_id_t)> &bytes_of,
+        std::size_t nlist, double rho, int num_shards);
 
     /**
      * Uniform sharding by cluster id (Faiss IndexIVFShards semantics):

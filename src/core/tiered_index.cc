@@ -22,58 +22,88 @@ atomicAddDouble(std::atomic<double> &a, double x)
         ;
 }
 
-/** Single-shard placement: every hot cluster on shard 0, rest on CPU. */
+/** Clamp the shard count and fall back to the default backend. */
+TieredOptions
+normalizeOptions(TieredOptions opts)
+{
+    opts.numShards = std::max<std::size_t>(opts.numShards, 1);
+    if (!opts.backendFactory)
+        opts.backendFactory = fastScanShardFactory();
+    return opts;
+}
+
+/**
+ * Deal an explicit hot set across shards with the shared
+ * IndexSplitter::dealClusters policy, balancing by the source's real
+ * list bytes instead of profile bytes.
+ */
 ShardAssignment
 makeHotAssignment(const vs::IvfPqFastScanIndex &source,
-                  std::vector<cluster_id_t> hot_clusters)
+                  std::vector<cluster_id_t> hot_clusters,
+                  std::size_t num_shards)
 {
     const std::size_t nlist = source.nlist();
-    ShardAssignment a;
-    a.clusterShard.assign(nlist, kCpuShard);
-    a.localId.assign(nlist, -1);
-    double bytes = 0.0;
-    for (std::size_t i = 0; i < hot_clusters.size(); ++i) {
-        const cluster_id_t c = hot_clusters[i];
-        assert(c >= 0 && static_cast<std::size_t>(c) < nlist);
-        a.clusterShard[static_cast<std::size_t>(c)] = 0;
-        a.localId[static_cast<std::size_t>(c)] =
-            static_cast<std::int32_t>(i);
-        bytes += static_cast<double>(source.listBytes(c));
-    }
-    a.rho = nlist == 0 ? 0.0
-                       : static_cast<double>(hot_clusters.size()) /
-                             static_cast<double>(nlist);
-    a.shardClusters.push_back(std::move(hot_clusters));
-    a.shardBytes.push_back(bytes);
-    return a;
+    const double rho = nlist == 0
+                           ? 0.0
+                           : static_cast<double>(hot_clusters.size()) /
+                                 static_cast<double>(nlist);
+    return IndexSplitter::dealClusters(
+        std::move(hot_clusters),
+        [&source](cluster_id_t c) {
+            return static_cast<double>(source.listBytes(c));
+        },
+        nlist, rho, static_cast<int>(num_shards));
 }
 
 } // namespace
 
 TieredIndex::Tiers::Tiers(const vs::IvfPqFastScanIndex &source,
-                          std::vector<cluster_id_t> hot_clusters)
-    : assignment(makeHotAssignment(source, std::move(hot_clusters))),
-      router(assignment, /*prune_probes=*/true),
-      hot(source.subsetClusters(assignment.shardClusters[0])),
-      numHot(assignment.shardClusters[0].size()),
-      rho(assignment.rho),
-      hotBytes(static_cast<std::size_t>(assignment.shardBytes[0]))
+                          ShardAssignment a, const TieredOptions &opts)
+    : assignment(std::move(a)), router(assignment, /*prune_probes=*/true)
 {
+    assert(assignment.clusterShard.size() == source.nlist());
+    shards.reserve(assignment.numShards());
+    for (std::size_t s = 0; s < assignment.numShards(); ++s) {
+        shards.push_back(
+            opts.backendFactory(source, assignment.shardClusters[s], s));
+        numHot += assignment.shardClusters[s].size();
+        hotBytes += shards.back()->bytes();
+    }
+    rho = source.nlist() == 0
+              ? 0.0
+              : static_cast<double>(numHot) /
+                    static_cast<double>(source.nlist());
 }
 
 TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
-                         std::vector<cluster_id_t> hot_clusters)
-    : source_(source),
-      tiers_(std::make_shared<const Tiers>(source,
-                                           std::move(hot_clusters))),
+                         std::vector<cluster_id_t> hot_clusters,
+                         TieredOptions opts)
+    : source_(source), opts_(normalizeOptions(std::move(opts))),
+      tiers_(std::make_shared<const Tiers>(
+          source,
+          makeHotAssignment(source, std::move(hot_clusters),
+                            opts_.numShards),
+          opts_)),
       accessCounts_(
-          std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist()))
+          std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist())),
+      shardProbeCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          opts_.numShards))
 {
 }
 
 TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
-                         const AccessProfile &profile, double rho)
-    : TieredIndex(source, profile.hotClusters(rho))
+                         const AccessProfile &profile, double rho,
+                         TieredOptions opts)
+    : source_(source), opts_(normalizeOptions(std::move(opts))),
+      tiers_(std::make_shared<const Tiers>(
+          source,
+          IndexSplitter::split(profile, rho,
+                               static_cast<int>(opts_.numShards)),
+          opts_)),
+      accessCounts_(
+          std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist())),
+      shardProbeCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          opts_.numShards))
 {
 }
 
@@ -84,73 +114,85 @@ TieredIndex::snapshot() const
     return tiers_;
 }
 
-std::vector<vs::SearchHit>
-TieredIndex::searchRouted(const Tiers &tiers, const float *query,
-                          std::size_t k,
-                          std::span<const cluster_id_t> clusters,
-                          vs::SearchScratch *scratch,
-                          TieredQueryStats *qs) const
+TieredIndex::ProbeBuckets
+TieredIndex::routeProbes(const Tiers &tiers,
+                         std::span<const cluster_id_t> clusters,
+                         TieredQueryStats *qs) const
 {
+    ProbeBuckets b;
+    b.shardProbes.resize(opts_.numShards);
+
     // Route the probe list through the pruned router: the same
     // work-weighted accounting the simulator uses, over real list
-    // sizes. The plan and the hot/cold split are built in one pass;
+    // sizes. The plan and the per-shard buckets are built in one pass;
     // the router then provides the hit-rate/shard-load accounting.
     wl::QueryPlan plan;
     plan.probes.assign(clusters.begin(), clusters.end());
     plan.probeWork.reserve(clusters.size());
-    std::vector<cluster_id_t> hotList, coldList;
-    hotList.reserve(clusters.size());
     for (const cluster_id_t c : clusters) {
         const auto w = static_cast<double>(source_.listSize(c));
         plan.probeWork.push_back(w);
         plan.totalWork += w;
         accessCounts_[static_cast<std::size_t>(c)].fetch_add(
             1, std::memory_order_relaxed);
-        (tiers.assignment.isGpuResident(c) ? hotList : coldList)
-            .push_back(c);
+        const shard_id_t s =
+            tiers.assignment.clusterShard[static_cast<std::size_t>(c)];
+        if (s == kCpuShard) {
+            b.coldProbes.push_back(c);
+        } else {
+            b.shardProbes[static_cast<std::size_t>(s)].push_back(c);
+            shardProbeCounts_[static_cast<std::size_t>(s)].fetch_add(
+                1, std::memory_order_relaxed);
+            ++b.hotCount;
+        }
     }
     const wl::QueryPlan *pp = &plan;
     const RoutedBatch routed =
         tiers.router.route(std::span<const wl::QueryPlan *const>(&pp, 1));
     const RoutedQuery &rq = routed.queries[0];
 
-    std::vector<vs::SearchHit> hits;
-    if (coldList.empty()) {
-        // Fully hot-covered: the cold tier is skipped entirely (the
-        // pruned-routing fast path).
-        hits = tiers.hot.searchClusters(query, k, hotList, nullptr,
-                                        scratch);
-    } else if (hotList.empty()) {
-        hits = source_.searchClusters(query, k, coldList, nullptr,
-                                      scratch);
-    } else {
-        std::vector<std::vector<vs::SearchHit>> parts(2);
-        parts[0] = tiers.hot.searchClusters(query, k, hotList, nullptr,
-                                            scratch);
-        parts[1] = source_.searchClusters(query, k, coldList, nullptr,
-                                          scratch);
-        hits = vs::mergeHitLists(parts, k);
-    }
-
-    const bool hot_only = coldList.empty() && !hotList.empty();
+    const bool hot_only = b.coldProbes.empty() && b.hotCount > 0;
     queries_.fetch_add(1, std::memory_order_relaxed);
     if (hot_only)
         hotOnly_.fetch_add(1, std::memory_order_relaxed);
-    else if (hotList.empty())
+    else if (b.hotCount == 0)
         coldOnly_.fetch_add(1, std::memory_order_relaxed);
     else
         split_.fetch_add(1, std::memory_order_relaxed);
-    hotProbes_.fetch_add(hotList.size(), std::memory_order_relaxed);
+    hotProbes_.fetch_add(b.hotCount, std::memory_order_relaxed);
     totalProbes_.fetch_add(clusters.size(), std::memory_order_relaxed);
     atomicAddDouble(hitRateSum_, rq.hitRate);
 
     if (qs) {
-        qs->hotProbes = hotList.size();
-        qs->coldProbes = coldList.size();
+        qs->hotProbes = b.hotCount;
+        qs->coldProbes = b.coldProbes.size();
+        qs->shardsUsed = rq.shardsUsed.size();
         qs->hitRate = rq.hitRate;
         qs->hotOnly = hot_only;
     }
-    return hits;
+    return b;
+}
+
+std::vector<vs::SearchHit>
+TieredIndex::scanBuckets(const Tiers &tiers, const float *query,
+                         std::size_t k, const ProbeBuckets &buckets,
+                         vs::SearchScratch *scratch) const
+{
+    std::vector<std::vector<vs::SearchHit>> parts;
+    for (std::size_t s = 0; s < buckets.shardProbes.size(); ++s) {
+        if (buckets.shardProbes[s].empty())
+            continue;
+        parts.push_back(tiers.shards[s]->searchClusters(
+            query, k, buckets.shardProbes[s], scratch));
+    }
+    if (!buckets.coldProbes.empty())
+        parts.push_back(source_.searchClusters(
+            query, k, buckets.coldProbes, nullptr, scratch));
+    if (parts.empty())
+        return {};
+    if (parts.size() == 1)
+        return std::move(parts[0]);
+    return vs::mergeHitLists(parts, k);
 }
 
 std::vector<vs::SearchHit>
@@ -159,7 +201,8 @@ TieredIndex::search(const float *query, std::size_t k, std::size_t nprobe,
 {
     const auto tiers = snapshot();
     const auto pl = source_.quantizer().probe(query, nprobe);
-    return searchRouted(*tiers, query, k, pl.clusters, scratch, qs);
+    const ProbeBuckets buckets = routeProbes(*tiers, pl.clusters, qs);
+    return scanBuckets(*tiers, query, k, buckets, scratch);
 }
 
 std::vector<std::vector<vs::SearchHit>>
@@ -175,13 +218,67 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
     const auto tiers = snapshot();
     std::vector<std::vector<vs::SearchHit>> out(nq);
     std::vector<TieredQueryStats> qstats(bs ? nq : 0);
+    std::vector<ProbeBuckets> buckets(nq);
+
+    // Phase 1: coarse-quantize and route every query.
     pool.parallelForDynamic(nq, 1, [&](std::size_t i) {
-        static thread_local vs::SearchScratch scratch;
         const float *q = queries.data() + i * d;
         const auto pl = source_.quantizer().probe(q, nprobe);
-        out[i] = searchRouted(*tiers, q, k, pl.clusters, &scratch,
-                              bs ? &qstats[i] : nullptr);
+        buckets[i] =
+            routeProbes(*tiers, pl.clusters, bs ? &qstats[i] : nullptr);
     });
+
+    // Phase 2: flatten every (query, shard) and (query, cold) scan into
+    // an independent pool task, so different queries' shard scans run
+    // concurrently and one slow shard backend cannot serialize the
+    // batch. Slots are assigned in the same shard-ascending-then-cold
+    // order scanBuckets uses, keeping merged results bit-identical to
+    // the serial path.
+    struct ScanTask
+    {
+        std::uint32_t query;
+        shard_id_t shard; // kCpuShard = cold scan on the source
+        std::uint32_t slot;
+    };
+    std::vector<ScanTask> tasks;
+    std::vector<std::vector<std::vector<vs::SearchHit>>> parts(nq);
+    for (std::size_t i = 0; i < nq; ++i) {
+        std::uint32_t slot = 0;
+        for (std::size_t s = 0; s < buckets[i].shardProbes.size(); ++s)
+            if (!buckets[i].shardProbes[s].empty())
+                tasks.push_back({static_cast<std::uint32_t>(i),
+                                 static_cast<shard_id_t>(s), slot++});
+        if (!buckets[i].coldProbes.empty())
+            tasks.push_back(
+                {static_cast<std::uint32_t>(i), kCpuShard, slot++});
+        parts[i].resize(slot);
+    }
+    pool.parallelForDynamic(tasks.size(), 1, [&](std::size_t t) {
+        static thread_local vs::SearchScratch scratch;
+        const ScanTask &task = tasks[t];
+        const float *q = queries.data() + task.query * d;
+        const ProbeBuckets &qb = buckets[task.query];
+        parts[task.query][task.slot] =
+            task.shard == kCpuShard
+                ? source_.searchClusters(q, k, qb.coldProbes, nullptr,
+                                         &scratch)
+                : tiers->shards[static_cast<std::size_t>(task.shard)]
+                      ->searchClusters(
+                          q, k,
+                          qb.shardProbes[static_cast<std::size_t>(
+                              task.shard)],
+                          &scratch);
+    });
+
+    // Phase 3: per-query merge (cheap: at most shards+1 sorted lists of
+    // length <= k each).
+    for (std::size_t i = 0; i < nq; ++i) {
+        if (parts[i].empty())
+            continue;
+        out[i] = parts[i].size() == 1 ? std::move(parts[i][0])
+                                      : vs::mergeHitLists(parts[i], k);
+    }
+
     if (bs) {
         *bs = {};
         bs->queries = nq;
@@ -207,10 +304,14 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
 void
 TieredIndex::repartition(std::vector<cluster_id_t> hot_clusters)
 {
-    // Build the replacement generation outside the lock: in-flight and
-    // newly admitted searches keep using the old snapshot meanwhile.
-    auto next =
-        std::make_shared<const Tiers>(source_, std::move(hot_clusters));
+    // Build the replacement generation — every shard backend — outside
+    // the lock: in-flight and newly admitted searches keep using the
+    // old snapshot meanwhile.
+    auto next = std::make_shared<const Tiers>(
+        source_,
+        makeHotAssignment(source_, std::move(hot_clusters),
+                          opts_.numShards),
+        opts_);
     {
         std::lock_guard<std::mutex> lk(snapshotMutex_);
         tiers_ = std::move(next);
@@ -252,22 +353,33 @@ TieredIndex::stats() const
     s.hotOnlyQueries = hotOnly_.load(std::memory_order_relaxed);
     s.coldOnlyQueries = coldOnly_.load(std::memory_order_relaxed);
     s.splitQueries = split_.load(std::memory_order_relaxed);
-    const auto hot_probes = hotProbes_.load(std::memory_order_relaxed);
-    const auto total_probes = totalProbes_.load(std::memory_order_relaxed);
+    s.hotProbes = hotProbes_.load(std::memory_order_relaxed);
+    s.totalProbes = totalProbes_.load(std::memory_order_relaxed);
     s.meanHitRate =
         s.queries == 0
             ? 0.0
             : hitRateSum_.load(std::memory_order_relaxed) /
                   static_cast<double>(s.queries);
     s.hotProbeFraction =
-        total_probes == 0 ? 0.0
-                          : static_cast<double>(hot_probes) /
-                                static_cast<double>(total_probes);
+        s.totalProbes == 0
+            ? 0.0
+            : static_cast<double>(s.hotProbes) /
+                  static_cast<double>(s.totalProbes);
     s.repartitions = repartitions_.load(std::memory_order_relaxed);
+    s.shardProbeCounts.resize(opts_.numShards);
+    for (std::size_t i = 0; i < opts_.numShards; ++i)
+        s.shardProbeCounts[i] = static_cast<std::size_t>(
+            shardProbeCounts_[i].load(std::memory_order_relaxed));
     const auto tiers = snapshot();
     s.rho = tiers->rho;
     s.numHot = tiers->numHot;
     s.hotBytes = tiers->hotBytes;
+    s.numShards = tiers->shards.size();
+    s.backend = tiers->shards.empty() ? std::string()
+                                      : tiers->shards.front()->name();
+    s.shardBytes.reserve(tiers->shards.size());
+    for (const auto &shard : tiers->shards)
+        s.shardBytes.push_back(shard->bytes());
     return s;
 }
 
@@ -276,8 +388,9 @@ TieredIndex::hotBitmap() const
 {
     const auto tiers = snapshot();
     std::vector<bool> bm(nlist(), false);
-    for (const cluster_id_t c : tiers->assignment.shardClusters[0])
-        bm[static_cast<std::size_t>(c)] = true;
+    for (const auto &shard : tiers->assignment.shardClusters)
+        for (const cluster_id_t c : shard)
+            bm[static_cast<std::size_t>(c)] = true;
     return bm;
 }
 

@@ -4,18 +4,19 @@
  * analytic partitioning pipeline (paper Sections IV-A/IV-B).
  *
  * A TieredIndex splits a trained IvfPqFastScanIndex by cluster: the hot
- * tier is a fast-path replica of the most-accessed clusters (extracted
- * with subsetClusters(), standing in for the GPU-resident shards; a
- * later PR swaps its backend for a real device), while cold probes scan
- * the source index in place — the CPU keeps the full index, exactly as
- * the paper's host-side master copy does. Each query's probe list is
- * routed through the pruned Router over a single-shard ShardAssignment,
- * so hot-covered queries skip the cold tier entirely and the router's
- * work-weighted hit rates come from the same code path the simulator
- * uses. Live searches bump per-cluster atomic access counters; the
- * OnlineUpdater drains them to drive skew-tracking repartitions
- * (cluster promote/demote) that swap in a new tier snapshot without
- * stalling in-flight batches.
+ * tier is N shards, each behind a pluggable HotShardBackend (the
+ * default is an in-memory fast-scan subset replica standing in for a
+ * GPU-resident shard), while cold probes scan the source index in place
+ * — the CPU keeps the full index, exactly as the paper's host-side
+ * master copy does. Hot clusters are placed across shards by the same
+ * size-balanced round-robin dealing IndexSplitter::split uses, and each
+ * query's probe list is routed through the pruned Router over the
+ * multi-shard ShardAssignment, so hot-covered queries skip the cold
+ * tier entirely and the router's work-weighted hit rates come from the
+ * same code path the simulator uses. Live searches bump per-cluster
+ * atomic access counters; the OnlineUpdater drains them to drive
+ * skew-tracking repartitions that rebuild every shard off-lock and swap
+ * in a new tier snapshot without stalling in-flight batches.
  */
 
 #ifndef VLR_CORE_TIERED_INDEX_H
@@ -25,24 +26,40 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/threadpool.h"
 #include "core/access_profile.h"
 #include "core/router.h"
+#include "core/shard_backend.h"
 #include "core/splitter.h"
 #include "vecsearch/ivf_pq_fastscan.h"
 
 namespace vlr::core
 {
 
+/** Hot-tier shape: shard count and per-shard backend construction. */
+struct TieredOptions
+{
+    /** Hot shards the hot set is dealt across (>= 1). */
+    std::size_t numShards = 1;
+    /**
+     * Builds each shard's backend; null means the default in-memory
+     * fast-scan replica (fastScanShardFactory()).
+     */
+    ShardBackendFactory backendFactory;
+};
+
 /** Routing outcome of one live query through the tiers. */
 struct TieredQueryStats
 {
-    /** Probes resident on the hot tier. */
+    /** Probes resident on the hot tier (any shard). */
     std::size_t hotProbes = 0;
     /** Probes served by the cold (source) tier. */
     std::size_t coldProbes = 0;
+    /** Hot shards holding at least one of this query's probes. */
+    std::size_t shardsUsed = 0;
     /** Work-weighted hot hit rate (router semantics). */
     double hitRate = 0.0;
     /** True when the cold tier was skipped entirely. */
@@ -71,22 +88,36 @@ struct TieredStatsSnapshot
     double meanHitRate = 0.0;
     /** Fraction of all probes that landed on the hot tier. */
     double hotProbeFraction = 0.0;
+    /** Total probes routed since construction (hot + cold). */
+    std::size_t totalProbes = 0;
+    /** Probes routed to any hot shard since construction. */
+    std::size_t hotProbes = 0;
     /** Completed repartitions (snapshot swaps). */
     std::size_t repartitions = 0;
     /** Current coverage: hot clusters / nlist. */
     double rho = 0.0;
     std::size_t numHot = 0;
-    /** Resident bytes of the current hot-tier replica. */
+    /** Resident bytes of the current hot tier across all shards. */
     std::size_t hotBytes = 0;
+    /** Hot shards in the current snapshot. */
+    std::size_t numShards = 0;
+    /** Backend name of the current snapshot's shards. */
+    std::string backend;
+    /** Resident bytes per shard (current snapshot). */
+    std::vector<std::size_t> shardBytes;
+    /** Cumulative probes routed to each shard since construction. */
+    std::vector<std::size_t> shardProbeCounts;
 };
 
 /**
  * Partition-aware retrieval path over a trained IvfPqFastScanIndex.
  *
- * Search results are exactly the single-tier results for any hot set:
- * both tiers share the source's coarse quantizer and PQ, distances are
- * bit-identical, and top-k selection is a total order on (dist, id), so
- * merging per-tier top-k lists reproduces the serial scan.
+ * Search results are exactly the single-tier results for any hot set
+ * and any shard count: all tiers share the source's coarse quantizer
+ * and PQ, backend distances are bit-identical by contract
+ * (HotShardBackend), and top-k selection is a total order on
+ * (dist, id), so merging per-shard partial top-k lists with the cold
+ * scan reproduces the serial scan.
  *
  * Thread-safety: search methods are const and may run from any number
  * of threads; repartition() may run concurrently with searches (each
@@ -100,20 +131,28 @@ class TieredIndex
     /**
      * @param source trained and populated single-tier index.
      * @param hot_clusters clusters replicated on the hot tier (any
-     *        subset of [0, nlist), e.g. AccessProfile::hotClusters).
+     *        subset of [0, nlist), e.g. AccessProfile::hotClusters);
+     *        dealt across opts.numShards by descending size.
+     * @param opts hot-tier shape (shard count + backend factory).
      */
     TieredIndex(const vs::IvfPqFastScanIndex &source,
-                std::vector<cluster_id_t> hot_clusters);
+                std::vector<cluster_id_t> hot_clusters,
+                TieredOptions opts = {});
 
-    /** Convenience: hot set = profile's top-rho clusters. */
+    /**
+     * Hot set = profile's top-rho clusters, placed across
+     * opts.numShards with IndexSplitter::split's size-balanced
+     * round-robin dealing.
+     */
     TieredIndex(const vs::IvfPqFastScanIndex &source,
-                const AccessProfile &profile, double rho);
+                const AccessProfile &profile, double rho,
+                TieredOptions opts = {});
 
     /**
      * Serial tiered search: probe the shared coarse quantizer, route
-     * probes through the pruned router, scan the hot replica and (only
-     * if needed) the cold source, merge. Records per-cluster access
-     * counts.
+     * probes through the pruned router, scan each hot shard holding a
+     * probe and (only if needed) the cold source, merge. Records
+     * per-cluster access counts.
      */
     std::vector<vs::SearchHit> search(const float *query, std::size_t k,
                                       std::size_t nprobe,
@@ -122,7 +161,11 @@ class TieredIndex
 
     /**
      * Batched tiered search across a thread pool; one snapshot serves
-     * the whole batch. Results are bit-identical to per-query search().
+     * the whole batch. Every (query, shard) and (query, cold) scan is
+     * an independent pool task, so different queries' shard scans run
+     * concurrently — a slow shard backend stalls only its own scans,
+     * not the whole batch. Results are bit-identical to per-query
+     * search().
      */
     std::vector<std::vector<vs::SearchHit>> searchBatchParallel(
         std::span<const float> queries, std::size_t nq, std::size_t k,
@@ -131,8 +174,9 @@ class TieredIndex
 
     /**
      * Rebuild the hot tier around a new hot set and atomically swap it
-     * in. The (expensive) replica build runs before the swap, outside
-     * any lock; searches started on the old snapshot finish on it.
+     * in. The (expensive) rebuild of every shard backend runs before
+     * the swap, outside any lock; searches started on the old snapshot
+     * finish on it. Shard count and backend factory are preserved.
      */
     void repartition(std::vector<cluster_id_t> hot_clusters);
 
@@ -140,6 +184,16 @@ class TieredIndex
      * Return and reset the live per-cluster access counts (probes per
      * cluster since the last drain) — the profiling input of an online
      * repartition cycle.
+     *
+     * Consistency contract: counters are relaxed atomics bumped once
+     * per routed probe, before the probe's scan runs. A drain that
+     * overlaps in-flight batches may therefore split one batch's
+     * probes across two drains, and is not an instantaneous snapshot
+     * across clusters — but no probe is ever lost or double-counted:
+     * over any quiescent point (all searches completed), the sum of
+     * every drained count since construction equals stats()'
+     * totalProbes. Concurrent drains are safe (each probe appears in
+     * exactly one drain).
      */
     std::vector<double> drainAccessCounts();
 
@@ -150,6 +204,13 @@ class TieredIndex
      */
     AccessProfile profileFromCounts(std::vector<double> counts) const;
 
+    /**
+     * Cumulative statistics. Counters share drainAccessCounts()'
+     * consistency contract: each is bumped once per query/probe with
+     * relaxed ordering, so a snapshot taken mid-batch may observe a
+     * partially recorded batch (e.g. queries ahead of hotProbes), but
+     * every counter is exact at any quiescent point.
+     */
     TieredStatsSnapshot stats() const;
 
     /** Current hot-tier membership bitmap (copy; nlist entries). */
@@ -157,6 +218,8 @@ class TieredIndex
 
     double rho() const;
     std::size_t numHotClusters() const;
+    /** Hot shards (fixed at construction; preserved by repartition). */
+    std::size_t numShards() const { return opts_.numShards; }
     std::size_t dim() const { return source_.dim(); }
     std::size_t nlist() const { return source_.nlist(); }
     const vs::IvfPqFastScanIndex &source() const { return source_; }
@@ -167,30 +230,54 @@ class TieredIndex
     {
         ShardAssignment assignment;
         Router router;
-        /** Hot-cluster replica (global ids, absent lists empty). */
-        vs::IvfPqFastScanIndex hot;
+        /** Per-shard backends (assignment.numShards() entries). */
+        std::vector<std::unique_ptr<HotShardBackend>> shards;
         std::size_t numHot = 0;
         double rho = 0.0;
+        /** Total resident bytes across shards. */
         std::size_t hotBytes = 0;
 
-        Tiers(const vs::IvfPqFastScanIndex &source,
-              std::vector<cluster_id_t> hot_clusters);
+        Tiers(const vs::IvfPqFastScanIndex &source, ShardAssignment a,
+              const TieredOptions &opts);
+    };
+
+    /** One query's probe list bucketed by destination. */
+    struct ProbeBuckets
+    {
+        /** Per-shard probe lists (numShards entries, many empty). */
+        std::vector<std::vector<cluster_id_t>> shardProbes;
+        /** Cold (source-tier) probe list. */
+        std::vector<cluster_id_t> coldProbes;
+        std::size_t hotCount = 0;
     };
 
     std::shared_ptr<const Tiers> snapshot() const;
 
-    std::vector<vs::SearchHit> searchRouted(
-        const Tiers &tiers, const float *query, std::size_t k,
-        std::span<const cluster_id_t> clusters, vs::SearchScratch *scratch,
-        TieredQueryStats *qs) const;
+    /**
+     * Bucket one probe list by destination shard, record access
+     * counters and per-query routing stats.
+     */
+    ProbeBuckets routeProbes(const Tiers &tiers,
+                             std::span<const cluster_id_t> clusters,
+                             TieredQueryStats *qs) const;
+
+    /** Scan every non-empty bucket serially and merge. */
+    std::vector<vs::SearchHit> scanBuckets(const Tiers &tiers,
+                                           const float *query,
+                                           std::size_t k,
+                                           const ProbeBuckets &buckets,
+                                           vs::SearchScratch *scratch) const;
 
     const vs::IvfPqFastScanIndex &source_;
+    TieredOptions opts_;
 
     mutable std::mutex snapshotMutex_;
     std::shared_ptr<const Tiers> tiers_;
 
     /** Live per-cluster probe counters (relaxed; profiling input). */
     std::unique_ptr<std::atomic<std::uint64_t>[]> accessCounts_;
+    /** Cumulative probes routed to each shard (relaxed). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> shardProbeCounts_;
 
     mutable std::atomic<std::uint64_t> queries_{0};
     mutable std::atomic<std::uint64_t> hotOnly_{0};

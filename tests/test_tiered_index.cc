@@ -1,10 +1,12 @@
 /**
  * @file
  * Tests for the tiered hot/cold index runtime: exact result parity with
- * single-tier serial search for any coverage, pruned-routing edge cases
- * (fully hot / fully cold / split probe lists, rho = 0 and rho = 1),
- * live access counting, concurrent repartition, and the OnlineUpdater's
- * drift-triggered background rebuild.
+ * single-tier serial search for any coverage and shard count,
+ * pruned-routing edge cases (fully hot / fully cold / split probe
+ * lists, rho = 0 and rho = 1), pluggable shard backends (throttled
+ * double under concurrent repartition), live access counting and its
+ * drain consistency contract, concurrent repartition, and the
+ * OnlineUpdater's drift-triggered background rebuild.
  */
 
 #include <algorithm>
@@ -354,6 +356,194 @@ TEST_F(TieredFixture, RepartitionIsSafeUnderConcurrentSearches)
 
     EXPECT_FALSE(failed.load());
     EXPECT_EQ(tiered.stats().repartitions, 30u);
+}
+
+TEST_F(TieredFixture, MultiShardParityAcrossShardCountsAndCoverages)
+{
+    // Acceptance: bit-identical top-k vs the single-tier serial search
+    // for shard counts {1, 2, 4} x rho {0, 0.25, 1}.
+    for (const std::size_t shards : {1ul, 2ul, 4ul}) {
+        for (const double rho : {0.0, 0.25, 1.0}) {
+            const auto count = static_cast<std::size_t>(
+                rho * static_cast<double>(nlist_) + 0.5);
+            TieredOptions opts;
+            opts.numShards = shards;
+            TieredIndex tiered(*index_, topBySize(count), opts);
+            EXPECT_EQ(tiered.numShards(), shards);
+            EXPECT_EQ(tiered.numHotClusters(), count);
+            expectParity(tiered, k_, nprobe_);
+
+            const auto s = tiered.stats();
+            EXPECT_EQ(s.numShards, shards);
+            ASSERT_EQ(s.shardBytes.size(), shards);
+            std::size_t bytes = 0;
+            for (const std::size_t b : s.shardBytes)
+                bytes += b;
+            EXPECT_EQ(bytes, s.hotBytes);
+            // Every hot probe was attributed to exactly one shard.
+            ASSERT_EQ(s.shardProbeCounts.size(), shards);
+            std::size_t shard_probes = 0;
+            for (const std::size_t p : s.shardProbeCounts)
+                shard_probes += p;
+            EXPECT_EQ(shard_probes, s.hotProbes);
+        }
+    }
+}
+
+TEST_F(TieredFixture, SplitterPlacedShardsPreserveParity)
+{
+    // Profile-driven constructor: placement comes from
+    // IndexSplitter::split(profile, rho, num_shards), the same code
+    // path the simulator and the partitioner use.
+    std::vector<double> counts(nlist_), work(nlist_), bytes(nlist_);
+    for (std::size_t c = 0; c < nlist_; ++c) {
+        const auto id = static_cast<cluster_id_t>(c);
+        counts[c] = static_cast<double>(index_->listSize(id));
+        work[c] = static_cast<double>(index_->listSize(id));
+        bytes[c] = static_cast<double>(index_->listBytes(id));
+    }
+    const AccessProfile profile(counts, work, bytes);
+    for (const std::size_t shards : {2ul, 4ul}) {
+        TieredOptions opts;
+        opts.numShards = shards;
+        TieredIndex tiered(*index_, profile, 0.5, opts);
+        EXPECT_EQ(tiered.numHotClusters(), profile.numHot(0.5));
+        expectParity(tiered, k_, nprobe_);
+        // The size-balanced dealing fills every shard when there are
+        // at least num_shards hot clusters.
+        const auto s = tiered.stats();
+        for (const std::size_t b : s.shardBytes)
+            EXPECT_GT(b, 0u);
+    }
+}
+
+TEST_F(TieredFixture, MultiShardParallelBatchMatchesSerial)
+{
+    TieredOptions opts;
+    opts.numShards = 4;
+    TieredIndex tiered(*index_, topBySize(nlist_ / 2), opts);
+    ThreadPool pool(4);
+    TieredBatchStats bs;
+    const auto batched = tiered.searchBatchParallel(
+        queries_, nq_, k_, nprobe_, pool, &bs);
+    ASSERT_EQ(batched.size(), nq_);
+    EXPECT_EQ(bs.hotOnlyQueries + bs.coldOnlyQueries + bs.splitQueries,
+              nq_);
+    for (std::size_t i = 0; i < nq_; ++i) {
+        const auto expected =
+            index_->search(queries_.data() + i * d_, k_, nprobe_);
+        ASSERT_EQ(batched[i].size(), expected.size()) << "query " << i;
+        for (std::size_t j = 0; j < expected.size(); ++j) {
+            EXPECT_EQ(batched[i][j].id, expected[j].id);
+            EXPECT_EQ(batched[i][j].dist, expected[j].dist);
+        }
+    }
+}
+
+TEST_F(TieredFixture, ThrottledShardsStayCorrectUnderRepartition)
+{
+    // Generalized snapshot-pinning test: batches run on two throttled
+    // (slow-device) shards while the main thread flips placements.
+    // Every batch must stay bit-identical to the serial single-tier
+    // search, and repartition must never block in-flight batches.
+    TieredOptions opts;
+    opts.numShards = 2;
+    opts.backendFactory = throttledShardFactory(/*delay=*/20e-6);
+    TieredIndex tiered(*index_, topBySize(nlist_ / 4), opts);
+    EXPECT_EQ(tiered.stats().backend, "throttled(fastscan)");
+
+    std::vector<std::vector<vs::SearchHit>> expected(nq_);
+    for (std::size_t i = 0; i < nq_; ++i)
+        expected[i] = index_->search(queries_.data() + i * d_, k_,
+                                     nprobe_);
+
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> searchers;
+    for (std::size_t t = 0; t < 2; ++t) {
+        searchers.emplace_back([&] {
+            ThreadPool pool(2);
+            for (std::size_t rep = 0; rep < 6; ++rep) {
+                const auto got = tiered.searchBatchParallel(
+                    queries_, nq_, k_, nprobe_, pool);
+                for (std::size_t i = 0; i < nq_; ++i) {
+                    if (got[i].size() != expected[i].size()) {
+                        failed = true;
+                        continue;
+                    }
+                    for (std::size_t j = 0; j < got[i].size(); ++j)
+                        if (got[i][j].id != expected[i][j].id ||
+                            got[i][j].dist != expected[i][j].dist)
+                            failed = true;
+                }
+            }
+        });
+    }
+    for (std::size_t rep = 0; rep < 4; ++rep) {
+        tiered.repartition(topBySize(nlist_ / 2));
+        tiered.repartition({});
+    }
+    for (auto &th : searchers)
+        th.join();
+
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(tiered.stats().repartitions, 8u);
+    EXPECT_EQ(tiered.numShards(), 2u);
+}
+
+TEST_F(TieredFixture, DrainedCountsSumToTotalProbesAcrossConcurrentBatches)
+{
+    // Consistency contract of drainAccessCounts()/stats(): concurrent
+    // drains may split an in-flight batch, but once all searches have
+    // completed, the drained counts sum to exactly stats().totalProbes
+    // — no probe lost or double-counted.
+    TieredOptions opts;
+    opts.numShards = 2;
+    TieredIndex tiered(*index_, topBySize(nlist_ / 4), opts);
+
+    const std::size_t reps = 8;
+    std::atomic<bool> done{false};
+    double concurrent_drained = 0.0;
+    std::thread drainer([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            for (const double v : tiered.drainAccessCounts())
+                concurrent_drained += v;
+            std::this_thread::yield();
+        }
+    });
+
+    std::vector<std::thread> searchers;
+    for (std::size_t t = 0; t < 3; ++t) {
+        searchers.emplace_back([&] {
+            ThreadPool pool(2);
+            for (std::size_t rep = 0; rep < reps; ++rep)
+                tiered.searchBatchParallel(queries_, nq_, k_, nprobe_,
+                                           pool);
+        });
+    }
+    for (auto &th : searchers)
+        th.join();
+    done = true;
+    drainer.join();
+
+    double total_drained = concurrent_drained;
+    for (const double v : tiered.drainAccessCounts())
+        total_drained += v;
+
+    // Independent expectation: every query contributes its probe-list
+    // length, 3 threads x reps batches.
+    double expected_probes = 0.0;
+    for (std::size_t i = 0; i < nq_; ++i)
+        expected_probes += static_cast<double>(
+            cq_->probe(queries_.data() + i * d_, nprobe_)
+                .clusters.size());
+    expected_probes *= static_cast<double>(3 * reps);
+
+    const auto s = tiered.stats();
+    EXPECT_DOUBLE_EQ(total_drained,
+                     static_cast<double>(s.totalProbes));
+    EXPECT_DOUBLE_EQ(total_drained, expected_probes);
+    EXPECT_EQ(s.hotProbes,
+              s.shardProbeCounts[0] + s.shardProbeCounts[1]);
 }
 
 TEST_F(TieredFixture, OnlineUpdaterTriggersBackgroundRebuild)
