@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "core/engine_builder.h"
 #include "core/engine_runtime.h"
 #include "core/perf_model.h"
 #include "workload/dataset.h"
@@ -84,26 +85,26 @@ main(int argc, char **argv)
         args.smoke ? std::vector<std::size_t>{1, 4}
                    : std::vector<std::size_t>{1, 2, 4, 8};
     for (const std::size_t threads : thread_counts) {
-        core::EngineOptions opts;
-        opts.k = k;
-        opts.nprobe = spec.nprobe;
-        opts.numSearchThreads = threads;
-        opts.batching.maxBatch = 32;
-        opts.batching.timeoutSeconds = 1e-3;
-        core::RetrievalEngine engine(index, opts);
+        const auto engine =
+            core::EngineBuilder(index)
+                .defaultK(k)
+                .defaultNprobe(spec.nprobe)
+                .searchThreads(threads)
+                .batching({.maxBatch = 32, .timeoutSeconds = 1e-3})
+                .build();
 
         WallTimer wall;
-        std::vector<std::future<core::EngineQueryResult>> futures;
+        std::vector<std::future<core::SearchResponse>> futures;
         futures.reserve(n_queries);
         for (std::size_t i = 0; i < n_queries; ++i)
-            futures.push_back(engine.submit(std::span<const float>(
+            futures.push_back(engine->submit(std::span<const float>(
                 queries.data() + i * spec.dim, spec.dim)));
-        engine.drain();
+        engine->drain();
         const double secs = wall.elapsed();
         for (auto &f : futures)
             f.get();
 
-        const auto s = engine.stats();
+        const auto s = engine->stats();
         const double qps = static_cast<double>(s.completed) / secs;
         if (threads == 1)
             qps1 = qps;

@@ -19,6 +19,7 @@
 
 #include "bench_util.h"
 #include "common/stats.h"
+#include "core/engine_builder.h"
 #include "core/engine_runtime.h"
 #include "core/online_update.h"
 #include "core/tiered_index.h"
@@ -43,7 +44,7 @@ servePhase(core::RetrievalEngine &engine, const core::TieredIndex &tiered,
            std::span<const float> queries, std::size_t n, std::size_t dim)
 {
     const auto before = tiered.stats();
-    std::vector<std::future<core::EngineQueryResult>> futures;
+    std::vector<std::future<core::SearchResponse>> futures;
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
         futures.push_back(engine.submit(
@@ -137,13 +138,13 @@ main(int argc, char **argv)
         topts.numShards = num_shards;
         core::TieredIndex tiered(index, profile, rho, topts);
 
-        core::EngineOptions opts;
-        opts.k = 10;
-        opts.nprobe = spec.nprobe;
-        opts.numSearchThreads = 4;
-        opts.batching.maxBatch = 32;
-        opts.batching.timeoutSeconds = 1e-3;
-        core::RetrievalEngine engine(tiered, opts);
+        const auto engine =
+            core::EngineBuilder(tiered)
+                .defaultK(10)
+                .defaultNprobe(spec.nprobe)
+                .searchThreads(4)
+                .batching({.maxBatch = 32, .timeoutSeconds = 1e-3})
+                .build();
 
         core::OnlineUpdater::Options uopts;
         uopts.rho = rho;
@@ -164,13 +165,13 @@ main(int argc, char **argv)
         if (adaptive) {
             updater = std::make_unique<core::OnlineUpdater>(
                 tiered, uopts, estimator.meanHitRate(rho));
-            engine.attachUpdater(updater.get());
+            engine->attachUpdater(updater.get());
         }
 
         const char *label = adaptive ? "adaptive" : "static";
 
         const auto pre_queries = gen.generate(n_phase);
-        const auto pre = servePhase(engine, tiered, pre_queries, n_phase,
+        const auto pre = servePhase(*engine, tiered, pre_queries, n_phase,
                                     spec.dim);
         t.addRow({label, "pre-drift",
                   TextTable::num(pre.search.p50 * 1e3, 2),
@@ -185,7 +186,7 @@ main(int argc, char **argv)
         // goes stale.
         gen.drift(0.9);
         const auto post_queries = gen.generate(n_phase);
-        const auto post = servePhase(engine, tiered, post_queries,
+        const auto post = servePhase(*engine, tiered, post_queries,
                                      n_phase, spec.dim);
         if (updater)
             updater->waitForRebuild();
@@ -201,7 +202,7 @@ main(int argc, char **argv)
         // Same drifted stream once more: the adaptive config now
         // serves it from the rebuilt placement.
         const auto rec_queries = gen.generate(n_phase);
-        const auto rec = servePhase(engine, tiered, rec_queries, n_phase,
+        const auto rec = servePhase(*engine, tiered, rec_queries, n_phase,
                                     spec.dim);
         if (updater)
             updater->waitForRebuild();

@@ -22,6 +22,7 @@
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "core/engine_builder.h"
 #include "core/engine_runtime.h"
 #include "core/tiered_index.h"
 #include "workload/dataset.h"
@@ -78,16 +79,17 @@ main(int argc, char **argv)
     const auto queries = gen.generate(n_queries);
     const std::size_t k = 10;
 
-    core::EngineOptions opts;
-    opts.k = k;
-    opts.nprobe = spec.nprobe;
-    opts.numSearchThreads = 4;
-    opts.batching.maxBatch = 32;
-    opts.batching.timeoutSeconds = 1e-3;
+    const auto make_builder = [&](core::EngineBuilder builder) {
+        return builder.defaultK(k)
+            .defaultNprobe(spec.nprobe)
+            .searchThreads(4)
+            .batching({.maxBatch = 32, .timeoutSeconds = 1e-3})
+            .build();
+    };
 
     const auto run_engine = [&](core::RetrievalEngine &engine) {
         WallTimer wall;
-        std::vector<std::future<core::EngineQueryResult>> futures;
+        std::vector<std::future<core::SearchResponse>> futures;
         futures.reserve(n_queries);
         for (std::size_t i = 0; i < n_queries; ++i)
             futures.push_back(engine.submit(std::span<const float>(
@@ -102,11 +104,11 @@ main(int argc, char **argv)
     TextTable t({"system", "hot", "hot MB", "QPS", "p50 srch (ms)",
                  "p99 srch (ms)", "hot-only", "hit meas", "hit pred"});
 
-    // Single-tier baseline: the PR 1 flat engine.
+    // Single-tier baseline: the flat engine.
     {
-        core::RetrievalEngine engine(index, opts);
-        const double secs = run_engine(engine);
-        const auto s = engine.stats();
+        const auto engine = make_builder(core::EngineBuilder(index));
+        const double secs = run_engine(*engine);
+        const auto s = engine->stats();
         t.addRow({"flat", "-", "-",
                   TextTable::num(static_cast<double>(s.completed) / secs,
                                  0),
@@ -120,9 +122,9 @@ main(int argc, char **argv)
                    : std::vector<double>{0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
     for (const double rho : rhos) {
         core::TieredIndex tiered(index, profile, rho);
-        core::RetrievalEngine engine(tiered, opts);
-        const double secs = run_engine(engine);
-        const auto s = engine.stats();
+        const auto engine = make_builder(core::EngineBuilder(tiered));
+        const double secs = run_engine(*engine);
+        const auto s = engine->stats();
         const auto ts = tiered.stats();
         t.addRow({"rho=" + TextTable::num(rho, 2),
                   std::to_string(ts.numHot),
@@ -155,7 +157,7 @@ main(int argc, char **argv)
               << "----------------------------------------------------"
               << "-----------\n";
     TextTable st({"backend", "shards", "QPS", "p50 srch (ms)",
-                  "p99 srch (ms)", "probe balance"});
+                  "p99 srch (ms)", "probe balance", "scan us/shard"});
     struct BackendCase
     {
         const char *label;
@@ -172,13 +174,14 @@ main(int argc, char **argv)
                    : std::vector<std::size_t>{1, 2, 4};
     for (const auto &bc : backends) {
         for (const std::size_t shards : shard_counts) {
-            core::EngineOptions sopts = opts;
-            sopts.numHotShards = shards;
-            sopts.shardBackendFactory = bc.factory;
-            core::RetrievalEngine engine(index, profile, 0.25, sopts);
-            const double secs = run_engine(engine);
-            const auto s = engine.stats();
-            const auto ts = engine.tiered()->stats();
+            const auto engine =
+                make_builder(core::EngineBuilder(index)
+                                 .tieredFromProfile(profile, 0.25)
+                                 .hotShards(shards)
+                                 .shardBackend(bc.factory));
+            const double secs = run_engine(*engine);
+            const auto s = engine->stats();
+            const auto ts = engine->tiered()->stats();
             // Balance: smallest / largest cumulative per-shard probe
             // count (1.0 = perfectly even routing).
             std::size_t mn = ts.shardProbeCounts.empty()
@@ -189,6 +192,21 @@ main(int argc, char **argv)
                 mn = std::min(mn, p);
                 mx = std::max(mx, p);
             }
+            // Mean searchClusters wall time per shard (min-max across
+            // shards): the signal a per-shard executor would balance.
+            double scan_min = 0.0, scan_max = 0.0;
+            bool have_scan = false;
+            for (std::size_t sh = 0; sh < ts.shardScanCounts.size();
+                 ++sh) {
+                if (ts.shardScanCounts[sh] == 0)
+                    continue;
+                const double us =
+                    ts.shardScanSeconds[sh] * 1e6 /
+                    static_cast<double>(ts.shardScanCounts[sh]);
+                scan_min = have_scan ? std::min(scan_min, us) : us;
+                scan_max = have_scan ? std::max(scan_max, us) : us;
+                have_scan = true;
+            }
             st.addRow({bc.label, std::to_string(shards),
                        TextTable::num(
                            static_cast<double>(s.completed) / secs, 0),
@@ -198,16 +216,21 @@ main(int argc, char **argv)
                                : TextTable::num(
                                      static_cast<double>(mn) /
                                          static_cast<double>(mx),
-                                     2)});
+                                     2),
+                       have_scan ? TextTable::num(scan_min, 1) + "-" +
+                                       TextTable::num(scan_max, 1)
+                                 : "-"});
         }
     }
     st.print(std::cout);
 
     std::cout << "\n'probe balance' is min/max cumulative probes routed "
-                 "per shard (1.0 =\nperfectly even); the throttled "
-                 "backend adds a per-scan launch delay and\nstresses "
-                 "the fan-out path, where shard scans of different "
-                 "queries run\nconcurrently instead of serializing the "
-                 "batch.\n";
+                 "per shard (1.0 =\nperfectly even); 'scan us/shard' is "
+                 "the mean per-scan wall time of the\nfastest and "
+                 "slowest shard (TieredStatsSnapshot shardScanSeconds /"
+                 "\nshardScanCounts). The throttled backend adds a "
+                 "per-scan launch delay and\nstresses the fan-out "
+                 "path, where shard scans of different queries run\n"
+                 "concurrently instead of serializing the batch.\n";
     return 0;
 }

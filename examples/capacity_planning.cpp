@@ -9,10 +9,12 @@
  * capacity. This is the "how many GPUs do I need for X req/s"
  * question a RAG operator actually asks.
  *
- * Run: ./examples/capacity_planning
+ * Run: ./examples/capacity_planning [--smoke]
  */
 
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "core/vectorliterag.h"
 
@@ -27,10 +29,11 @@ using namespace vlr;
  */
 double
 maxCompliantRate(core::DatasetContext &ctx,
-                 const core::ServingConfig &base, double peak)
+                 const core::ServingConfig &base, double peak,
+                 double step)
 {
     double best = 0.0;
-    for (double frac = 0.3; frac <= 1.2; frac += 0.15) {
+    for (double frac = 0.3; frac <= 1.2; frac += step) {
         auto cfg = base;
         cfg.arrivalRate = frac * peak;
         const auto res = core::runServing(cfg, ctx);
@@ -43,9 +46,13 @@ maxCompliantRate(core::DatasetContext &ctx,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vlr;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
 
     std::cout << "VectorLiteRAG capacity planning\n"
               << "===============================\n\n"
@@ -60,7 +67,10 @@ main()
     TextTable t({"node", "bare LLM (req/s)", "CPU-Only (req/s)",
                  "ALL-GPU (req/s)", "vLiteRAG (req/s)",
                  "gain vs ALL-GPU"});
-    for (const int gpus : {4, 6, 8}) {
+    const std::vector<int> node_sizes =
+        smoke ? std::vector<int>{6} : std::vector<int>{4, 6, 8};
+    const double rate_step = smoke ? 0.45 : 0.15;
+    for (const int gpus : node_sizes) {
         const int cores = gpus * 8;
         core::DatasetContext::Options opts;
         opts.cpuSpec = gpu::xeonScaled(cores);
@@ -71,16 +81,19 @@ main()
         base.gpuSpec = gpu::h100Spec();
         base.cpuSpec = gpu::xeonScaled(cores);
         base.numGpus = gpus;
-        base.durationSeconds = 40.0;
+        base.durationSeconds = smoke ? 8.0 : 40.0;
         const double peak = core::measurePeak(base);
         base.peakThroughputHint = peak;
 
         base.retriever = core::RetrieverKind::CpuOnly;
-        const double cpu_rate = maxCompliantRate(ctx, base, peak);
+        const double cpu_rate =
+            maxCompliantRate(ctx, base, peak, rate_step);
         base.retriever = core::RetrieverKind::AllGpu;
-        const double allgpu_rate = maxCompliantRate(ctx, base, peak);
+        const double allgpu_rate =
+            maxCompliantRate(ctx, base, peak, rate_step);
         base.retriever = core::RetrieverKind::VectorLite;
-        const double vlite_rate = maxCompliantRate(ctx, base, peak);
+        const double vlite_rate =
+            maxCompliantRate(ctx, base, peak, rate_step);
 
         t.addRow({std::to_string(gpus) + " GPU / " +
                       std::to_string(cores) + " cores",

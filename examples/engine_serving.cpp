@@ -1,15 +1,20 @@
 /**
  * @file
  * Serve a Poisson query stream through the *real* concurrent retrieval
- * engine (admission queue -> dynamic batcher -> parallel IVF-PQ
- * fast-scan), then print the measured latency percentiles next to the
- * analytic perf-model prediction — the executable counterpart of the
+ * engine using the request-centric API: an EngineBuilder composes the
+ * engine, every query is a typed SearchRequest carrying its own
+ * deadline and priority, and every outcome is a SearchResponse whose
+ * Disposition says how the request left the engine (served, expired in
+ * queue, or rejected by the bounded admission queue). The demo prints
+ * per-disposition counts and latency percentiles next to the analytic
+ * perf-model prediction — the executable counterpart of the
  * simulator-driven quickstart.
  *
- * Run: ./engine_serving
+ * Run: ./engine_serving [--smoke]
  */
 
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -17,18 +22,23 @@
 #include "core/vectorliterag.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vlr;
 
-    std::cout << "VectorLiteRAG engine serving demo\n"
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+
+    std::cout << "VectorLiteRAG engine serving demo"
+              << (smoke ? " (smoke mode)" : "") << "\n"
               << "=================================\n\n";
 
     // 1. Corpus + index: a real (reduced-scale) clustered dataset.
     wl::DatasetSpec spec = wl::tinySpec();
-    spec.numVectors = 20000;
+    spec.numVectors = smoke ? 8000 : 20000;
     spec.dim = 32;
-    spec.numClusters = 128;
+    spec.numClusters = smoke ? 64 : 128;
     spec.nprobe = 16;
     wl::SyntheticDataset dataset(spec);
     dataset.buildVectors();
@@ -42,25 +52,33 @@ main()
               << (vs::fastScanHasSimd() ? "AVX2" : "scalar")
               << " fast-scan\n";
 
-    // 2. Engine with the paper-style dispatcher policy.
-    core::EngineOptions opts;
-    opts.k = 10;
-    opts.nprobe = spec.nprobe;
-    opts.numSearchThreads = 4;
-    opts.batching.maxBatch = 32;
-    opts.batching.timeoutSeconds = 2e-3;
-    core::RetrievalEngine engine(index, opts);
+    // 2. One fluent chain builds the engine: dispatcher policy,
+    //    per-engine defaults and a bounded admission queue. build()
+    //    validates everything before the dispatcher thread starts.
+    const auto engine =
+        core::EngineBuilder(index)
+            .defaultK(10)
+            .defaultNprobe(spec.nprobe)
+            .searchThreads(4)
+            .batching({.maxBatch = 32, .timeoutSeconds = 2e-3})
+            .admissionQueueBound(256)
+            .build();
 
-    // 3. Open-loop Poisson arrivals, replayed in real time.
-    const double rate = 2000.0; // queries per second
-    const double horizon = 1.5; // seconds
+    // 3. Open-loop Poisson arrivals, replayed in real time. Every
+    //    request carries its own deadline; a slice of the stream runs
+    //    at a higher priority with a tighter deadline, standing in for
+    //    latency-critical interactive traffic over bulk traffic.
+    const double rate = smoke ? 1500.0 : 2000.0; // queries per second
+    const double horizon = smoke ? 0.3 : 1.5;    // seconds
     const auto arrivals = wl::poissonArrivals(rate, horizon, 17);
     wl::QueryGenerator gen(dataset, 29);
     const auto queries = gen.generate(arrivals.size());
 
     std::cout << "replaying " << arrivals.size()
-              << " Poisson arrivals at " << rate << " q/s...\n\n";
-    std::vector<std::future<core::EngineQueryResult>> futures;
+              << " Poisson arrivals at " << rate
+              << " q/s (every 8th request: priority 1, 5 ms deadline; "
+                 "rest: 50 ms)...\n\n";
+    std::vector<std::future<core::SearchResponse>> futures;
     futures.reserve(arrivals.size());
     const auto start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < arrivals.size(); ++i) {
@@ -69,13 +87,36 @@ main()
                         std::chrono::steady_clock::duration>(
                         std::chrono::duration<double>(arrivals[i]));
         std::this_thread::sleep_until(due);
-        futures.push_back(engine.submit(std::span<const float>(
-            queries.data() + i * spec.dim, spec.dim)));
+        core::SearchRequest request;
+        request.query = std::span<const float>(
+            queries.data() + i * spec.dim, spec.dim);
+        request.tag = i;
+        if (i % 8 == 0) {
+            request.priority = 1;
+            request.deadlineSeconds = 5e-3;
+        } else {
+            request.deadlineSeconds = 50e-3;
+        }
+        futures.push_back(engine->submit(request));
     }
-    engine.shutdown();
+    engine->shutdown();
 
-    // 4. Report: measured percentiles vs the fitted analytic model.
-    const auto stats = engine.stats();
+    // 4. Report: every request resolved with exactly one disposition.
+    std::size_t served = 0, expired = 0, rejected = 0;
+    for (auto &f : futures) {
+        switch (f.get().disposition) {
+        case core::Disposition::kServed:
+            ++served;
+            break;
+        case core::Disposition::kExpiredInQueue:
+            ++expired;
+            break;
+        case core::Disposition::kRejected:
+            ++rejected;
+            break;
+        }
+    }
+    const auto stats = engine->stats();
     TextTable t({"metric", "mean (ms)", "p50 (ms)", "p90 (ms)",
                  "p99 (ms)"});
     const auto row = [&](const char *name, const LatencySummary &s) {
@@ -84,14 +125,16 @@ main()
                   TextTable::num(s.p90 * 1e3, 3),
                   TextTable::num(s.p99 * 1e3, 3)});
     };
-    row("queue wait", stats.queueLatency);
+    row("queue wait (served)", stats.queueLatency);
     row("batch search", stats.searchLatency);
-    row("total", stats.totalLatency);
+    row("total (served)", stats.totalLatency);
+    row("queue wait (expired)", stats.expiredLatency);
     t.print(std::cout);
 
-    std::cout << "\ncompleted " << stats.completed << "/"
-              << stats.submitted << " queries in " << stats.batches
-              << " batches (mean batch "
+    std::cout << "\ndispositions: " << served << " served, " << expired
+              << " expired in queue, " << rejected << " rejected of "
+              << stats.submitted << " submitted ("
+              << stats.batches << " batches, mean batch "
               << TextTable::num(stats.meanBatchSize, 1) << ")\n";
-    return 0;
+    return served + expired + rejected == stats.submitted ? 0 : 1;
 }

@@ -14,9 +14,10 @@
  * printing measured latency percentiles, how much traffic the hot tier
  * absorbed, and how evenly the shards were loaded.
  *
- * Run: ./examples/quickstart
+ * Run: ./examples/quickstart [--smoke]
  */
 
+#include <cstring>
 #include <future>
 #include <iostream>
 #include <vector>
@@ -24,11 +25,16 @@
 #include "core/vectorliterag.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vlr;
 
-    std::cout << "VectorLiteRAG quickstart\n"
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+
+    std::cout << "VectorLiteRAG quickstart"
+              << (smoke ? " (smoke mode)" : "") << "\n"
               << "========================\n\n";
 
     // 1. Dataset + calibration. The context profiles query->cluster
@@ -52,7 +58,7 @@ main()
     cfg.cpuSpec = gpu::xeon6426Spec();
     cfg.numGpus = 8;
     cfg.arrivalRate = 28.0;
-    cfg.durationSeconds = 40.0;
+    cfg.durationSeconds = smoke ? 10.0 : 40.0;
 
     cfg.peakThroughputHint = core::measurePeak(cfg);
     std::cout << "standalone LLM peak throughput: "
@@ -95,7 +101,9 @@ main()
     // Calibrate access skew on a training stream, split at the
     // simulator-chosen rho, then serve a fresh test stream.
     wl::QueryGenerator gen(corpus, 99);
-    const std::size_t n_cal = 500, n_serve = 1000, k = 10;
+    const std::size_t n_cal = smoke ? 300 : 500;
+    const std::size_t n_serve = smoke ? 300 : 1000;
+    const std::size_t k = 10;
     const auto cal = gen.generate(n_cal);
     std::vector<double> work(spec.numClusters);
     for (std::size_t c = 0; c < spec.numClusters; ++c)
@@ -104,30 +112,41 @@ main()
         wl::PlanSet::build(*cq, cal, n_cal, spec.nprobe, work);
     const auto profile = core::AccessProfile::fromPlans(plans, corpus);
 
-    // The engine builds and owns the tiered index: the hot set is dealt
-    // across two shard backends (in-memory fast-scan replicas standing
-    // in for two GPU-resident shards) by IndexSplitter::split.
-    core::EngineOptions eopts;
-    eopts.k = k;
-    eopts.nprobe = spec.nprobe;
-    eopts.numSearchThreads = 4;
-    eopts.numHotShards = 2;
-    core::RetrievalEngine engine(index, profile, chosen_rho, eopts);
-    const core::TieredIndex &tiered = *engine.tiered();
+    // The EngineBuilder composes everything in one chain: the engine
+    // builds and owns a tiered index whose hot set is dealt across two
+    // shard backends (in-memory fast-scan replicas standing in for two
+    // GPU-resident shards) by IndexSplitter::split.
+    const auto engine = core::EngineBuilder(index)
+                            .tieredFromProfile(profile, chosen_rho)
+                            .hotShards(2)
+                            .defaultK(k)
+                            .defaultNprobe(spec.nprobe)
+                            .searchThreads(4)
+                            .build();
+    const core::TieredIndex &tiered = *engine->tiered();
 
+    // Each query is a typed SearchRequest; defaults (k, nprobe) come
+    // from the builder chain above, and the response's Disposition
+    // says how the request left the engine.
     const auto queries = gen.generate(n_serve);
-    std::vector<std::future<core::EngineQueryResult>> futures;
+    std::vector<std::future<core::SearchResponse>> futures;
     futures.reserve(n_serve);
-    for (std::size_t i = 0; i < n_serve; ++i)
-        futures.push_back(engine.submit(std::span<const float>(
-            queries.data() + i * spec.dim, spec.dim)));
-    engine.drain();
+    for (std::size_t i = 0; i < n_serve; ++i) {
+        core::SearchRequest request;
+        request.query = std::span<const float>(
+            queries.data() + i * spec.dim, spec.dim);
+        request.tag = i;
+        futures.push_back(engine->submit(request));
+    }
+    engine->drain();
+    std::size_t served = 0;
     for (auto &f : futures)
-        f.get();
+        served += f.get().disposition == core::Disposition::kServed;
 
-    const auto es = engine.stats();
+    const auto es = engine->stats();
     const auto ts = tiered.stats();
-    std::cout << "served " << es.completed << " queries (k=" << k
+    std::cout << "served " << served << "/" << es.submitted
+              << " queries (k=" << k
               << ", nprobe=" << spec.nprobe << ") at rho="
               << TextTable::pct(ts.rho) << ": " << ts.numHot << "/"
               << index.nlist() << " clusters hot across "

@@ -26,6 +26,14 @@ struct BatchPolicy
      * finishes), which corresponds to a timeout of zero.
      */
     double timeoutSeconds = 0.0;
+
+    /**
+     * Bounded-admission capacity: submissions arriving while this many
+     * queries are already queued resolve Disposition::kRejected
+     * instead of growing the queue without bound. 0 disables the bound
+     * (legacy behaviour; the simulator always queues).
+     */
+    std::size_t maxQueue = 0;
 };
 
 } // namespace vlr::core

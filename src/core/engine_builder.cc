@@ -1,0 +1,144 @@
+#include "core/engine_builder.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/online_update.h"
+
+namespace vlr::core
+{
+
+EngineBuilder::EngineBuilder(const vs::IvfPqFastScanIndex &index)
+    : index_(index)
+{
+}
+
+EngineBuilder::EngineBuilder(const TieredIndex &tiered)
+    : index_(tiered.source()), tiered_(&tiered)
+{
+}
+
+EngineBuilder &
+EngineBuilder::config(EngineConfig cfg)
+{
+    config_ = std::move(cfg);
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::batching(BatchPolicy policy)
+{
+    config_.batching = policy;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::defaultK(std::size_t k)
+{
+    config_.defaultK = k;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::defaultNprobe(std::size_t nprobe)
+{
+    config_.defaultNprobe = nprobe;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::searchThreads(std::size_t n)
+{
+    config_.numSearchThreads = n;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::sloSearchSeconds(double seconds)
+{
+    config_.sloSearchSeconds = seconds;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::admissionQueueBound(std::size_t max_queued)
+{
+    config_.batching.maxQueue = max_queued;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::tieredFromProfile(const AccessProfile &profile,
+                                 double rho)
+{
+    profile_ = &profile;
+    rho_ = rho;
+    fromProfile_ = true;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::hotShards(std::size_t n)
+{
+    config_.numHotShards = n;
+    shardOptionsSet_ = true;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::shardBackend(ShardBackendFactory factory)
+{
+    config_.shardBackendFactory = std::move(factory);
+    shardOptionsSet_ = true;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::updater(OnlineUpdater *updater)
+{
+    updater_ = updater;
+    return *this;
+}
+
+std::unique_ptr<RetrievalEngine>
+EngineBuilder::build()
+{
+    config_.validate();
+    if (fromProfile_ && tiered_ != nullptr)
+        throw std::invalid_argument(
+            "EngineBuilder: tieredFromProfile on a builder already "
+            "serving a caller-owned TieredIndex");
+    if (fromProfile_ && (rho_ < 0.0 || rho_ > 1.0))
+        throw std::invalid_argument(
+            "EngineBuilder: rho must be in [0, 1]");
+    if (shardOptionsSet_ && !fromProfile_)
+        throw std::invalid_argument(
+            "EngineBuilder: hotShards/shardBackend only shape the "
+            "engine-owned tier built by tieredFromProfile");
+    if (updater_ != nullptr && tiered_ == nullptr)
+        throw std::invalid_argument(
+            "EngineBuilder: updater() requires a caller-owned "
+            "TieredIndex (attach to engine->tiered() after build() "
+            "for profile-built tiers)");
+    if (updater_ != nullptr && &updater_->index() != tiered_)
+        throw std::invalid_argument(
+            "EngineBuilder: updater monitors a different TieredIndex "
+            "than the one being served");
+
+    std::unique_ptr<TieredIndex> owned;
+    const TieredIndex *tiered = tiered_;
+    if (fromProfile_) {
+        owned = std::make_unique<TieredIndex>(
+            index_, *profile_, rho_,
+            TieredOptions{config_.numHotShards,
+                          config_.shardBackendFactory});
+        tiered = owned.get();
+    }
+    std::unique_ptr<RetrievalEngine> engine(new RetrievalEngine(
+        index_, std::move(owned), tiered, config_));
+    if (updater_ != nullptr)
+        engine->attachUpdater(updater_);
+    return engine;
+}
+
+} // namespace vlr::core

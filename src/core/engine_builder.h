@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fluent, validating construction of RetrievalEngine — the single
+ * entry point replacing the former three-constructor zoo.
+ *
+ * One chain composes the index source (flat, caller-owned TieredIndex,
+ * or an engine-owned TieredIndex built from an AccessProfile at a
+ * coverage rho), the hot-tier shape (shard count + backend factory),
+ * dispatcher policy, per-engine defaults and updater attachment:
+ *
+ * @code
+ * auto engine = core::EngineBuilder(index)
+ *                   .tieredFromProfile(profile, 0.25)
+ *                   .hotShards(2)
+ *                   .batching({.maxBatch = 32, .timeoutSeconds = 1e-3})
+ *                   .defaultK(10)
+ *                   .defaultNprobe(16)
+ *                   .searchThreads(4)
+ *                   .build();
+ * @endcode
+ *
+ * build() validates the assembled EngineConfig and the source
+ * composition and throws std::invalid_argument before any thread
+ * spins up, so a misconfigured engine never serves a single request.
+ */
+
+#ifndef VLR_CORE_ENGINE_BUILDER_H
+#define VLR_CORE_ENGINE_BUILDER_H
+
+#include <memory>
+
+#include "core/access_profile.h"
+#include "core/engine_runtime.h"
+#include "core/serving_api.h"
+#include "core/tiered_index.h"
+
+namespace vlr::core
+{
+
+class OnlineUpdater;
+
+/**
+ * Builder for RetrievalEngine. Referenced objects (index, tiered
+ * index, profile, updater) must outlive the built engine; the builder
+ * itself may be discarded after build().
+ */
+class EngineBuilder
+{
+  public:
+    /** Serve @p index flat, or tiered via tieredFromProfile(). */
+    explicit EngineBuilder(const vs::IvfPqFastScanIndex &index);
+
+    /**
+     * Serve a caller-owned tiered index (its source() provides the
+     * flat-path index and dim()).
+     */
+    explicit EngineBuilder(const TieredIndex &tiered);
+
+    /** Replace the whole configuration in one call. */
+    EngineBuilder &config(EngineConfig cfg);
+
+    /** Dispatcher policy: batch cap, timeout, bounded queue. */
+    EngineBuilder &batching(BatchPolicy policy);
+
+    /** Results per query for requests that leave k unset. */
+    EngineBuilder &defaultK(std::size_t k);
+
+    /** Probed lists for requests that leave nprobe unset. */
+    EngineBuilder &defaultNprobe(std::size_t nprobe);
+
+    /** Search worker threads (>= 1). */
+    EngineBuilder &searchThreads(std::size_t n);
+
+    /** Retrieval-stage SLO fed to the drift monitor. */
+    EngineBuilder &sloSearchSeconds(double seconds);
+
+    /**
+     * Bounded admission: submissions beyond @p max_queued queued
+     * requests resolve Disposition::kRejected. 0 = unbounded.
+     */
+    EngineBuilder &admissionQueueBound(std::size_t max_queued);
+
+    /**
+     * Build and own a TieredIndex over the flat index: hot set =
+     * profile's top-rho clusters, dealt across hotShards() shards
+     * behind shardBackend()'s factory. Only valid on a builder
+     * constructed from a flat index. @p profile must outlive build().
+     */
+    EngineBuilder &tieredFromProfile(const AccessProfile &profile,
+                                     double rho);
+
+    /** Hot shards for tieredFromProfile (default 1). */
+    EngineBuilder &hotShards(std::size_t n);
+
+    /** Shard backend factory for tieredFromProfile. */
+    EngineBuilder &shardBackend(ShardBackendFactory factory);
+
+    /**
+     * Attach a drift-monitoring updater. Only valid when the builder
+     * was constructed from a caller-owned TieredIndex; the updater
+     * must monitor that same index. For tieredFromProfile engines,
+     * construct the updater against engine->tiered() after build()
+     * and call RetrievalEngine::attachUpdater.
+     */
+    EngineBuilder &updater(OnlineUpdater *updater);
+
+    /**
+     * Validate and construct. @throws std::invalid_argument on an
+     * invalid EngineConfig or an inconsistent composition (e.g.
+     * tieredFromProfile on a tiered-constructed builder, rho outside
+     * [0, 1], shard options without a profile-built tier, an updater
+     * monitoring a different index).
+     */
+    std::unique_ptr<RetrievalEngine> build();
+
+  private:
+    const vs::IvfPqFastScanIndex &index_;
+    const TieredIndex *tiered_ = nullptr;
+    const AccessProfile *profile_ = nullptr;
+    double rho_ = 0.0;
+    bool fromProfile_ = false;
+    bool shardOptionsSet_ = false;
+    OnlineUpdater *updater_ = nullptr;
+    EngineConfig config_;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_ENGINE_BUILDER_H

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/log.h"
 #include "core/online_update.h"
 
 namespace vlr::core
@@ -19,40 +20,24 @@ secondsBetween(std::chrono::steady_clock::time_point a,
     return std::chrono::duration<double>(b - a).count();
 }
 
+std::chrono::steady_clock::duration
+toDuration(double seconds)
+{
+    return std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
 } // namespace
 
 RetrievalEngine::RetrievalEngine(const vs::IvfPqFastScanIndex &index,
-                                 EngineOptions options)
-    : index_(index), options_(options), pool_(options.numSearchThreads)
+                                 std::unique_ptr<TieredIndex> owned,
+                                 const TieredIndex *tiered,
+                                 EngineConfig config)
+    : index_(index), ownedTiered_(std::move(owned)), tiered_(tiered),
+      config_(std::move(config)), pool_(config_.numSearchThreads)
 {
-    if (options_.batching.maxBatch == 0)
-        options_.batching.maxBatch = 1;
-    dispatcher_ = std::thread([this] { dispatcherLoop(); });
-}
-
-RetrievalEngine::RetrievalEngine(const TieredIndex &index,
-                                 EngineOptions options)
-    : index_(index.source()), tiered_(&index), options_(options),
-      pool_(options.numSearchThreads)
-{
-    if (options_.batching.maxBatch == 0)
-        options_.batching.maxBatch = 1;
-    dispatcher_ = std::thread([this] { dispatcherLoop(); });
-}
-
-RetrievalEngine::RetrievalEngine(const vs::IvfPqFastScanIndex &index,
-                                 const AccessProfile &profile, double rho,
-                                 EngineOptions options)
-    : index_(index),
-      ownedTiered_(std::make_unique<TieredIndex>(
-          index, profile, rho,
-          TieredOptions{options.numHotShards,
-                        options.shardBackendFactory})),
-      tiered_(ownedTiered_.get()), options_(options),
-      pool_(options.numSearchThreads)
-{
-    if (options_.batching.maxBatch == 0)
-        options_.batching.maxBatch = 1;
+    config_.validate();
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
 }
 
@@ -61,32 +46,129 @@ RetrievalEngine::~RetrievalEngine()
     shutdown();
 }
 
-std::future<EngineQueryResult>
-RetrievalEngine::submit(std::span<const float> query)
+RetrievalEngine::Pending
+RetrievalEngine::makePending(const SearchRequest &request) const
 {
     const std::size_t d = index_.dim();
-    assert(query.size() >= d);
-
+    if (request.query.size() < d)
+        throw std::invalid_argument(
+            "RetrievalEngine: query span shorter than dim()");
     Pending p;
-    p.query.assign(query.begin(), query.begin() + d);
+    p.query.assign(request.query.begin(), request.query.begin() + d);
+    p.k = request.k == 0 ? config_.defaultK : request.k;
+    p.nprobe =
+        request.nprobe == 0 ? config_.defaultNprobe : request.nprobe;
+    p.priority = request.priority;
+    p.tag = request.tag;
     p.admitted = Clock::now();
-    auto fut = p.promise.get_future();
+    if (request.deadlineSeconds > 0.0) {
+        p.hasDeadline = true;
+        p.deadline = p.admitted + toDuration(request.deadlineSeconds);
+    }
+    return p;
+}
+
+void
+RetrievalEngine::resolve(Pending &p, SearchResponse &&r)
+{
+    if (!p.callback) {
+        p.promise.set_value(std::move(r));
+        return;
+    }
+    // User callbacks run on the dispatcher thread (or the submitting
+    // thread for rejections); a throwing callback must not take the
+    // whole engine down via std::terminate.
+    try {
+        p.callback(std::move(r));
+    } catch (const std::exception &e) {
+        logWarn("RetrievalEngine: submitAsync callback threw: ",
+                e.what());
+    } catch (...) {
+        logWarn("RetrievalEngine: submitAsync callback threw");
+    }
+}
+
+void
+RetrievalEngine::admit(Pending p)
+{
+    bool reject = false;
     {
         std::lock_guard<std::mutex> lk(mutex_);
         if (!accepting_)
             throw std::runtime_error(
                 "RetrievalEngine: submit after shutdown");
-        // Count before the dispatcher can see the query, so stats()
+        // Count before the dispatcher can see the request, so stats()
         // never observes completed > submitted. statsMutex_ nests
         // inside mutex_ only here; no path takes them reversed.
+        const std::size_t depth = queue_.size();
+        reject = config_.batching.maxQueue != 0 &&
+                 depth >= config_.batching.maxQueue;
         {
             std::lock_guard<std::mutex> slk(statsMutex_);
             ++submitted_;
+            if (reject)
+                ++rejected_;
         }
-        queue_.push_back(std::move(p));
+        if (!reject) {
+            p.seq = nextSeq_++;
+            queue_.push_back(std::move(p));
+        }
+    }
+    if (reject) {
+        SearchResponse r;
+        r.disposition = Disposition::kRejected;
+        r.k = p.k;
+        r.nprobe = p.nprobe;
+        r.tag = p.tag;
+        resolve(p, std::move(r));
+        return;
     }
     cvDispatch_.notify_all();
+}
+
+std::future<SearchResponse>
+RetrievalEngine::submit(SearchRequest request)
+{
+    Pending p = makePending(request);
+    auto fut = p.promise.get_future();
+    admit(std::move(p));
     return fut;
+}
+
+std::vector<std::future<SearchResponse>>
+RetrievalEngine::submitMany(std::span<const SearchRequest> requests)
+{
+    // Validate every request before admitting any, so a bad span in
+    // the middle of the batch cannot strand already-admitted requests
+    // behind discarded futures.
+    std::vector<Pending> pendings;
+    pendings.reserve(requests.size());
+    for (const SearchRequest &request : requests)
+        pendings.push_back(makePending(request));
+    std::vector<std::future<SearchResponse>> futures;
+    futures.reserve(pendings.size());
+    for (Pending &p : pendings) {
+        futures.push_back(p.promise.get_future());
+        admit(std::move(p));
+    }
+    return futures;
+}
+
+void
+RetrievalEngine::submitAsync(SearchRequest request,
+                             std::function<void(SearchResponse)> done)
+{
+    Pending p = makePending(request);
+    p.callback = std::move(done);
+    admit(std::move(p));
+}
+
+std::future<SearchResponse>
+RetrievalEngine::submit(std::span<const float> query)
+{
+    SearchRequest request;
+    request.query = query;
+    return submit(request);
 }
 
 void
@@ -138,7 +220,10 @@ RetrievalEngine::stats() const
     std::lock_guard<std::mutex> lk(statsMutex_);
     EngineStatsSnapshot s;
     s.submitted = submitted_;
-    s.completed = completed_;
+    s.served = served_;
+    s.expired = expired_;
+    s.rejected = rejected_;
+    s.completed = served_ + expired_ + rejected_;
     s.batches = batches_;
     s.meanBatchSize = batchSizes_.mean();
     const auto digest = [](const Reservoir &r) {
@@ -149,7 +234,84 @@ RetrievalEngine::stats() const
     s.queueLatency = digest(queueSamples_);
     s.searchLatency = digest(searchSamples_);
     s.totalLatency = digest(totalSamples_);
+    s.expiredLatency = digest(expiredSamples_);
     return s;
+}
+
+std::vector<RetrievalEngine::Pending>
+RetrievalEngine::takeExpiredLocked(Clock::time_point now)
+{
+    std::vector<Pending> expired;
+    bool any = false;
+    for (const auto &p : queue_)
+        if (p.hasDeadline && now >= p.deadline) {
+            any = true;
+            break;
+        }
+    if (!any)
+        return expired;
+    std::deque<Pending> keep;
+    for (auto &p : queue_) {
+        if (p.hasDeadline && now >= p.deadline)
+            expired.push_back(std::move(p));
+        else
+            keep.push_back(std::move(p));
+    }
+    queue_.swap(keep);
+    return expired;
+}
+
+void
+RetrievalEngine::resolveExpired(std::vector<Pending> expired)
+{
+    const auto now = Clock::now();
+    {
+        std::lock_guard<std::mutex> slk(statsMutex_);
+        for (const auto &p : expired) {
+            ++expired_;
+            expiredSamples_.add(secondsBetween(p.admitted, now),
+                                statsRng_);
+        }
+    }
+    for (auto &p : expired) {
+        SearchResponse r;
+        r.disposition = Disposition::kExpiredInQueue;
+        r.queueSeconds = secondsBetween(p.admitted, now);
+        r.totalSeconds = r.queueSeconds;
+        r.k = p.k;
+        r.nprobe = p.nprobe;
+        r.tag = p.tag;
+        resolve(p, std::move(r));
+    }
+}
+
+std::vector<std::size_t>
+RetrievalEngine::formGroupLocked() const
+{
+    // Lead: highest priority, then oldest (seq ascending matches
+    // admission order). The batch is every queued request sharing the
+    // lead's k — per-request nprobe rides through to the batch search
+    // — taken in the same (priority desc, seq asc) order up to the
+    // cap.
+    std::vector<std::size_t> order(queue_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  if (queue_[a].priority != queue_[b].priority)
+                      return queue_[a].priority > queue_[b].priority;
+                  return queue_[a].seq < queue_[b].seq;
+              });
+    std::vector<std::size_t> group;
+    const std::size_t lead_k = queue_[order.front()].k;
+    for (const std::size_t i : order) {
+        if (queue_[i].k != lead_k)
+            continue;
+        group.push_back(i);
+        if (group.size() >= config_.batching.maxBatch)
+            break;
+    }
+    return group;
 }
 
 void
@@ -173,29 +335,69 @@ RetrievalEngine::dispatcherLoop()
             continue;
         }
 
-        // Batch formation (paper IV-B2): dispatch once the cap fills,
-        // the oldest admitted query has waited out the timeout, or a
-        // drain/stop forces the partial batch out.
-        const auto deadline =
-            queue_.front().admitted +
-            std::chrono::duration_cast<Clock::duration>(
-                std::chrono::duration<double>(
-                    options_.batching.timeoutSeconds));
-        while (!stop_ && !flushing_ &&
-               queue_.size() < options_.batching.maxBatch) {
-            if (cvDispatch_.wait_until(lk, deadline) ==
-                std::cv_status::timeout)
-                break;
+        // Deadline sweep first: requests whose deadline elapsed while
+        // queued resolve kExpiredInQueue without ever entering a
+        // batch (and without burning a search thread). The
+        // batchInFlight_ guard keeps drain() from returning between
+        // the sweep (which empties the queue) and the resolution of
+        // the swept requests.
+        {
+            auto expired = takeExpiredLocked(Clock::now());
+            if (!expired.empty()) {
+                batchInFlight_ = true;
+                lk.unlock();
+                resolveExpired(std::move(expired));
+                lk.lock();
+                batchInFlight_ = false;
+                cvIdle_.notify_all();
+                continue;
+            }
         }
 
-        const std::size_t take =
-            std::min(queue_.size(), options_.batching.maxBatch);
-        std::vector<Pending> batch;
-        batch.reserve(take);
-        for (std::size_t i = 0; i < take; ++i) {
-            batch.push_back(std::move(queue_.front()));
-            queue_.pop_front();
+        // Batch formation (paper IV-B2): dispatch once the compatible
+        // group fills the cap, the oldest admitted request has waited
+        // out the timeout, or a drain/stop forces the partial batch
+        // out. Sleep no later than the earliest queued deadline so
+        // expiry resolves promptly.
+        const auto now = Clock::now();
+        const auto batch_due =
+            queue_.front().admitted +
+            toDuration(config_.batching.timeoutSeconds);
+        const auto sleep_until_wake = [&] {
+            auto wake = batch_due;
+            for (const auto &p : queue_)
+                if (p.hasDeadline)
+                    wake = std::min(wake, p.deadline);
+            cvDispatch_.wait_until(lk, wake);
+        };
+        const bool forced = stop_ || flushing_ || now >= batch_due;
+        // The group can only fill the cap if the whole queue could:
+        // skip the O(n log n) group sort on wakeups that cannot
+        // dispatch anyway (every submit notifies the dispatcher).
+        if (!forced && queue_.size() < config_.batching.maxBatch) {
+            sleep_until_wake();
+            continue;
         }
+        auto group = formGroupLocked();
+        if (!forced && group.size() < config_.batching.maxBatch) {
+            sleep_until_wake();
+            continue;
+        }
+
+        // Extract the group in dispatch order, compact the queue.
+        std::vector<Pending> batch;
+        batch.reserve(group.size());
+        std::vector<char> taken(queue_.size(), 0);
+        for (const std::size_t i : group) {
+            batch.push_back(std::move(queue_[i]));
+            taken[i] = 1;
+        }
+        std::deque<Pending> rest;
+        for (std::size_t i = 0; i < queue_.size(); ++i)
+            if (!taken[i])
+                rest.push_back(std::move(queue_[i]));
+        queue_.swap(rest);
+
         batchInFlight_ = true;
         lk.unlock();
         executeBatch(std::move(batch));
@@ -210,28 +412,32 @@ RetrievalEngine::executeBatch(std::vector<Pending> batch)
 {
     const std::size_t nq = batch.size();
     const std::size_t d = index_.dim();
+    const std::size_t k = batch.front().k;
 
     std::vector<float> queries(nq * d);
-    for (std::size_t i = 0; i < nq; ++i)
+    std::vector<std::size_t> nprobes(nq);
+    for (std::size_t i = 0; i < nq; ++i) {
         std::copy(batch[i].query.begin(), batch[i].query.end(),
                   queries.begin() + i * d);
+        nprobes[i] = batch[i].nprobe;
+    }
 
     const auto t0 = Clock::now();
     TieredBatchStats tstats;
     std::vector<std::vector<vs::SearchHit>> results;
     if (tiered_)
         results = tiered_->searchBatchParallel(
-            queries, nq, options_.k, options_.nprobe, pool_,
+            queries, nq, k, nprobes, pool_,
             updater_ ? &tstats : nullptr);
     else
-        results = index_.searchBatchParallel(queries, nq, options_.k,
-                                             options_.nprobe, pool_);
+        results = index_.searchBatchParallel(queries, nq, k, nprobes,
+                                             pool_);
     const auto t1 = Clock::now();
     const double search_s = secondsBetween(t0, t1);
 
     if (tiered_ && updater_)
         updater_->record(tstats.meanHitRate,
-                         search_s <= options_.sloSearchSeconds);
+                         search_s <= config_.sloSearchSeconds);
 
     {
         std::lock_guard<std::mutex> slk(statsMutex_);
@@ -243,18 +449,22 @@ RetrievalEngine::executeBatch(std::vector<Pending> batch)
             searchSamples_.add(search_s, statsRng_);
             totalSamples_.add(secondsBetween(batch[i].admitted, t1),
                               statsRng_);
-            ++completed_;
+            ++served_;
         }
     }
 
     for (std::size_t i = 0; i < nq; ++i) {
-        EngineQueryResult r;
+        SearchResponse r;
+        r.disposition = Disposition::kServed;
         r.hits = std::move(results[i]);
         r.queueSeconds = secondsBetween(batch[i].admitted, t0);
         r.searchSeconds = search_s;
         r.totalSeconds = secondsBetween(batch[i].admitted, t1);
         r.batchSize = nq;
-        batch[i].promise.set_value(std::move(r));
+        r.k = k;
+        r.nprobe = batch[i].nprobe;
+        r.tag = batch[i].tag;
+        resolve(batch[i], std::move(r));
     }
 }
 

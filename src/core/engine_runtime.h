@@ -3,20 +3,36 @@
  * Executable concurrent retrieval engine — the online counterpart of
  * the event-driven serving simulator.
  *
- * Queries enter an admission queue via submit(); a dispatcher thread
- * forms dynamic batches under the shared BatchPolicy (dispatch when the
- * batch cap fills or the oldest admitted query times out, paper Section
- * IV-B2) and executes each batch as a *real* IVF-PQ fast-scan search
- * fanned out across a ThreadPool with per-query top-k results. Per-query
- * queue/search/total latencies are recorded as LatencySummary digests —
- * the same type the simulator reports — so measured percentiles can be
- * compared directly against the analytic perf-model predictions.
+ * Typed SearchRequests enter a bounded admission queue via submit(),
+ * submitMany() or the callback-based submitAsync(); a dispatcher
+ * thread forms dynamic batches under the shared BatchPolicy (dispatch
+ * when the batch cap fills or the oldest admitted query times out,
+ * paper Section IV-B2) and executes each batch as a *real* IVF-PQ
+ * fast-scan search fanned out across a ThreadPool with per-query
+ * top-k results.
+ *
+ * The dispatcher is deadline- and priority-aware: a request whose
+ * deadline elapses while queued resolves Disposition::kExpiredInQueue
+ * without ever entering a search batch, submissions that overflow the
+ * bounded queue resolve Disposition::kRejected at admission, and each
+ * batch groups compatible requests — identical k, with per-request
+ * nprobe passed straight through to the batch search — led by the
+ * highest-priority, oldest queued request. Per-request queue/search/
+ * total latencies are recorded as per-disposition LatencySummary
+ * digests — the same type the simulator reports — so measured
+ * percentiles can be compared directly against the analytic
+ * perf-model predictions.
  *
  * The engine serves either a flat single-tier index or a TieredIndex
  * (hot/cold partition-aware path). In tiered mode each batch's routed
- * hit rates are recorded and, when an OnlineUpdater is attached, fed to
- * the drift monitor together with whether the batch met the search SLO
- * — closing the paper's online-update loop on the live path.
+ * hit rates are recorded and, when an OnlineUpdater is attached, fed
+ * to the drift monitor together with whether the batch met the search
+ * SLO — closing the paper's online-update loop on the live path.
+ *
+ * Engines are constructed through EngineBuilder (engine_builder.h),
+ * which validates the EngineConfig and composes flat, caller-owned
+ * tiered and engine-owned profile-built tiered serving in one fluent
+ * chain.
  */
 
 #ifndef VLR_CORE_ENGINE_RUNTIME_H
@@ -25,6 +41,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -36,103 +53,59 @@
 #include "common/stats.h"
 #include "common/threadpool.h"
 #include "core/batch_policy.h"
+#include "core/serving_api.h"
 #include "core/tiered_index.h"
 #include "vecsearch/ivf_pq_fastscan.h"
 
 namespace vlr::core
 {
 
-struct EngineOptions
-{
-    /** Dispatcher policy shared with ServingConfig. */
-    BatchPolicy batching{.maxBatch = 64, .timeoutSeconds = 2e-3};
-    /** Results returned per query. */
-    std::size_t k = 10;
-    /** Probed IVF lists per query. */
-    std::size_t nprobe = 16;
-    /** Search worker threads (0/1 = batch executes inline). */
-    std::size_t numSearchThreads = 4;
-    /**
-     * Retrieval-stage SLO (Table I); tiered batches whose search stage
-     * exceeds it are reported to the drift monitor as SLO misses.
-     */
-    double sloSearchSeconds = 0.150;
-    /**
-     * Hot shards for engines that build their own TieredIndex (the
-     * profile-based constructor); ignored when serving a caller-owned
-     * index or the flat path.
-     */
-    std::size_t numHotShards = 1;
-    /**
-     * Per-shard backend factory for the same constructor; null means
-     * the default in-memory fast-scan replica.
-     */
-    ShardBackendFactory shardBackendFactory;
-};
-
-/** Outcome of one engine query. */
-struct EngineQueryResult
-{
-    std::vector<vs::SearchHit> hits;
-    /** Admission to batch start. */
-    double queueSeconds = 0.0;
-    /** Batch start to batch completion. */
-    double searchSeconds = 0.0;
-    /** Admission to completion. */
-    double totalSeconds = 0.0;
-    /** Size of the batch this query rode in. */
-    std::size_t batchSize = 0;
-};
-
 /**
- * Aggregate engine statistics since construction. Latency digests are
- * computed over a bounded uniform reservoir (capacity 65536 per
- * distribution), so a long-running engine's memory stays constant;
- * percentiles become approximate once more queries than that have been
- * served. Counters are exact.
+ * Aggregate engine statistics since construction. Every submitted
+ * request is accounted under exactly one disposition once resolved:
+ * submitted == served + expired + rejected + still-pending. Latency
+ * digests are computed over a bounded uniform reservoir (capacity
+ * 65536 per distribution), so a long-running engine's memory stays
+ * constant; percentiles become approximate once more requests than
+ * that have been resolved. Counters are exact.
  */
 struct EngineStatsSnapshot
 {
+    /** Requests admitted (including ones later expired/rejected). */
     std::size_t submitted = 0;
+    /** Requests that rode a search batch (Disposition::kServed). */
+    std::size_t served = 0;
+    /** Requests whose deadline elapsed while queued. */
+    std::size_t expired = 0;
+    /** Requests bounced by the bounded admission queue. */
+    std::size_t rejected = 0;
+    /** Resolved requests: served + expired + rejected. */
     std::size_t completed = 0;
     std::size_t batches = 0;
     double meanBatchSize = 0.0;
+    /** Served requests: admission to batch start. */
     LatencySummary queueLatency;
+    /** Served requests: batch start to batch completion. */
     LatencySummary searchLatency;
+    /** Served requests: admission to completion. */
     LatencySummary totalLatency;
+    /** Expired requests: admission to expiry resolution. */
+    LatencySummary expiredLatency;
 };
 
 class OnlineUpdater;
+class EngineBuilder;
 
 /**
- * Online serving front-end over an IvfPqFastScanIndex or a TieredIndex.
- * submit() is thread-safe and may be called from any number of client
- * threads; the index must outlive the engine. Destruction drains
- * pending queries.
+ * Online serving front-end over an IvfPqFastScanIndex or a
+ * TieredIndex. Construct through EngineBuilder; the index must
+ * outlive the engine. submit()/submitMany()/submitAsync() are
+ * thread-safe and may be called from any number of client threads.
+ * Destruction drains pending requests.
  */
 class RetrievalEngine
 {
   public:
-    RetrievalEngine(const vs::IvfPqFastScanIndex &index,
-                    EngineOptions options);
-
-    /**
-     * Serve from a tiered hot/cold index: batches run the partition-
-     * aware routed search and per-batch hit rates feed the attached
-     * updater (if any).
-     */
-    RetrievalEngine(const TieredIndex &index, EngineOptions options);
-
-    /**
-     * Build and own a TieredIndex over `index` at coverage rho, with
-     * options.numHotShards hot shards behind
-     * options.shardBackendFactory, then serve it tiered — convenience
-     * wiring for callers that don't need to share the tiered index.
-     * The owned index is reachable through tiered().
-     */
-    RetrievalEngine(const vs::IvfPqFastScanIndex &index,
-                    const AccessProfile &profile, double rho,
-                    EngineOptions options);
     ~RetrievalEngine();
 
     RetrievalEngine(const RetrievalEngine &) = delete;
@@ -149,13 +122,46 @@ class RetrievalEngine
     const TieredIndex *tiered() const { return tiered_; }
 
     /**
-     * Admit one query (copied; dim() floats). The future resolves when
-     * the query's batch completes. @throws std::runtime_error after
-     * shutdown().
+     * Admit one typed request (the query span is copied). The future
+     * resolves when the request is served, expires in the queue, or —
+     * immediately — when the bounded queue rejects it; check
+     * SearchResponse::disposition. @throws std::runtime_error after
+     * shutdown(), std::invalid_argument on a query span shorter than
+     * dim().
      */
-    std::future<EngineQueryResult> submit(std::span<const float> query);
+    std::future<SearchResponse> submit(SearchRequest request);
 
-    /** Block until every admitted query has completed. */
+    /**
+     * Admit a span of requests in order. The returned futures match
+     * the request order index-for-index regardless of how the
+     * dispatcher groups or prioritizes them.
+     */
+    std::vector<std::future<SearchResponse>>
+    submitMany(std::span<const SearchRequest> requests);
+
+    /**
+     * Callback-based admission: @p done runs exactly once with the
+     * response. Served and expired requests invoke it on the
+     * dispatcher thread (keep it cheap; re-submitting from inside the
+     * callback is allowed while the engine is accepting), rejected
+     * requests invoke it inline on the submitting thread before
+     * submitAsync returns. A callback that throws — including a
+     * re-submit racing shutdown() — is caught and logged; it never
+     * takes the engine down.
+     */
+    void submitAsync(SearchRequest request,
+                     std::function<void(SearchResponse)> done);
+
+    /**
+     * Legacy convenience entry point: equivalent to submitting a
+     * SearchRequest carrying only the query — engine-default k and
+     * nprobe, no deadline, priority 0. Kept for one-line call sites;
+     * prefer submit(SearchRequest) anywhere a deadline, per-request
+     * ranking parameters or a disposition check matters.
+     */
+    std::future<SearchResponse> submit(std::span<const float> query);
+
+    /** Block until every admitted request has resolved. */
     void drain();
 
     /**
@@ -167,16 +173,39 @@ class RetrievalEngine
     bool accepting() const;
     std::size_t pendingQueries() const;
     EngineStatsSnapshot stats() const;
-    const EngineOptions &options() const { return options_; }
+    const EngineConfig &config() const { return config_; }
 
   private:
+    friend class EngineBuilder;
+
     using Clock = std::chrono::steady_clock;
+
+    /**
+     * @param index flat-mode index (tiered->source() when tiered).
+     * @param owned engine-owned TieredIndex (profile-built), or null.
+     * @param tiered tiered-mode index (owned.get() or caller-owned),
+     *        or null for the flat path.
+     * @param config validated configuration.
+     */
+    RetrievalEngine(const vs::IvfPqFastScanIndex &index,
+                    std::unique_ptr<TieredIndex> owned,
+                    const TieredIndex *tiered, EngineConfig config);
 
     struct Pending
     {
         std::vector<float> query;
-        std::promise<EngineQueryResult> promise;
+        std::size_t k = 0;
+        std::size_t nprobe = 0;
+        int priority = 0;
+        std::uint64_t tag = 0;
+        /** Admission order; tie-break within equal priority. */
+        std::uint64_t seq = 0;
         Clock::time_point admitted;
+        bool hasDeadline = false;
+        Clock::time_point deadline;
+        std::promise<SearchResponse> promise;
+        /** Callback mode (submitAsync): set instead of the promise. */
+        std::function<void(SearchResponse)> callback;
     };
 
     /** Fixed-size uniform reservoir of latency samples. */
@@ -200,23 +229,47 @@ class RetrievalEngine
         }
     };
 
+    /** Build a Pending from a request (validates the span length). */
+    Pending makePending(const SearchRequest &request) const;
+    /** Queue one Pending or resolve it kRejected; returns future. */
+    void admit(Pending p);
+    /** Fulfil promise or invoke callback. */
+    static void resolve(Pending &p, SearchResponse &&r);
+
+    /**
+     * Remove every queued request whose deadline has elapsed at
+     * @p now. Caller holds mutex_; resolution happens outside it.
+     */
+    std::vector<Pending> takeExpiredLocked(Clock::time_point now);
+    /** Resolve a swept batch of expired requests (no lock held). */
+    void resolveExpired(std::vector<Pending> expired);
+
+    /**
+     * Indices (into queue_) of the next batch: requests sharing the
+     * lead's k, in (priority desc, admission asc) order, capped at
+     * maxBatch. The lead is the highest-priority, oldest request.
+     * Caller holds mutex_.
+     */
+    std::vector<std::size_t> formGroupLocked() const;
+
     void dispatcherLoop();
     void executeBatch(std::vector<Pending> batch);
 
     /** Flat-mode index (tiered_->source() when tiered). */
     const vs::IvfPqFastScanIndex &index_;
-    /** Tiered index built by the profile-based constructor, if any. */
+    /** Tiered index built by EngineBuilder::tieredFromProfile. */
     std::unique_ptr<TieredIndex> ownedTiered_;
     /** Tiered-mode index; nullptr when serving the flat path. */
     const TieredIndex *tiered_ = nullptr;
     OnlineUpdater *updater_ = nullptr;
-    EngineOptions options_;
+    EngineConfig config_;
     ThreadPool pool_;
 
     mutable std::mutex mutex_;
     std::condition_variable cvDispatch_;
     std::condition_variable cvIdle_;
     std::deque<Pending> queue_;
+    std::uint64_t nextSeq_ = 0;
     bool accepting_ = true;
     bool stop_ = false;
     bool flushing_ = false;
@@ -227,9 +280,12 @@ class RetrievalEngine
     Reservoir queueSamples_;
     Reservoir searchSamples_;
     Reservoir totalSamples_;
+    Reservoir expiredSamples_;
     RunningStats batchSizes_;
     std::size_t submitted_ = 0;
-    std::size_t completed_ = 0;
+    std::size_t served_ = 0;
+    std::size_t expired_ = 0;
+    std::size_t rejected_ = 0;
     std::size_t batches_ = 0;
 
     std::thread dispatcher_;

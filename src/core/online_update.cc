@@ -104,10 +104,32 @@ OnlineUpdater::~OnlineUpdater()
     waitForRebuild();
 }
 
+std::size_t
+OnlineUpdater::calibrationTargetLocked() const
+{
+    return std::max<std::size_t>(1, opts_.drift.windowRequests / 4);
+}
+
 bool
 OnlineUpdater::record(double hit_rate, bool slo_met)
 {
     std::unique_lock<std::mutex> lk(mutex_);
+    if (calibrating_) {
+        // Post-swap re-baselining: average the first observations of
+        // the new placement into a *per-query-mean* expectation (the
+        // same quantity record() observes) instead of adopting the
+        // work-mass aggregate AccessProfile::meanWorkHitRate, whose
+        // systematic offset re-triggered rebuilds right after a swap.
+        calibSum_ += hit_rate;
+        ++calibCount_;
+        if (calibCount_ >= calibrationTargetLocked()) {
+            expectedHitRate_ =
+                calibSum_ / static_cast<double>(calibCount_);
+            calibrating_ = false;
+            monitor_.reset(expectedHitRate_);
+        }
+        return false;
+    }
     monitor_.record(hit_rate, slo_met);
     if (!monitor_.driftDetected()) {
         if (monitor_.windowFull())
@@ -125,22 +147,29 @@ OnlineUpdater::record(double hit_rate, bool slo_met)
         worker_.join();
     const AccessProfile profile =
         index_.profileFromCounts(index_.drainAccessCounts());
-    const double new_expected = profile.meanWorkHitRate(opts_.rho);
     auto hot = profile.hotClusters(opts_.rho);
     inFlight_ = true;
-    expectedHitRate_ = new_expected;
     worker_ = std::thread([this, hot = std::move(hot)]() mutable {
         index_.repartition(std::move(hot));
         std::lock_guard<std::mutex> wlk(mutex_);
         inFlight_ = false;
         ++completed_;
         // Observations recorded while the rebuild was in flight judged
-        // the *old* snapshot; resetting only now (not at launch) keeps
-        // them from re-triggering drift against the new expectation the
-        // moment the swap lands.
+        // the *old* snapshot; entering calibration only now (not at
+        // launch) keeps them out of the new baseline.
+        calibrating_ = true;
+        calibSum_ = 0.0;
+        calibCount_ = 0;
         monitor_.reset(expectedHitRate_);
     });
     return true;
+}
+
+bool
+OnlineUpdater::calibrating() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return calibrating_;
 }
 
 bool

@@ -122,6 +122,18 @@ UpdateOutcome runUpdateCycle(DatasetContext &ctx, wl::QueryGenerator &gen,
  * background thread, swapping one snapshot when all backends are ready
  * — record() never blocks on the rebuild, and in-flight batches keep
  * searching the old snapshot until the atomic swap.
+ *
+ * Expectation semantics: the monitor's expected hit rate is a
+ * *per-query mean* — the same quantity record() observes. After a
+ * swap the updater does not reset it from
+ * AccessProfile::meanWorkHitRate (a work-mass aggregate that sits
+ * systematically above the per-query mean under skew, which
+ * re-triggered rebuilds against placements that matched traffic
+ * perfectly — churn visible in bench_repartition). Instead it
+ * re-baselines: the first windowRequests/4 observations after the
+ * swap are averaged into the new expectation while drift detection is
+ * suspended, so only movement *relative to the rebuilt placement*
+ * counts as drift.
  */
 class OnlineUpdater
 {
@@ -137,8 +149,10 @@ class OnlineUpdater
      * @param index tiered index to monitor and rebuild (must outlive
      *        the updater).
      * @param opts drift thresholds + rebuild coverage.
-     * @param expected_hit_rate the planning-time mean hit rate the
-     *        monitor compares live observations against.
+     * @param expected_hit_rate the planning-time *per-query mean* hit
+     *        rate the monitor compares live observations against
+     *        (e.g. HitRateEstimator::meanHitRate, not the work-mass
+     *        aggregate AccessProfile::meanWorkHitRate).
      */
     OnlineUpdater(TieredIndex &index, Options opts,
                   double expected_hit_rate);
@@ -159,15 +173,36 @@ class OnlineUpdater
     /** Block until any in-flight rebuild has swapped in. */
     void waitForRebuild();
 
+    /**
+     * Current per-query-mean expectation: the constructor value until
+     * the first rebuild, then the post-swap re-baselined observation
+     * mean (updated once calibration completes).
+     */
     double expectedHitRate() const;
 
+    /**
+     * True between a snapshot swap and the completion of the
+     * post-swap re-baselining window (drift detection suspended).
+     */
+    bool calibrating() const;
+
+    /** Tiered index this updater monitors (builder validation). */
+    const TieredIndex &index() const { return index_; }
+
   private:
+    /** Observations averaged into a post-swap baseline. */
+    std::size_t calibrationTargetLocked() const;
+
     TieredIndex &index_;
     Options opts_;
 
     mutable std::mutex mutex_;
     DriftMonitor monitor_;
     double expectedHitRate_;
+    /** Post-swap re-baselining state (see class comment). */
+    bool calibrating_ = false;
+    double calibSum_ = 0.0;
+    std::size_t calibCount_ = 0;
     std::thread worker_;
     bool inFlight_ = false;
     std::size_t completed_ = 0;

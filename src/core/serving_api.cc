@@ -1,0 +1,48 @@
+#include "core/serving_api.h"
+
+#include <stdexcept>
+
+namespace vlr::core
+{
+
+const char *
+dispositionName(Disposition d)
+{
+    switch (d) {
+    case Disposition::kServed:
+        return "served";
+    case Disposition::kExpiredInQueue:
+        return "expired";
+    case Disposition::kRejected:
+        return "rejected";
+    }
+    return "unknown";
+}
+
+void
+EngineConfig::validate() const
+{
+    if (batching.maxBatch == 0)
+        throw std::invalid_argument(
+            "EngineConfig: batching.maxBatch must be >= 1");
+    if (batching.timeoutSeconds < 0.0)
+        throw std::invalid_argument(
+            "EngineConfig: batching.timeoutSeconds must be >= 0");
+    if (defaultK == 0)
+        throw std::invalid_argument(
+            "EngineConfig: defaultK must be >= 1");
+    if (defaultNprobe == 0)
+        throw std::invalid_argument(
+            "EngineConfig: defaultNprobe must be >= 1");
+    if (numSearchThreads == 0)
+        throw std::invalid_argument(
+            "EngineConfig: numSearchThreads must be >= 1");
+    if (sloSearchSeconds <= 0.0)
+        throw std::invalid_argument(
+            "EngineConfig: sloSearchSeconds must be > 0");
+    if (numHotShards == 0)
+        throw std::invalid_argument(
+            "EngineConfig: numHotShards must be >= 1");
+}
+
+} // namespace vlr::core

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Request-centric serving API types (paper Table I: the SLO belongs to
+ * the request, not the engine).
+ *
+ * A SearchRequest carries everything one query needs — ranking
+ * parameters (k, nprobe), an optional queueing deadline, a scheduling
+ * priority and an opaque client tag — so the engine can enforce
+ * latency at admission instead of auditing it after the fact. A
+ * SearchResponse reports the hits together with per-stage timings and
+ * a Disposition saying how the request left the engine: served by a
+ * batch, expired while queued, or rejected by the bounded admission
+ * queue. EngineConfig is the validated engine-wide configuration the
+ * EngineBuilder assembles; per-request parameters default to its
+ * values when a request leaves them unset.
+ */
+
+#ifndef VLR_CORE_SERVING_API_H
+#define VLR_CORE_SERVING_API_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/batch_policy.h"
+#include "core/shard_backend.h"
+#include "vecsearch/ivf_pq_fastscan.h"
+
+namespace vlr::core
+{
+
+/** How a submitted request left the engine. Every request resolves
+ *  with exactly one disposition. */
+enum class Disposition
+{
+    /** Rode a search batch; hits and stage timings are populated. */
+    kServed,
+    /** Deadline elapsed while queued; resolved by the dispatcher
+     *  without ever entering a search batch. */
+    kExpiredInQueue,
+    /** Bounced at admission by the bounded queue (BatchPolicy::
+     *  maxQueue); resolved immediately on the submitting thread. */
+    kRejected,
+};
+
+/** Short stable name for logs and bench tables. */
+const char *dispositionName(Disposition d);
+
+/**
+ * One typed query submission. The query span is copied at submit();
+ * the request object itself need not outlive the call.
+ */
+struct SearchRequest
+{
+    /** Query vector (at least dim() floats; copied at submit). */
+    std::span<const float> query;
+    /** Results wanted; 0 means the engine's defaultK. */
+    std::size_t k = 0;
+    /** IVF lists probed; 0 means the engine's defaultNprobe. */
+    std::size_t nprobe = 0;
+    /**
+     * Queueing deadline in seconds from admission; <= 0 means no
+     * deadline. A request still queued when its deadline elapses
+     * resolves kExpiredInQueue instead of burning a search slot.
+     */
+    double deadlineSeconds = 0.0;
+    /**
+     * Dispatch priority: higher-priority requests lead batch
+     * formation. Equal priorities dispatch in admission order; a
+     * sustained stream of higher-priority work can delay lower
+     * priorities past the batch timeout.
+     */
+    int priority = 0;
+    /** Opaque client tag echoed verbatim in the response. */
+    std::uint64_t tag = 0;
+};
+
+/** Outcome of one request: disposition + hits + per-stage timings. */
+struct SearchResponse
+{
+    Disposition disposition = Disposition::kServed;
+    /** Top-k hits; empty unless disposition == kServed. */
+    std::vector<vs::SearchHit> hits;
+    /** Admission to batch start (served), to expiry resolution
+     *  (expired), or 0 (rejected). */
+    double queueSeconds = 0.0;
+    /** Batch start to batch completion; 0 unless served. */
+    double searchSeconds = 0.0;
+    /** Admission to resolution. */
+    double totalSeconds = 0.0;
+    /** Size of the batch this request rode in; 0 unless served. */
+    std::size_t batchSize = 0;
+    /** Effective ranking parameters after defaulting. */
+    std::size_t k = 0;
+    std::size_t nprobe = 0;
+    /** Client tag from the request. */
+    std::uint64_t tag = 0;
+
+    bool
+    served() const
+    {
+        return disposition == Disposition::kServed;
+    }
+};
+
+/**
+ * Engine-wide configuration assembled by EngineBuilder. validate()
+ * rejects nonsense before any thread spins up; per-request k/nprobe
+ * override the defaults here.
+ */
+struct EngineConfig
+{
+    /** Dispatcher policy shared with ServingConfig (cap, timeout and
+     *  the bounded admission queue). */
+    BatchPolicy batching{.maxBatch = 64, .timeoutSeconds = 2e-3};
+    /** Results per query for requests that leave k unset. */
+    std::size_t defaultK = 10;
+    /** Probed IVF lists for requests that leave nprobe unset. */
+    std::size_t defaultNprobe = 16;
+    /** Search worker threads (>= 1; 1 = batch executes inline). */
+    std::size_t numSearchThreads = 4;
+    /**
+     * Retrieval-stage SLO (Table I); tiered batches whose search stage
+     * exceeds it are reported to the drift monitor as SLO misses.
+     */
+    double sloSearchSeconds = 0.150;
+    /**
+     * Hot shards for engines that build their own TieredIndex
+     * (EngineBuilder::tieredFromProfile); ignored when serving a
+     * caller-owned index or the flat path.
+     */
+    std::size_t numHotShards = 1;
+    /**
+     * Per-shard backend factory for the same path; null means the
+     * default in-memory fast-scan replica.
+     */
+    ShardBackendFactory shardBackendFactory;
+
+    /** @throws std::invalid_argument on an unusable configuration. */
+    void validate() const;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_SERVING_API_H

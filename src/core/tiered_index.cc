@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/timer.h"
 #include "vecsearch/topk.h"
 #include "workload/plans.h"
 
@@ -87,6 +88,10 @@ TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
       accessCounts_(
           std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist())),
       shardProbeCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          opts_.numShards)),
+      shardScanSeconds_(
+          std::make_unique<std::atomic<double>[]>(opts_.numShards)),
+      shardScanCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
           opts_.numShards))
 {
 }
@@ -103,6 +108,10 @@ TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
       accessCounts_(
           std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist())),
       shardProbeCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          opts_.numShards)),
+      shardScanSeconds_(
+          std::make_unique<std::atomic<double>[]>(opts_.numShards)),
+      shardScanCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
           opts_.numShards))
 {
 }
@@ -174,6 +183,32 @@ TieredIndex::routeProbes(const Tiers &tiers,
 }
 
 std::vector<vs::SearchHit>
+TieredIndex::timedScan(const Tiers &tiers, const float *query,
+                       std::size_t k, shard_id_t shard,
+                       std::span<const cluster_id_t> clusters,
+                       vs::SearchScratch *scratch) const
+{
+    WallTimer timer;
+    std::vector<vs::SearchHit> hits =
+        shard == kCpuShard
+            ? source_.searchClusters(query, k, clusters, nullptr,
+                                     scratch)
+            : tiers.shards[static_cast<std::size_t>(shard)]
+                  ->searchClusters(query, k, clusters, scratch);
+    const double secs = timer.elapsed();
+    if (shard == kCpuShard) {
+        atomicAddDouble(coldScanSeconds_, secs);
+        coldScanCounts_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        atomicAddDouble(
+            shardScanSeconds_[static_cast<std::size_t>(shard)], secs);
+        shardScanCounts_[static_cast<std::size_t>(shard)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+    return hits;
+}
+
+std::vector<vs::SearchHit>
 TieredIndex::scanBuckets(const Tiers &tiers, const float *query,
                          std::size_t k, const ProbeBuckets &buckets,
                          vs::SearchScratch *scratch) const
@@ -182,12 +217,13 @@ TieredIndex::scanBuckets(const Tiers &tiers, const float *query,
     for (std::size_t s = 0; s < buckets.shardProbes.size(); ++s) {
         if (buckets.shardProbes[s].empty())
             continue;
-        parts.push_back(tiers.shards[s]->searchClusters(
-            query, k, buckets.shardProbes[s], scratch));
+        parts.push_back(timedScan(tiers, query, k,
+                                  static_cast<shard_id_t>(s),
+                                  buckets.shardProbes[s], scratch));
     }
     if (!buckets.coldProbes.empty())
-        parts.push_back(source_.searchClusters(
-            query, k, buckets.coldProbes, nullptr, scratch));
+        parts.push_back(timedScan(tiers, query, k, kCpuShard,
+                                  buckets.coldProbes, scratch));
     if (parts.empty())
         return {};
     if (parts.size() == 1)
@@ -211,8 +247,20 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
                                  std::size_t nprobe, ThreadPool &pool,
                                  TieredBatchStats *bs) const
 {
+    const std::vector<std::size_t> nprobes(nq, nprobe);
+    return searchBatchParallel(queries, nq, k, nprobes, pool, bs);
+}
+
+std::vector<std::vector<vs::SearchHit>>
+TieredIndex::searchBatchParallel(std::span<const float> queries,
+                                 std::size_t nq, std::size_t k,
+                                 std::span<const std::size_t> nprobes,
+                                 ThreadPool &pool,
+                                 TieredBatchStats *bs) const
+{
     const std::size_t d = dim();
     assert(queries.size() >= nq * d);
+    assert(nprobes.size() >= nq);
     // One snapshot serves the whole batch, so a concurrent repartition
     // cannot split a batch across placement generations.
     const auto tiers = snapshot();
@@ -220,10 +268,11 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
     std::vector<TieredQueryStats> qstats(bs ? nq : 0);
     std::vector<ProbeBuckets> buckets(nq);
 
-    // Phase 1: coarse-quantize and route every query.
+    // Phase 1: coarse-quantize and route every query at its own
+    // nprobe (batches may mix per-request probe depths).
     pool.parallelForDynamic(nq, 1, [&](std::size_t i) {
         const float *q = queries.data() + i * d;
-        const auto pl = source_.quantizer().probe(q, nprobe);
+        const auto pl = source_.quantizer().probe(q, nprobes[i]);
         buckets[i] =
             routeProbes(*tiers, pl.clusters, bs ? &qstats[i] : nullptr);
     });
@@ -258,16 +307,12 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
         const ScanTask &task = tasks[t];
         const float *q = queries.data() + task.query * d;
         const ProbeBuckets &qb = buckets[task.query];
-        parts[task.query][task.slot] =
+        parts[task.query][task.slot] = timedScan(
+            *tiers, q, k, task.shard,
             task.shard == kCpuShard
-                ? source_.searchClusters(q, k, qb.coldProbes, nullptr,
-                                         &scratch)
-                : tiers->shards[static_cast<std::size_t>(task.shard)]
-                      ->searchClusters(
-                          q, k,
-                          qb.shardProbes[static_cast<std::size_t>(
-                              task.shard)],
-                          &scratch);
+                ? qb.coldProbes
+                : qb.shardProbes[static_cast<std::size_t>(task.shard)],
+            &scratch);
     });
 
     // Phase 3: per-query merge (cheap: at most shards+1 sorted lists of
@@ -367,9 +412,19 @@ TieredIndex::stats() const
                   static_cast<double>(s.totalProbes);
     s.repartitions = repartitions_.load(std::memory_order_relaxed);
     s.shardProbeCounts.resize(opts_.numShards);
-    for (std::size_t i = 0; i < opts_.numShards; ++i)
+    s.shardScanSeconds.resize(opts_.numShards);
+    s.shardScanCounts.resize(opts_.numShards);
+    for (std::size_t i = 0; i < opts_.numShards; ++i) {
         s.shardProbeCounts[i] = static_cast<std::size_t>(
             shardProbeCounts_[i].load(std::memory_order_relaxed));
+        s.shardScanSeconds[i] =
+            shardScanSeconds_[i].load(std::memory_order_relaxed);
+        s.shardScanCounts[i] = static_cast<std::size_t>(
+            shardScanCounts_[i].load(std::memory_order_relaxed));
+    }
+    s.coldScanSeconds = coldScanSeconds_.load(std::memory_order_relaxed);
+    s.coldScanCounts = static_cast<std::size_t>(
+        coldScanCounts_.load(std::memory_order_relaxed));
     const auto tiers = snapshot();
     s.rho = tiers->rho;
     s.numHot = tiers->numHot;

@@ -107,6 +107,19 @@ struct TieredStatsSnapshot
     std::vector<std::size_t> shardBytes;
     /** Cumulative probes routed to each shard since construction. */
     std::vector<std::size_t> shardProbeCounts;
+    /**
+     * Cumulative wall seconds spent inside each shard backend's
+     * searchClusters since construction (one entry per shard). With
+     * shardScanCounts this yields per-shard mean scan latency — the
+     * signal a per-shard executor would balance on.
+     */
+    std::vector<double> shardScanSeconds;
+    /** Cumulative searchClusters calls per shard since construction. */
+    std::vector<std::size_t> shardScanCounts;
+    /** Cumulative wall seconds of cold (source-tier) scans. */
+    double coldScanSeconds = 0.0;
+    /** Cumulative cold scan calls since construction. */
+    std::size_t coldScanCounts = 0;
 };
 
 /**
@@ -170,6 +183,18 @@ class TieredIndex
     std::vector<std::vector<vs::SearchHit>> searchBatchParallel(
         std::span<const float> queries, std::size_t nq, std::size_t k,
         std::size_t nprobe, ThreadPool &pool,
+        TieredBatchStats *bs = nullptr) const;
+
+    /**
+     * Per-query-nprobe batched search: query i probes nprobes[i]
+     * lists (nq entries). This is the deadline-aware dispatcher's
+     * entry point — one batch may mix requests with different nprobe
+     * — and each query's results are bit-identical to a serial
+     * search(query, k, nprobes[i]).
+     */
+    std::vector<std::vector<vs::SearchHit>> searchBatchParallel(
+        std::span<const float> queries, std::size_t nq, std::size_t k,
+        std::span<const std::size_t> nprobes, ThreadPool &pool,
         TieredBatchStats *bs = nullptr) const;
 
     /**
@@ -274,10 +299,24 @@ class TieredIndex
     mutable std::mutex snapshotMutex_;
     std::shared_ptr<const Tiers> tiers_;
 
+    /** Time one bucket scan and record it under shard/cold stats. */
+    std::vector<vs::SearchHit> timedScan(const Tiers &tiers,
+                                         const float *query,
+                                         std::size_t k, shard_id_t shard,
+                                         std::span<const cluster_id_t>
+                                             clusters,
+                                         vs::SearchScratch *scratch) const;
+
     /** Live per-cluster probe counters (relaxed; profiling input). */
     std::unique_ptr<std::atomic<std::uint64_t>[]> accessCounts_;
     /** Cumulative probes routed to each shard (relaxed). */
     std::unique_ptr<std::atomic<std::uint64_t>[]> shardProbeCounts_;
+    /** Cumulative wall seconds inside each shard's scans (CAS add). */
+    std::unique_ptr<std::atomic<double>[]> shardScanSeconds_;
+    /** Cumulative searchClusters calls per shard (relaxed). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> shardScanCounts_;
+    mutable std::atomic<double> coldScanSeconds_{0.0};
+    mutable std::atomic<std::uint64_t> coldScanCounts_{0};
 
     mutable std::atomic<std::uint64_t> queries_{0};
     mutable std::atomic<std::uint64_t> hotOnly_{0};

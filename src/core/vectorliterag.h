@@ -37,6 +37,7 @@
 #include "core/batch_policy.h"
 #include "core/batch_search.h"
 #include "core/context.h"
+#include "core/engine_builder.h"
 #include "core/engine_runtime.h"
 #include "core/hitrate_estimator.h"
 #include "core/online_update.h"

@@ -83,6 +83,17 @@ class IvfPqFastScanIndex
         SearchBreakdown *bd = nullptr) const;
 
     /**
+     * Per-query-nprobe variant: query i probes nprobes[i] lists (nq
+     * entries). Lets the serving dispatcher batch requests with
+     * heterogeneous probe depths; each query's hits are bit-identical
+     * to a serial search(query, k, nprobes[i]).
+     */
+    std::vector<std::vector<SearchHit>> searchBatchParallel(
+        std::span<const float> queries, std::size_t nq, std::size_t k,
+        std::span<const std::size_t> nprobes, ThreadPool &pool,
+        SearchBreakdown *bd = nullptr) const;
+
+    /**
      * Extract a read-only sub-index holding only the given clusters'
      * inverted lists. The subset shares this index's coarse quantizer
      * and trained PQ, keeps global cluster and vector ids (lists of

@@ -3,7 +3,10 @@
  * Tests for the concurrent retrieval engine: batched-parallel execution
  * must exactly match single-threaded serial search on a deterministic
  * synthetic dataset, and the admission queue must honor its batching,
- * drain and shutdown semantics.
+ * drain and shutdown semantics. Engines are built through the
+ * EngineBuilder (the only construction path); request-level behaviour
+ * (deadlines, priorities, mixed batches, rejection) is covered in
+ * test_serving_api.cc.
  */
 
 #include <future>
@@ -15,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/engine_builder.h"
 #include "core/engine_runtime.h"
 #include "core/online_update.h"
 #include "core/tiered_index.h"
@@ -72,6 +76,12 @@ struct EngineFixture : public ::testing::Test
         return out;
     }
 
+    std::span<const float>
+    query(std::size_t i) const
+    {
+        return {queries_.data() + i * d_, d_};
+    }
+
     const std::size_t n_ = 3000;
     const std::size_t d_ = 16;
     const std::size_t m_ = 8;
@@ -114,27 +124,50 @@ TEST_F(EngineFixture, ParallelBatchSearchAggregatesBreakdown)
     EXPECT_GT(bd.scanSeconds, 0.0);
 }
 
+TEST_F(EngineFixture, PerQueryNprobeBatchMatchesSerial)
+{
+    // Heterogeneous probe depths in one parallel batch must equal the
+    // per-query serial searches at the same depths.
+    std::vector<std::size_t> nprobes(nq_);
+    for (std::size_t i = 0; i < nq_; ++i)
+        nprobes[i] = 1 + i % 16;
+    ThreadPool pool(4);
+    const auto parallel =
+        index_->searchBatchParallel(queries_, nq_, 10, nprobes, pool);
+    for (std::size_t i = 0; i < nq_; ++i) {
+        const auto serial =
+            index_->search(queries_.data() + i * d_, 10, nprobes[i]);
+        ASSERT_EQ(parallel[i].size(), serial.size()) << "query " << i;
+        for (std::size_t j = 0; j < serial.size(); ++j) {
+            EXPECT_EQ(parallel[i][j].id, serial[j].id)
+                << "query " << i << " rank " << j;
+            EXPECT_EQ(parallel[i][j].dist, serial[j].dist)
+                << "query " << i << " rank " << j;
+        }
+    }
+}
+
 TEST_F(EngineFixture, EngineResultsMatchSerialSearch)
 {
     const std::size_t k = 10, nprobe = 8;
     const auto serial = serialResults(k, nprobe);
 
-    EngineOptions opts;
-    opts.k = k;
-    opts.nprobe = nprobe;
-    opts.numSearchThreads = 4;
-    opts.batching.maxBatch = 16;
-    opts.batching.timeoutSeconds = 1e-3;
-    RetrievalEngine engine(*index_, opts);
+    const auto engine = EngineBuilder(*index_)
+                            .defaultK(k)
+                            .defaultNprobe(nprobe)
+                            .searchThreads(4)
+                            .batching({.maxBatch = 16,
+                                       .timeoutSeconds = 1e-3})
+                            .build();
 
-    std::vector<std::future<EngineQueryResult>> futures;
+    std::vector<std::future<SearchResponse>> futures;
     futures.reserve(nq_);
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine.submit(
-            std::span<const float>(queries_.data() + i * d_, d_)));
+        futures.push_back(engine->submit(query(i)));
 
     for (std::size_t i = 0; i < nq_; ++i) {
         const auto r = futures[i].get();
+        EXPECT_EQ(r.disposition, Disposition::kServed);
         ASSERT_EQ(r.hits.size(), serial[i].size()) << "query " << i;
         for (std::size_t j = 0; j < serial[i].size(); ++j) {
             EXPECT_EQ(r.hits[j].id, serial[i][j].id)
@@ -142,41 +175,42 @@ TEST_F(EngineFixture, EngineResultsMatchSerialSearch)
             EXPECT_EQ(r.hits[j].dist, serial[i][j].dist)
                 << "query " << i << " rank " << j;
         }
+        EXPECT_EQ(r.k, k);
+        EXPECT_EQ(r.nprobe, nprobe);
         EXPECT_GE(r.totalSeconds, 0.0);
         EXPECT_GE(r.totalSeconds, r.searchSeconds);
-        EXPECT_LE(r.batchSize, opts.batching.maxBatch);
+        EXPECT_LE(r.batchSize, 16u);
         EXPECT_GE(r.batchSize, 1u);
     }
 }
 
 TEST_F(EngineFixture, BatchCapIsRespected)
 {
-    EngineOptions opts;
-    opts.numSearchThreads = 2;
-    opts.batching.maxBatch = 4;
-    opts.batching.timeoutSeconds = 50e-3;
-    RetrievalEngine engine(*index_, opts);
+    const auto engine = EngineBuilder(*index_)
+                            .searchThreads(2)
+                            .batching({.maxBatch = 4,
+                                       .timeoutSeconds = 50e-3})
+                            .build();
 
-    std::vector<std::future<EngineQueryResult>> futures;
+    std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine.submit(
-            std::span<const float>(queries_.data() + i * d_, d_)));
+        futures.push_back(engine->submit(query(i)));
     for (auto &f : futures)
         EXPECT_LE(f.get().batchSize, 4u);
 }
 
 TEST_F(EngineFixture, TimeoutDispatchesPartialBatch)
 {
-    EngineOptions opts;
-    opts.numSearchThreads = 2;
-    opts.batching.maxBatch = 64; // cap never fills with 3 queries
-    opts.batching.timeoutSeconds = 2e-3;
-    RetrievalEngine engine(*index_, opts);
+    // Cap never fills with 3 queries; the timeout must force dispatch.
+    const auto engine = EngineBuilder(*index_)
+                            .searchThreads(2)
+                            .batching({.maxBatch = 64,
+                                       .timeoutSeconds = 2e-3})
+                            .build();
 
-    std::vector<std::future<EngineQueryResult>> futures;
+    std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < 3; ++i)
-        futures.push_back(engine.submit(
-            std::span<const float>(queries_.data() + i * d_, d_)));
+        futures.push_back(engine->submit(query(i)));
     for (auto &f : futures) {
         const auto r = f.get(); // resolves without the cap ever filling
         EXPECT_LE(r.batchSize, 3u);
@@ -185,52 +219,49 @@ TEST_F(EngineFixture, TimeoutDispatchesPartialBatch)
 
 TEST_F(EngineFixture, DrainCompletesEverythingAdmitted)
 {
-    EngineOptions opts;
-    opts.numSearchThreads = 4;
-    opts.batching.maxBatch = 8;
-    opts.batching.timeoutSeconds = 100e-3; // long: drain must force out
-    RetrievalEngine engine(*index_, opts);
+    const auto engine = EngineBuilder(*index_)
+                            .searchThreads(4)
+                            .batching({.maxBatch = 8,
+                                       .timeoutSeconds = 100e-3})
+                            .build();
 
-    std::vector<std::future<EngineQueryResult>> futures;
+    std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine.submit(
-            std::span<const float>(queries_.data() + i * d_, d_)));
-    engine.drain();
+        futures.push_back(engine->submit(query(i)));
+    engine->drain();
 
-    EXPECT_EQ(engine.pendingQueries(), 0u);
-    const auto s = engine.stats();
+    EXPECT_EQ(engine->pendingQueries(), 0u);
+    const auto s = engine->stats();
     EXPECT_EQ(s.submitted, nq_);
+    EXPECT_EQ(s.served, nq_);
     EXPECT_EQ(s.completed, nq_);
     for (auto &f : futures)
         EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
                   std::future_status::ready);
-    EXPECT_TRUE(engine.accepting());
+    EXPECT_TRUE(engine->accepting());
 }
 
 TEST_F(EngineFixture, ShutdownDrainsAndRejectsNewQueries)
 {
-    EngineOptions opts;
-    opts.numSearchThreads = 2;
-    opts.batching.maxBatch = 8;
-    opts.batching.timeoutSeconds = 100e-3;
-    RetrievalEngine engine(*index_, opts);
+    const auto engine = EngineBuilder(*index_)
+                            .searchThreads(2)
+                            .batching({.maxBatch = 8,
+                                       .timeoutSeconds = 100e-3})
+                            .build();
 
-    std::vector<std::future<EngineQueryResult>> futures;
+    std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < 10; ++i)
-        futures.push_back(engine.submit(
-            std::span<const float>(queries_.data() + i * d_, d_)));
-    engine.shutdown();
+        futures.push_back(engine->submit(query(i)));
+    engine->shutdown();
 
-    EXPECT_FALSE(engine.accepting());
+    EXPECT_FALSE(engine->accepting());
     for (auto &f : futures) {
         ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
                   std::future_status::ready);
         EXPECT_EQ(f.get().hits.size(), 10u);
     }
-    EXPECT_THROW(engine.submit(std::span<const float>(queries_.data(),
-                                                      d_)),
-                 std::runtime_error);
-    engine.shutdown(); // idempotent
+    EXPECT_THROW(engine->submit(query(0)), std::runtime_error);
+    engine->shutdown(); // idempotent
 }
 
 TEST_F(EngineFixture, TieredEngineMatchesSerialSearch)
@@ -252,20 +283,19 @@ TEST_F(EngineFixture, TieredEngineMatchesSerialSearch)
     order.resize(nlist_ / 2);
     TieredIndex tiered(*index_, order);
 
-    EngineOptions opts;
-    opts.k = k;
-    opts.nprobe = nprobe;
-    opts.numSearchThreads = 4;
-    opts.batching.maxBatch = 16;
-    opts.batching.timeoutSeconds = 1e-3;
-    RetrievalEngine engine(tiered, opts);
-    ASSERT_EQ(engine.tiered(), &tiered);
+    const auto engine = EngineBuilder(tiered)
+                            .defaultK(k)
+                            .defaultNprobe(nprobe)
+                            .searchThreads(4)
+                            .batching({.maxBatch = 16,
+                                       .timeoutSeconds = 1e-3})
+                            .build();
+    ASSERT_EQ(engine->tiered(), &tiered);
 
-    std::vector<std::future<EngineQueryResult>> futures;
+    std::vector<std::future<SearchResponse>> futures;
     futures.reserve(nq_);
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine.submit(
-            std::span<const float>(queries_.data() + i * d_, d_)));
+        futures.push_back(engine->submit(query(i)));
     for (std::size_t i = 0; i < nq_; ++i) {
         const auto r = futures[i].get();
         ASSERT_EQ(r.hits.size(), serial[i].size()) << "query " << i;
@@ -285,7 +315,7 @@ TEST_F(EngineFixture, TieredEngineMatchesSerialSearch)
 
 TEST_F(EngineFixture, TieredEngineDrivesOnlineUpdater)
 {
-    // Empty hot tier + sloSearchSeconds = 0 forces every batch to
+    // Empty hot tier + sloSearchSeconds ~ 0 forces every batch to
     // report (hit rate 0, SLO miss); the updater must launch a
     // background rebuild, after which queries still resolve correctly.
     TieredIndex tiered(*index_, {});
@@ -296,22 +326,21 @@ TEST_F(EngineFixture, TieredEngineDrivesOnlineUpdater)
     uopts.rho = 0.25;
     OnlineUpdater updater(tiered, uopts, /*expected_hit_rate=*/0.9);
 
-    EngineOptions opts;
-    opts.k = 10;
-    opts.nprobe = 8;
-    opts.numSearchThreads = 2;
-    opts.batching.maxBatch = 8;
-    opts.batching.timeoutSeconds = 1e-3;
-    opts.sloSearchSeconds = 0.0;
-    RetrievalEngine engine(tiered, opts);
-    engine.attachUpdater(&updater);
+    const auto engine = EngineBuilder(tiered)
+                            .defaultK(10)
+                            .defaultNprobe(8)
+                            .searchThreads(2)
+                            .batching({.maxBatch = 8,
+                                       .timeoutSeconds = 1e-3})
+                            .sloSearchSeconds(1e-12)
+                            .updater(&updater)
+                            .build();
 
-    const auto serial = serialResults(opts.k, opts.nprobe);
-    std::vector<std::future<EngineQueryResult>> futures;
+    const auto serial = serialResults(10, 8);
+    std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine.submit(
-            std::span<const float>(queries_.data() + i * d_, d_)));
-    engine.drain();
+        futures.push_back(engine->submit(query(i)));
+    engine->drain();
     updater.waitForRebuild();
 
     EXPECT_GE(updater.rebuildsCompleted(), 1u);
@@ -328,19 +357,21 @@ TEST_F(EngineFixture, TieredEngineDrivesOnlineUpdater)
 
 TEST_F(EngineFixture, StatsSnapshotIsConsistent)
 {
-    EngineOptions opts;
-    opts.numSearchThreads = 2;
-    opts.batching.maxBatch = 16;
-    opts.batching.timeoutSeconds = 1e-3;
-    RetrievalEngine engine(*index_, opts);
+    const auto engine = EngineBuilder(*index_)
+                            .searchThreads(2)
+                            .batching({.maxBatch = 16,
+                                       .timeoutSeconds = 1e-3})
+                            .build();
 
     for (std::size_t i = 0; i < nq_; ++i)
-        engine.submit(
-            std::span<const float>(queries_.data() + i * d_, d_));
-    engine.drain();
+        engine->submit(query(i));
+    engine->drain();
 
-    const auto s = engine.stats();
+    const auto s = engine->stats();
     EXPECT_EQ(s.submitted, nq_);
+    EXPECT_EQ(s.served, nq_);
+    EXPECT_EQ(s.expired, 0u);
+    EXPECT_EQ(s.rejected, 0u);
     EXPECT_EQ(s.completed, nq_);
     EXPECT_GE(s.batches, (nq_ + 15) / 16);
     EXPECT_GT(s.meanBatchSize, 0.0);

@@ -175,6 +175,63 @@ TEST_F(TieredFixture, ParallelBatchMatchesSerialTiered)
     }
 }
 
+TEST_F(TieredFixture, PerQueryNprobeBatchMatchesSerialTiered)
+{
+    // Heterogeneous probe depths in one batch (the deadline-aware
+    // dispatcher's batch shape) must reproduce per-request serial
+    // tiered searches bit for bit, at multiple shard counts.
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+        TieredIndex tiered(*index_, topBySize(nlist_ / 4),
+                           TieredOptions{shards, {}});
+        std::vector<std::size_t> nprobes(nq_);
+        for (std::size_t i = 0; i < nq_; ++i)
+            nprobes[i] = 1 + (i * 5) % 16;
+        ThreadPool pool(4);
+        const auto batched = tiered.searchBatchParallel(
+            queries_, nq_, k_, nprobes, pool);
+        for (std::size_t i = 0; i < nq_; ++i) {
+            const auto expected = tiered.search(
+                queries_.data() + i * d_, k_, nprobes[i]);
+            ASSERT_EQ(batched[i].size(), expected.size())
+                << "shards " << shards << " query " << i;
+            for (std::size_t j = 0; j < expected.size(); ++j) {
+                EXPECT_EQ(batched[i][j].id, expected[j].id)
+                    << "shards " << shards << " query " << i;
+                EXPECT_EQ(batched[i][j].dist, expected[j].dist)
+                    << "shards " << shards << " query " << i;
+            }
+        }
+    }
+}
+
+TEST_F(TieredFixture, StatsTrackPerShardScanLatency)
+{
+    TieredIndex tiered(*index_, topBySize(nlist_ / 2),
+                       TieredOptions{2, {}});
+    ThreadPool pool(4);
+    tiered.searchBatchParallel(queries_, nq_, k_, nprobe_, pool);
+
+    const auto s = tiered.stats();
+    ASSERT_EQ(s.shardScanSeconds.size(), 2u);
+    ASSERT_EQ(s.shardScanCounts.size(), 2u);
+    for (std::size_t sh = 0; sh < 2; ++sh) {
+        // Every shard holding probes was scanned, and scans took
+        // measurable time.
+        if (s.shardProbeCounts[sh] > 0) {
+            EXPECT_GT(s.shardScanCounts[sh], 0u) << "shard " << sh;
+            EXPECT_GT(s.shardScanSeconds[sh], 0.0) << "shard " << sh;
+        }
+        // A scan covers >= 1 probe, so scans never outnumber probes.
+        EXPECT_LE(s.shardScanCounts[sh], s.shardProbeCounts[sh])
+            << "shard " << sh;
+    }
+    // Cold scans accounted the same way.
+    if (s.totalProbes > s.hotProbes) {
+        EXPECT_GT(s.coldScanCounts, 0u);
+        EXPECT_GT(s.coldScanSeconds, 0.0);
+    }
+}
+
 TEST_F(TieredFixture, FullyHotQuerySkipsColdTier)
 {
     // Hot set = exactly query 0's probe list: the routed query must be
