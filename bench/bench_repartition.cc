@@ -1,19 +1,31 @@
 /**
  * @file
- * Repartition-under-load bench (paper Fig. 9: updates run in the
- * background). A Zipf query stream drifts mid-run while the tiered
- * engine keeps serving; a static configuration keeps the stale hot set,
- * an adaptive one attaches the OnlineUpdater so drift triggers
- * background multi-shard rebuilds + snapshot swaps. The bench reports
- * per-phase search p50/p99 and the measured hot-probe fraction: the
- * adaptive run should recover the hit rate after drift with a p99
- * comparable to the static run — i.e. snapshot swaps must not stall
- * in-flight batches.
+ * Repartition-under-load bench (paper Fig. 9 + the Figs. 11/16
+ * SLO-attainment story run live). A Zipf query stream drifts mid-run
+ * while the tiered engine keeps serving deadlined requests; three
+ * configurations face the same streams:
+ *
+ *  - static    keeps the calibration-time hot set and batch cap;
+ *  - adaptive  attaches the OnlineUpdater, so hit-rate drift triggers
+ *              background multi-shard rebuilds + snapshot swaps;
+ *  - autopilot runs the full closed loop (SloAutopilot): per-batch
+ *              perf-model refits, live access profiling, partitioner
+ *              re-picks of rho / shard count / batch cap, plus
+ *              graceful nprobe degradation under backlog pressure.
+ *
+ * Every request carries a queueing deadline, so the per-disposition
+ * stats expose the SLO story directly: the autopilot should show an
+ * expired+rejected rate no worse than the static baseline under
+ * drift. Results land in BENCH_repartition.json (per-phase percentiles
+ * and dispositions for all three configs) and BENCH_autopilot.json
+ * (decision trace: chosen rho / shards / batch cap over time).
  *
  * Run: ./bench_repartition [num_queries] [--smoke]
  */
 
+#include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -22,6 +34,7 @@
 #include "core/engine_builder.h"
 #include "core/engine_runtime.h"
 #include "core/online_update.h"
+#include "core/slo_autopilot.h"
 #include "core/tiered_index.h"
 #include "workload/dataset.h"
 
@@ -30,47 +43,117 @@ namespace
 
 using namespace vlr;
 
-/** Latency digest + hit-rate measurements of one serving phase. */
+/** Latency digest + routing + disposition deltas of one phase. */
 struct PhaseResult
 {
+    std::string name;
     LatencySummary search;
     double hotProbeFraction = 0.0;
     /** Mean work-weighted hit rate over the phase's queries. */
     double meanHitRate = 0.0;
+    std::size_t served = 0;
+    std::size_t expired = 0;
+    std::size_t rejected = 0;
+    std::size_t degraded = 0;
+
+    double
+    missRate() const
+    {
+        const std::size_t resolved = served + expired + rejected;
+        return resolved == 0
+                   ? 0.0
+                   : static_cast<double>(expired + rejected) /
+                         static_cast<double>(resolved);
+    }
 };
 
+/**
+ * Burst-submit one phase of deadlined requests and drain. The burst
+ * (rather than paced arrivals) guarantees a standing backlog, so the
+ * deadline sweep, the EDF ordering and — when enabled — nprobe
+ * degradation all face real queue pressure.
+ */
 PhaseResult
-servePhase(core::RetrievalEngine &engine, const core::TieredIndex &tiered,
-           std::span<const float> queries, std::size_t n, std::size_t dim)
+servePhase(const char *name, core::RetrievalEngine &engine,
+           const core::TieredIndex &tiered,
+           std::span<const float> queries, std::size_t n,
+           std::size_t dim, double deadline_s)
 {
-    const auto before = tiered.stats();
-    std::vector<std::future<core::SearchResponse>> futures;
-    futures.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
-        futures.push_back(engine.submit(
-            std::span<const float>(queries.data() + i * dim, dim)));
+    const auto before_t = tiered.stats();
+    const auto before_e = engine.stats();
+
+    std::vector<core::SearchRequest> requests(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        requests[i].query =
+            std::span<const float>(queries.data() + i * dim, dim);
+        requests[i].deadlineSeconds = deadline_s;
+        requests[i].tag = i;
+    }
+    auto futures = engine.submitMany(requests);
     engine.drain();
 
     SampleSet samples;
-    for (auto &f : futures)
-        samples.add(f.get().searchSeconds);
-    const auto after = tiered.stats();
+    for (auto &f : futures) {
+        const auto r = f.get();
+        if (r.served())
+            samples.add(r.searchSeconds);
+    }
+    const auto after_t = tiered.stats();
+    const auto after_e = engine.stats();
 
     PhaseResult r;
+    r.name = name;
     r.search = summarizeLatency(samples);
-    const auto probes = after.totalProbes - before.totalProbes;
+    const auto probes = after_t.totalProbes - before_t.totalProbes;
     r.hotProbeFraction =
         probes == 0 ? 0.0
-                    : static_cast<double>(after.hotProbes -
-                                          before.hotProbes) /
+                    : static_cast<double>(after_t.hotProbes -
+                                          before_t.hotProbes) /
                           static_cast<double>(probes);
-    const auto queries_served = after.queries - before.queries;
+    const auto queries_served = after_t.queries - before_t.queries;
     if (queries_served > 0)
-        r.meanHitRate =
-            (after.meanHitRate * static_cast<double>(after.queries) -
-             before.meanHitRate * static_cast<double>(before.queries)) /
-            static_cast<double>(queries_served);
+        r.meanHitRate = std::max(
+            0.0, (after_t.meanHitRate *
+                      static_cast<double>(after_t.queries) -
+                  before_t.meanHitRate *
+                      static_cast<double>(before_t.queries)) /
+                     static_cast<double>(queries_served));
+    r.served = after_e.served - before_e.served;
+    r.expired = after_e.expired - before_e.expired;
+    r.rejected = after_e.rejected - before_e.rejected;
+    r.degraded = after_e.degradedServed - before_e.degradedServed;
     return r;
+}
+
+/** Aggregate (expired + rejected) / resolved over a config's phases. */
+double
+configMissRate(const std::vector<PhaseResult> &phases)
+{
+    std::size_t missed = 0, resolved = 0;
+    for (const PhaseResult &p : phases) {
+        missed += p.expired + p.rejected;
+        resolved += p.served + p.expired + p.rejected;
+    }
+    return resolved == 0 ? 0.0
+                         : static_cast<double>(missed) /
+                               static_cast<double>(resolved);
+}
+
+void
+writePhaseJson(bench::JsonWriter &w, const PhaseResult &p)
+{
+    w.beginObject();
+    w.kv("name", p.name);
+    w.kv("p50SearchSeconds", p.search.p50);
+    w.kv("p99SearchSeconds", p.search.p99);
+    w.kv("meanHitRate", p.meanHitRate);
+    w.kv("hotProbeFraction", p.hotProbeFraction);
+    w.kv("served", p.served);
+    w.kv("expired", p.expired);
+    w.kv("rejected", p.rejected);
+    w.kv("degradedServed", p.degraded);
+    w.kv("missRate", p.missRate());
+    w.endObject();
 }
 
 } // namespace
@@ -90,6 +173,10 @@ main(int argc, char **argv)
         return 1;
     }
     const std::size_t n_phase = args.numQueries / 2;
+    // Tight enough that a standing burst backlog expires its tail on
+    // the static config at this scale; the adaptive and autopilot
+    // configs must earn their keep against the same deadline.
+    const double deadline_s = args.smoke ? 0.010 : 0.025;
 
     std::cout << "Repartition-under-load bench"
               << (args.smoke ? " (smoke mode)" : "") << "\n"
@@ -113,13 +200,24 @@ main(int argc, char **argv)
     const std::size_t num_shards = 2;
     std::cout << "index: " << index.size() << " vectors, nlist "
               << index.nlist() << "; hot tier rho=" << rho << " across "
-              << num_shards << " shards; drift after " << n_phase
+              << num_shards << " shards; deadline "
+              << deadline_s * 1e3 << " ms; drift after " << n_phase
               << " queries\n\n";
 
     TextTable t({"config", "phase", "p50 srch (ms)", "p99 srch (ms)",
-                 "mean hit", "hot probes", "rebuilds"});
+                 "mean hit", "hot probes", "expired", "degraded",
+                 "rebuilds"});
 
-    for (const bool adaptive : {false, true}) {
+    const std::vector<std::string> modes = {"static", "adaptive",
+                                            "autopilot"};
+    std::vector<std::vector<PhaseResult>> all_phases(modes.size());
+    core::EngineStatsSnapshot autopilot_stats;
+
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        const std::string &mode = modes[m];
+        const bool adaptive = mode == "adaptive";
+        const bool autopilot = mode == "autopilot";
+
         // Identical streams per config: same calibration + drift seeds.
         wl::QueryGenerator gen(dataset, 123);
         const std::size_t n_cal = args.smoke ? 400 : 1500;
@@ -136,15 +234,9 @@ main(int argc, char **argv)
 
         core::TieredOptions topts;
         topts.numShards = num_shards;
+        // Headroom for the autopilot's shard-count actuation.
+        topts.maxShards = autopilot ? 4 : num_shards;
         core::TieredIndex tiered(index, profile, rho, topts);
-
-        const auto engine =
-            core::EngineBuilder(tiered)
-                .defaultK(10)
-                .defaultNprobe(spec.nprobe)
-                .searchThreads(4)
-                .batching({.maxBatch = 32, .timeoutSeconds = 1e-3})
-                .build();
 
         core::OnlineUpdater::Options uopts;
         uopts.rho = rho;
@@ -162,68 +254,181 @@ main(int argc, char **argv)
         // condition permanently satisfied.
         uopts.drift.attainmentThreshold = 1.01;
         std::unique_ptr<core::OnlineUpdater> updater;
-        if (adaptive) {
+        if (adaptive || autopilot)
             updater = std::make_unique<core::OnlineUpdater>(
                 tiered, uopts, estimator.meanHitRate(rho));
-            engine->attachUpdater(updater.get());
+
+        core::EngineBuilder builder(tiered);
+        builder.defaultK(10)
+            .defaultNprobe(spec.nprobe)
+            .searchThreads(4)
+            .batching({.maxBatch = 32, .timeoutSeconds = 1e-3});
+        if (adaptive)
+            builder.updater(updater.get());
+        if (autopilot) {
+            core::DegradationPolicy degrade;
+            degrade.enable = true;
+            degrade.nprobeFloor = 4;
+            degrade.queuePressure = 1.5;
+            core::AutopilotPolicy pilot;
+            pilot.enable = true;
+            // Manual control cycles (stepped between phases) keep the
+            // bench deterministic; a real deployment sets an interval.
+            pilot.controlIntervalSeconds = 0.0;
+            pilot.minBatchObservations = 2;
+            pilot.maxBatchCap = 64;
+            pilot.maxShards = 4;
+            // At this reduced scale every search meets the 150 ms SLO
+            // even fully cold, so the unconstrained model picks rho=0;
+            // the floor keeps a live hot tier so drift shows up as a
+            // hot-set flip (and a repartition) rather than a no-op.
+            pilot.minRho = 0.2;
+            builder.degradation(degrade)
+                .autopilot(pilot)
+                .updater(updater.get());
         }
+        const auto engine = builder.build();
 
-        const char *label = adaptive ? "adaptive" : "static";
+        auto run_cycle = [&] {
+            if (!autopilot)
+                return;
+            engine->autopilot()->runControlCycle();
+            updater->waitForRebuild();
+        };
 
+        std::vector<PhaseResult> phases;
         const auto pre_queries = gen.generate(n_phase);
-        const auto pre = servePhase(*engine, tiered, pre_queries, n_phase,
-                                    spec.dim);
-        t.addRow({label, "pre-drift",
-                  TextTable::num(pre.search.p50 * 1e3, 2),
-                  TextTable::num(pre.search.p99 * 1e3, 2),
-                  TextTable::pct(pre.meanHitRate),
-                  TextTable::pct(pre.hotProbeFraction),
-                  adaptive ? std::to_string(
-                                 updater->rebuildsCompleted())
-                           : "-"});
+        phases.push_back(servePhase("pre-drift", *engine, tiered,
+                                    pre_queries, n_phase, spec.dim,
+                                    deadline_s));
+        run_cycle();
 
         // Shift popularity for most clusters: the calibrated hot set
         // goes stale.
         gen.drift(0.9);
         const auto post_queries = gen.generate(n_phase);
-        const auto post = servePhase(*engine, tiered, post_queries,
-                                     n_phase, spec.dim);
+        phases.push_back(servePhase("post-drift", *engine, tiered,
+                                    post_queries, n_phase, spec.dim,
+                                    deadline_s));
         if (updater)
             updater->waitForRebuild();
-        t.addRow({label, "post-drift",
-                  TextTable::num(post.search.p50 * 1e3, 2),
-                  TextTable::num(post.search.p99 * 1e3, 2),
-                  TextTable::pct(post.meanHitRate),
-                  TextTable::pct(post.hotProbeFraction),
-                  adaptive ? std::to_string(
-                                 updater->rebuildsCompleted())
-                           : "-"});
+        run_cycle();
 
-        // Same drifted stream once more: the adaptive config now
-        // serves it from the rebuilt placement.
+        // Same drifted stream once more: adaptive and autopilot now
+        // serve it from the rebuilt placement.
         const auto rec_queries = gen.generate(n_phase);
-        const auto rec = servePhase(*engine, tiered, rec_queries, n_phase,
-                                    spec.dim);
+        phases.push_back(servePhase("recovered", *engine, tiered,
+                                    rec_queries, n_phase, spec.dim,
+                                    deadline_s));
         if (updater)
             updater->waitForRebuild();
-        t.addRow({label, "recovered",
-                  TextTable::num(rec.search.p50 * 1e3, 2),
-                  TextTable::num(rec.search.p99 * 1e3, 2),
-                  TextTable::pct(rec.meanHitRate),
-                  TextTable::pct(rec.hotProbeFraction),
-                  adaptive ? std::to_string(
-                                 updater->rebuildsCompleted())
-                           : "-"});
+        run_cycle();
+
+        for (const PhaseResult &p : phases)
+            t.addRow({mode, p.name,
+                      TextTable::num(p.search.p50 * 1e3, 2),
+                      TextTable::num(p.search.p99 * 1e3, 2),
+                      TextTable::pct(p.meanHitRate),
+                      TextTable::pct(p.hotProbeFraction),
+                      std::to_string(p.expired),
+                      std::to_string(p.degraded),
+                      updater ? std::to_string(
+                                    updater->rebuildsCompleted())
+                              : "-"});
+
+        if (autopilot)
+            autopilot_stats = engine->stats();
+        all_phases[m] = std::move(phases);
     }
     t.print(std::cout);
+
+    const double static_miss = configMissRate(all_phases[0]);
+    const double adaptive_miss = configMissRate(all_phases[1]);
+    const double autopilot_miss = configMissRate(all_phases[2]);
+    std::cout << "\nexpired+rejected rate: static "
+              << TextTable::pct(static_miss) << ", adaptive "
+              << TextTable::pct(adaptive_miss) << ", autopilot "
+              << TextTable::pct(autopilot_miss) << " -> autopilot "
+              << (autopilot_miss <= static_miss ? "PASS (<= static)"
+                                                : "FAIL (> static)")
+              << "\n";
+
+    // --- JSON snapshots ------------------------------------------------
+    {
+        std::ofstream os("BENCH_repartition.json");
+        bench::JsonWriter w(os);
+        w.beginObject();
+        w.kv("bench", "repartition");
+        w.kv("smoke", args.smoke);
+        w.kv("queriesPerPhase", n_phase);
+        w.kv("deadlineSeconds", deadline_s);
+        w.key("configs");
+        w.beginArray();
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            w.beginObject();
+            w.kv("name", modes[m]);
+            w.kv("missRate", configMissRate(all_phases[m]));
+            w.key("phases");
+            w.beginArray();
+            for (const PhaseResult &p : all_phases[m])
+                writePhaseJson(w, p);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+    }
+    {
+        std::ofstream os("BENCH_autopilot.json");
+        bench::JsonWriter w(os);
+        w.beginObject();
+        w.kv("bench", "autopilot");
+        w.kv("smoke", args.smoke);
+        w.key("missRates");
+        w.beginObject();
+        w.kv("static", static_miss);
+        w.kv("adaptive", adaptive_miss);
+        w.kv("autopilot", autopilot_miss);
+        w.endObject();
+        w.kv("autopilotNoWorseThanStatic",
+             autopilot_miss <= static_miss);
+        w.kv("controlCycles", autopilot_stats.autopilotCycles);
+        w.kv("repartitions", autopilot_stats.autopilotRepartitions);
+        w.kv("degradedServed", autopilot_stats.degradedServed);
+        w.kv("degradedBatches", autopilot_stats.degradedBatches);
+        w.kv("finalBatchCap", autopilot_stats.currentBatchCap);
+        w.key("decisions");
+        w.beginArray();
+        for (const auto &d : autopilot_stats.autopilotTrace) {
+            w.beginObject();
+            w.kv("atSeconds", d.atSeconds);
+            w.kv("arrivalRate", d.arrivalRate);
+            w.kv("missRate", d.missRate);
+            w.kv("modelRho", d.modelRho);
+            w.kv("rho", d.rho);
+            w.kv("hotShards", d.hotShards);
+            w.kv("batchCap", d.batchCap);
+            w.kv("repartitioned", d.repartitioned);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+    }
+    std::cout << "\nwrote BENCH_repartition.json and "
+                 "BENCH_autopilot.json\n";
 
     std::cout
         << "\n'hot probes' is the fraction of probes served by the hot "
            "shards in each\nphase. After drift the static config keeps "
-           "the stale placement; the\nadaptive config's OnlineUpdater "
-           "drains live access counts and rebuilds\nall shards on a "
-           "background thread — p99 should stay comparable because\n"
-           "in-flight batches keep searching the old snapshot until the "
-           "atomic swap\n(paper Fig. 9's background-update claim).\n";
-    return 0;
+           "the stale placement and its\nbacklogged tail expires; the "
+           "adaptive config's OnlineUpdater rebuilds in\nthe background "
+           "on hit-rate divergence; the autopilot additionally refits\n"
+           "the perf model from live batches, re-picks rho / shards / "
+           "batch cap with\nthe partitioner and degrades nprobe under "
+           "pressure instead of letting\nrequests expire. In-flight "
+           "batches keep searching the old snapshot until\nthe atomic "
+           "swap (paper Fig. 9's background-update claim).\n";
+    return autopilot_miss <= static_miss ? 0 : 1;
 }

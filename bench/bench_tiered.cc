@@ -92,8 +92,9 @@ main(int argc, char **argv)
         std::vector<std::future<core::SearchResponse>> futures;
         futures.reserve(n_queries);
         for (std::size_t i = 0; i < n_queries; ++i)
-            futures.push_back(engine.submit(std::span<const float>(
-                queries.data() + i * spec.dim, spec.dim)));
+            futures.push_back(engine.submit(
+                {.query = std::span<const float>(
+                     queries.data() + i * spec.dim, spec.dim)}));
         engine.drain();
         const double secs = wall.elapsed();
         for (auto &f : futures)

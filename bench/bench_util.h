@@ -7,16 +7,180 @@
 #ifndef VLR_BENCH_BENCH_UTIL_H
 #define VLR_BENCH_BENCH_UTIL_H
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/vectorliterag.h"
 
 namespace vlr::bench
 {
+
+/**
+ * Minimal streaming JSON writer for the BENCH_*.json perf snapshots
+ * the bench suite emits (and CI archives): comma management via a
+ * container stack, non-finite numbers as null, no external
+ * dependencies. Strings are written verbatim — keys and labels here
+ * are ASCII identifiers, so no escaping is needed.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os)
+    {
+        os_.precision(12);
+    }
+
+    void
+    beginObject()
+    {
+        pre();
+        os_ << '{';
+        stack_.push_back(false);
+    }
+
+    void
+    endObject()
+    {
+        os_ << '}';
+        stack_.pop_back();
+        mark();
+    }
+
+    void
+    beginArray()
+    {
+        pre();
+        os_ << '[';
+        stack_.push_back(false);
+    }
+
+    void
+    endArray()
+    {
+        os_ << ']';
+        stack_.pop_back();
+        mark();
+    }
+
+    void
+    key(std::string_view k)
+    {
+        comma();
+        os_ << '"' << k << "\":";
+        keyed_ = true;
+    }
+
+    void
+    value(double v)
+    {
+        pre();
+        if (std::isfinite(v))
+            os_ << v;
+        else
+            os_ << "null";
+        mark();
+    }
+
+    void
+    value(std::size_t v)
+    {
+        pre();
+        os_ << v;
+        mark();
+    }
+
+    void
+    value(bool v)
+    {
+        pre();
+        os_ << (v ? "true" : "false");
+        mark();
+    }
+
+    void
+    value(std::string_view v)
+    {
+        pre();
+        os_ << '"' << v << '"';
+        mark();
+    }
+
+    void
+    kv(std::string_view k, double v)
+    {
+        key(k);
+        value(v);
+    }
+
+    void
+    kv(std::string_view k, std::size_t v)
+    {
+        key(k);
+        value(v);
+    }
+
+    void
+    kv(std::string_view k, bool v)
+    {
+        key(k);
+        value(v);
+    }
+
+    void
+    kv(std::string_view k, std::string_view v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** A bare string literal must not fall into the bool overload. */
+    void
+    value(const char *v)
+    {
+        value(std::string_view(v));
+    }
+
+    void
+    kv(std::string_view k, const char *v)
+    {
+        key(k);
+        value(std::string_view(v));
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (!stack_.empty() && stack_.back())
+            os_ << ',';
+    }
+
+    void
+    pre()
+    {
+        if (keyed_) {
+            keyed_ = false;
+            return;
+        }
+        comma();
+    }
+
+    void
+    mark()
+    {
+        if (!stack_.empty())
+            stack_.back() = true;
+    }
+
+    std::ostream &os_;
+    std::vector<bool> stack_;
+    bool keyed_ = false;
+};
 
 /**
  * Minimal CLI shared by the engine/tiered/repartition benches:

@@ -1,9 +1,11 @@
 #include "core/engine_builder.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "core/online_update.h"
+#include "core/slo_autopilot.h"
 
 namespace vlr::core
 {
@@ -68,6 +70,20 @@ EngineBuilder::admissionQueueBound(std::size_t max_queued)
 }
 
 EngineBuilder &
+EngineBuilder::degradation(DegradationPolicy policy)
+{
+    config_.degrade = policy;
+    return *this;
+}
+
+EngineBuilder &
+EngineBuilder::autopilot(AutopilotPolicy policy)
+{
+    config_.autopilot = policy;
+    return *this;
+}
+
+EngineBuilder &
 EngineBuilder::tieredFromProfile(const AccessProfile &profile,
                                  double rho)
 {
@@ -124,20 +140,51 @@ EngineBuilder::build()
         throw std::invalid_argument(
             "EngineBuilder: updater monitors a different TieredIndex "
             "than the one being served");
+    if (config_.autopilot.enable && tiered_ == nullptr && !fromProfile_)
+        throw std::invalid_argument(
+            "EngineBuilder: autopilot requires tiered serving "
+            "(tieredFromProfile or a caller-owned TieredIndex)");
+    if (config_.autopilot.enable && tiered_ != nullptr &&
+        updater_ == nullptr)
+        throw std::invalid_argument(
+            "EngineBuilder: autopilot over a caller-owned TieredIndex "
+            "needs updater() — it is the actuation path");
 
     std::unique_ptr<TieredIndex> owned;
     const TieredIndex *tiered = tiered_;
     if (fromProfile_) {
-        owned = std::make_unique<TieredIndex>(
-            index_, *profile_, rho_,
-            TieredOptions{config_.numHotShards,
-                          config_.shardBackendFactory});
+        TieredOptions topts{config_.numHotShards,
+                            config_.shardBackendFactory};
+        // Give the autopilot's shard-count actuation headroom to grow
+        // the hot tier past the construction-time count.
+        if (config_.autopilot.enable)
+            topts.maxShards = std::max(config_.autopilot.maxShards,
+                                       config_.numHotShards);
+        owned = std::make_unique<TieredIndex>(index_, *profile_, rho_,
+                                              std::move(topts));
         tiered = owned.get();
     }
     std::unique_ptr<RetrievalEngine> engine(new RetrievalEngine(
         index_, std::move(owned), tiered, config_));
-    if (updater_ != nullptr)
-        engine->attachUpdater(updater_);
+    OnlineUpdater *updater = updater_;
+    if (config_.autopilot.enable && fromProfile_) {
+        // Engine-owned control plane: the updater exists purely as the
+        // autopilot's snapshot-swap actuation path. Its drift monitor
+        // is never fed (the engine skips record() while an autopilot
+        // is attached), so the work-mass expectation is only a
+        // placeholder baseline.
+        OnlineUpdater::Options uopts;
+        uopts.rho = rho_;
+        engine->ownedUpdater_ = std::make_unique<OnlineUpdater>(
+            *engine->ownedTiered_, uopts,
+            profile_->meanWorkHitRate(rho_));
+        updater = engine->ownedUpdater_.get();
+    }
+    if (updater != nullptr)
+        engine->attachUpdater(updater);
+    if (config_.autopilot.enable)
+        engine->ownedAutopilot_ = std::make_unique<SloAutopilot>(
+            *engine, *updater, config_.autopilot);
     return engine;
 }
 

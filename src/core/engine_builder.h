@@ -74,6 +74,19 @@ class EngineBuilder
     /** Retrieval-stage SLO fed to the drift monitor. */
     EngineBuilder &sloSearchSeconds(double seconds);
 
+    /** Overload nprobe degradation policy (off by default). */
+    EngineBuilder &degradation(DegradationPolicy policy);
+
+    /**
+     * Closed-loop SLO autopilot policy. Requires tiered serving: on
+     * the tieredFromProfile path the builder creates an engine-owned
+     * OnlineUpdater and SloAutopilot and sequences their teardown; on
+     * the caller-owned tiered path an updater() must be attached — it
+     * is the autopilot's actuation path — and the engine owns only
+     * the autopilot.
+     */
+    EngineBuilder &autopilot(AutopilotPolicy policy);
+
     /**
      * Bounded admission: submissions beyond @p max_queued queued
      * requests resolve Disposition::kRejected. 0 = unbounded.

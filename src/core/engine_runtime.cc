@@ -4,8 +4,11 @@
 #include <cassert>
 #include <stdexcept>
 
+#include <cmath>
+
 #include "common/log.h"
 #include "core/online_update.h"
+#include "core/slo_autopilot.h"
 
 namespace vlr::core
 {
@@ -35,7 +38,8 @@ RetrievalEngine::RetrievalEngine(const vs::IvfPqFastScanIndex &index,
                                  const TieredIndex *tiered,
                                  EngineConfig config)
     : index_(index), ownedTiered_(std::move(owned)), tiered_(tiered),
-      config_(std::move(config)), pool_(config_.numSearchThreads)
+      config_(std::move(config)), pool_(config_.numSearchThreads),
+      batchCap_(config_.batching.maxBatch), started_(Clock::now())
 {
     config_.validate();
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
@@ -43,7 +47,11 @@ RetrievalEngine::RetrievalEngine(const vs::IvfPqFastScanIndex &index,
 
 RetrievalEngine::~RetrievalEngine()
 {
+    // Dispatcher first — it feeds observeBatch(), so the autopilot
+    // must outlive it. A control cycle racing shutdown only reads
+    // stats() and actuates the cap, both safe on a drained engine.
     shutdown();
+    ownedAutopilot_.reset();
 }
 
 RetrievalEngine::Pending
@@ -163,12 +171,12 @@ RetrievalEngine::submitAsync(SearchRequest request,
     admit(std::move(p));
 }
 
-std::future<SearchResponse>
-RetrievalEngine::submit(std::span<const float> query)
+void
+RetrievalEngine::setBatchCap(std::size_t cap)
 {
-    SearchRequest request;
-    request.query = query;
-    return submit(request);
+    batchCap_.store(std::max<std::size_t>(cap, 1),
+                    std::memory_order_relaxed);
+    cvDispatch_.notify_all();
 }
 
 void
@@ -235,7 +243,33 @@ RetrievalEngine::stats() const
     s.searchLatency = digest(searchSamples_);
     s.totalLatency = digest(totalSamples_);
     s.expiredLatency = digest(expiredSamples_);
+    s.degradedServed = degradedServed_;
+    s.degradedBatches = degradedBatches_;
+    s.currentBatchCap = batchCap();
+    s.autopilotCycles = autopilotCycles_;
+    s.autopilotRepartitions = autopilotRepartitions_;
+    s.autopilotTrace.assign(decisionTrace_.begin(),
+                            decisionTrace_.end());
     return s;
+}
+
+void
+RetrievalEngine::noteAutopilotCycle()
+{
+    std::lock_guard<std::mutex> slk(statsMutex_);
+    ++autopilotCycles_;
+}
+
+void
+RetrievalEngine::recordAutopilotDecision(AutopilotDecision decision)
+{
+    decision.atSeconds = secondsBetween(started_, Clock::now());
+    std::lock_guard<std::mutex> slk(statsMutex_);
+    if (decision.repartitioned)
+        ++autopilotRepartitions_;
+    decisionTrace_.push_back(decision);
+    if (decisionTrace_.size() > kTraceCapacity)
+        decisionTrace_.pop_front();
 }
 
 std::vector<RetrievalEngine::Pending>
@@ -288,27 +322,36 @@ RetrievalEngine::resolveExpired(std::vector<Pending> expired)
 std::vector<std::size_t>
 RetrievalEngine::formGroupLocked() const
 {
-    // Lead: highest priority, then oldest (seq ascending matches
-    // admission order). The batch is every queued request sharing the
-    // lead's k — per-request nprobe rides through to the batch search
-    // — taken in the same (priority desc, seq asc) order up to the
-    // cap.
+    // EDF within a priority class: highest priority first; inside a
+    // class, deadlined requests by earliest deadline (a deadline-free
+    // request is an infinite deadline, so it follows every deadlined
+    // one), admission order as the tie-break. The batch is every
+    // queued request sharing the lead's k — per-request nprobe rides
+    // through to the batch search — taken in the same order up to the
+    // live cap.
     std::vector<std::size_t> order(queue_.size());
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
     std::sort(order.begin(), order.end(),
               [this](std::size_t a, std::size_t b) {
-                  if (queue_[a].priority != queue_[b].priority)
-                      return queue_[a].priority > queue_[b].priority;
-                  return queue_[a].seq < queue_[b].seq;
+                  const Pending &pa = queue_[a];
+                  const Pending &pb = queue_[b];
+                  if (pa.priority != pb.priority)
+                      return pa.priority > pb.priority;
+                  if (pa.hasDeadline != pb.hasDeadline)
+                      return pa.hasDeadline;
+                  if (pa.hasDeadline && pa.deadline != pb.deadline)
+                      return pa.deadline < pb.deadline;
+                  return pa.seq < pb.seq;
               });
     std::vector<std::size_t> group;
+    const std::size_t cap = batchCap();
     const std::size_t lead_k = queue_[order.front()].k;
     for (const std::size_t i : order) {
         if (queue_[i].k != lead_k)
             continue;
         group.push_back(i);
-        if (group.size() >= config_.batching.maxBatch)
+        if (group.size() >= cap)
             break;
     }
     return group;
@@ -374,12 +417,13 @@ RetrievalEngine::dispatcherLoop()
         // The group can only fill the cap if the whole queue could:
         // skip the O(n log n) group sort on wakeups that cannot
         // dispatch anyway (every submit notifies the dispatcher).
-        if (!forced && queue_.size() < config_.batching.maxBatch) {
+        const std::size_t cap = batchCap();
+        if (!forced && queue_.size() < cap) {
             sleep_until_wake();
             continue;
         }
         auto group = formGroupLocked();
-        if (!forced && group.size() < config_.batching.maxBatch) {
+        if (!forced && group.size() < cap) {
             sleep_until_wake();
             continue;
         }
@@ -399,8 +443,9 @@ RetrievalEngine::dispatcherLoop()
         queue_.swap(rest);
 
         batchInFlight_ = true;
+        const std::size_t backlog = queue_.size();
         lk.unlock();
-        executeBatch(std::move(batch));
+        executeBatch(std::move(batch), backlog);
         lk.lock();
         batchInFlight_ = false;
         cvIdle_.notify_all();
@@ -408,18 +453,44 @@ RetrievalEngine::dispatcherLoop()
 }
 
 void
-RetrievalEngine::executeBatch(std::vector<Pending> batch)
+RetrievalEngine::executeBatch(std::vector<Pending> batch,
+                              std::size_t backlog)
 {
     const std::size_t nq = batch.size();
     const std::size_t d = index_.dim();
     const std::size_t k = batch.front().k;
 
+    // Graceful degradation (the alternative to letting the backlog
+    // expire): when the standing queue exceeds `queuePressure` batch
+    // caps, serve this batch at nprobe scaled by queuePressure /
+    // pressure — deeper overload, shallower search — never below the
+    // configured floor, and never deeper than requested.
+    double scale = 1.0;
+    if (config_.degrade.enable) {
+        const double pressure =
+            static_cast<double>(backlog + nq) /
+            static_cast<double>(batchCap());
+        if (pressure >= config_.degrade.queuePressure)
+            scale = config_.degrade.queuePressure / pressure;
+    }
+
     std::vector<float> queries(nq * d);
     std::vector<std::size_t> nprobes(nq);
+    std::size_t degraded_count = 0;
     for (std::size_t i = 0; i < nq; ++i) {
         std::copy(batch[i].query.begin(), batch[i].query.end(),
                   queries.begin() + i * d);
-        nprobes[i] = batch[i].nprobe;
+        std::size_t np = batch[i].nprobe;
+        if (scale < 1.0) {
+            const auto scaled =
+                static_cast<std::size_t>(std::llround(
+                    static_cast<double>(np) * scale));
+            np = std::max(
+                std::min(np, config_.degrade.nprobeFloor), scaled);
+        }
+        if (np < batch[i].nprobe)
+            ++degraded_count;
+        nprobes[i] = np;
     }
 
     const auto t0 = Clock::now();
@@ -428,21 +499,32 @@ RetrievalEngine::executeBatch(std::vector<Pending> batch)
     if (tiered_)
         results = tiered_->searchBatchParallel(
             queries, nq, k, nprobes, pool_,
-            updater_ ? &tstats : nullptr);
+            (updater_ || autopilot_) ? &tstats : nullptr);
     else
         results = index_.searchBatchParallel(queries, nq, k, nprobes,
                                              pool_);
     const auto t1 = Clock::now();
     const double search_s = secondsBetween(t0, t1);
 
-    if (tiered_ && updater_)
+    // With an autopilot attached it is the sole repartition driver;
+    // feeding the drift monitor too would make the two fight over the
+    // snapshot-swap path.
+    if (tiered_ && updater_ && !autopilot_)
         updater_->record(tstats.meanHitRate,
                          search_s <= config_.sloSearchSeconds);
+    if (tiered_ && autopilot_)
+        autopilot_->observeBatch(
+            BatchObservation{nq, tstats.routeSeconds,
+                             tstats.scanSeconds, tstats.meanHitRate},
+            queries, nq);
 
     {
         std::lock_guard<std::mutex> slk(statsMutex_);
         ++batches_;
         batchSizes_.add(static_cast<double>(nq));
+        degradedServed_ += degraded_count;
+        if (degraded_count > 0)
+            ++degradedBatches_;
         for (std::size_t i = 0; i < nq; ++i) {
             queueSamples_.add(secondsBetween(batch[i].admitted, t0),
                               statsRng_);
@@ -456,13 +538,14 @@ RetrievalEngine::executeBatch(std::vector<Pending> batch)
     for (std::size_t i = 0; i < nq; ++i) {
         SearchResponse r;
         r.disposition = Disposition::kServed;
+        r.degraded = nprobes[i] < batch[i].nprobe;
         r.hits = std::move(results[i]);
         r.queueSeconds = secondsBetween(batch[i].admitted, t0);
         r.searchSeconds = search_s;
         r.totalSeconds = secondsBetween(batch[i].admitted, t1);
         r.batchSize = nq;
         r.k = k;
-        r.nprobe = batch[i].nprobe;
+        r.nprobe = nprobes[i];
         r.tag = batch[i].tag;
         resolve(batch[i], std::move(r));
     }

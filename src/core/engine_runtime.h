@@ -16,12 +16,16 @@
  * without ever entering a search batch, submissions that overflow the
  * bounded queue resolve Disposition::kRejected at admission, and each
  * batch groups compatible requests — identical k, with per-request
- * nprobe passed straight through to the batch search — led by the
- * highest-priority, oldest queued request. Per-request queue/search/
- * total latencies are recorded as per-disposition LatencySummary
- * digests — the same type the simulator reports — so measured
- * percentiles can be compared directly against the analytic
- * perf-model predictions.
+ * nprobe passed straight through to the batch search — ordered
+ * earliest-deadline-first within a priority class (deadline-free
+ * requests follow in admission order). Under overload the dispatcher
+ * can degrade gracefully: when the backlog exceeds the configured
+ * pressure it serves batches at a proportionally reduced nprobe
+ * (never below the DegradationPolicy floor) instead of letting queued
+ * requests expire. Per-request queue/search/total latencies are
+ * recorded as per-disposition LatencySummary digests — the same type
+ * the simulator reports — so measured percentiles can be compared
+ * directly against the analytic perf-model predictions.
  *
  * The engine serves either a flat single-tier index or a TieredIndex
  * (hot/cold partition-aware path). In tiered mode each batch's routed
@@ -38,6 +42,7 @@
 #ifndef VLR_CORE_ENGINE_RUNTIME_H
 #define VLR_CORE_ENGINE_RUNTIME_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -91,10 +96,23 @@ struct EngineStatsSnapshot
     LatencySummary totalLatency;
     /** Expired requests: admission to expiry resolution. */
     LatencySummary expiredLatency;
+    /** Served requests searched at a degraded (reduced) nprobe. */
+    std::size_t degradedServed = 0;
+    /** Batches dispatched with at least one degraded request. */
+    std::size_t degradedBatches = 0;
+    /** Dispatcher batch cap in effect (the autopilot may move it). */
+    std::size_t currentBatchCap = 0;
+    /** Autopilot control cycles completed. */
+    std::size_t autopilotCycles = 0;
+    /** Autopilot decisions that launched a repartition. */
+    std::size_t autopilotRepartitions = 0;
+    /** Recent autopilot decisions, oldest first (bounded history). */
+    std::vector<AutopilotDecision> autopilotTrace;
 };
 
 class OnlineUpdater;
 class EngineBuilder;
+class SloAutopilot;
 
 /**
  * Online serving front-end over an IvfPqFastScanIndex or a
@@ -118,8 +136,26 @@ class RetrievalEngine
      */
     void attachUpdater(OnlineUpdater *updater) { updater_ = updater; }
 
+    /**
+     * Attach the closed-loop SLO autopilot, fed after every tiered
+     * batch. While attached the engine stops feeding the drift
+     * monitor directly — the autopilot becomes the sole repartition
+     * driver, so drift-triggered and autopilot-driven rebuilds cannot
+     * fight. Call before submitting queries; the autopilot must
+     * outlive the engine unless it is engine-owned (EngineBuilder
+     * autopilot path).
+     */
+    void attachAutopilot(SloAutopilot *autopilot)
+    {
+        autopilot_ = autopilot;
+    }
+
     /** Tiered index served by this engine, or nullptr in flat mode. */
     const TieredIndex *tiered() const { return tiered_; }
+
+    /** Attached autopilot, or nullptr (manual-interval configurations
+     *  step it via SloAutopilot::runControlCycle()). */
+    SloAutopilot *autopilot() const { return autopilot_; }
 
     /**
      * Admit one typed request (the query span is copied). The future
@@ -152,15 +188,6 @@ class RetrievalEngine
     void submitAsync(SearchRequest request,
                      std::function<void(SearchResponse)> done);
 
-    /**
-     * Legacy convenience entry point: equivalent to submitting a
-     * SearchRequest carrying only the query — engine-default k and
-     * nprobe, no deadline, priority 0. Kept for one-line call sites;
-     * prefer submit(SearchRequest) anywhere a deadline, per-request
-     * ranking parameters or a disposition check matters.
-     */
-    std::future<SearchResponse> submit(std::span<const float> query);
-
     /** Block until every admitted request has resolved. */
     void drain();
 
@@ -175,8 +202,21 @@ class RetrievalEngine
     EngineStatsSnapshot stats() const;
     const EngineConfig &config() const { return config_; }
 
+    /**
+     * Dispatcher batch cap currently in effect. Starts at
+     * batching.maxBatch; moved by setBatchCap() — the autopilot's
+     * batch-cap actuation — without stalling in-flight batches.
+     */
+    std::size_t batchCap() const
+    {
+        return batchCap_.load(std::memory_order_relaxed);
+    }
+    /** Re-point the dispatcher batch cap (clamped to >= 1). */
+    void setBatchCap(std::size_t cap);
+
   private:
     friend class EngineBuilder;
+    friend class SloAutopilot;
 
     using Clock = std::chrono::steady_clock;
 
@@ -246,14 +286,19 @@ class RetrievalEngine
 
     /**
      * Indices (into queue_) of the next batch: requests sharing the
-     * lead's k, in (priority desc, admission asc) order, capped at
-     * maxBatch. The lead is the highest-priority, oldest request.
-     * Caller holds mutex_.
+     * lead's k, in EDF order — priority desc, then deadlined requests
+     * by earliest deadline, then deadline-free requests in admission
+     * order — capped at the current batch cap. Caller holds mutex_.
      */
     std::vector<std::size_t> formGroupLocked() const;
 
     void dispatcherLoop();
-    void executeBatch(std::vector<Pending> batch);
+    /** @param backlog requests still queued when the batch left. */
+    void executeBatch(std::vector<Pending> batch, std::size_t backlog);
+
+    /** Autopilot bookkeeping (called by the friend SloAutopilot). */
+    void noteAutopilotCycle();
+    void recordAutopilotDecision(AutopilotDecision decision);
 
     /** Flat-mode index (tiered_->source() when tiered). */
     const vs::IvfPqFastScanIndex &index_;
@@ -262,8 +307,13 @@ class RetrievalEngine
     /** Tiered-mode index; nullptr when serving the flat path. */
     const TieredIndex *tiered_ = nullptr;
     OnlineUpdater *updater_ = nullptr;
+    SloAutopilot *autopilot_ = nullptr;
     EngineConfig config_;
     ThreadPool pool_;
+    /** Live dispatcher batch cap (autopilot actuation target). */
+    std::atomic<std::size_t> batchCap_{1};
+    /** Construction time; AutopilotDecision::atSeconds origin. */
+    Clock::time_point started_;
 
     mutable std::mutex mutex_;
     std::condition_variable cvDispatch_;
@@ -287,8 +337,24 @@ class RetrievalEngine
     std::size_t expired_ = 0;
     std::size_t rejected_ = 0;
     std::size_t batches_ = 0;
+    std::size_t degradedServed_ = 0;
+    std::size_t degradedBatches_ = 0;
+    std::size_t autopilotCycles_ = 0;
+    std::size_t autopilotRepartitions_ = 0;
+    static constexpr std::size_t kTraceCapacity = 256;
+    std::deque<AutopilotDecision> decisionTrace_;
 
     std::thread dispatcher_;
+
+    /**
+     * Engine-owned control plane for the EngineBuilder autopilot path
+     * (declared last so it is destroyed first — before ownedTiered_,
+     * which the updater's rebuild worker touches; the destructor also
+     * stops the autopilot explicitly right after the dispatcher is
+     * joined, since the dispatcher feeds it).
+     */
+    std::unique_ptr<OnlineUpdater> ownedUpdater_;
+    std::unique_ptr<SloAutopilot> ownedAutopilot_;
 };
 
 } // namespace vlr::core

@@ -166,6 +166,36 @@ OnlineUpdater::record(double hit_rate, bool slo_met)
 }
 
 bool
+OnlineUpdater::requestRepartition(std::vector<cluster_id_t> hot_clusters,
+                                  std::size_t num_shards)
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    if (inFlight_)
+        return false;
+    if (worker_.joinable())
+        worker_.join();
+    // Keep the configured coverage in step with the caller's pick so a
+    // later drift-triggered rebuild would not snap back to a stale rho.
+    const std::size_t nlist = index_.nlist();
+    if (nlist > 0)
+        opts_.rho = static_cast<double>(hot_clusters.size()) /
+                    static_cast<double>(nlist);
+    inFlight_ = true;
+    worker_ = std::thread(
+        [this, hot = std::move(hot_clusters), num_shards]() mutable {
+            index_.repartition(std::move(hot), num_shards);
+            std::lock_guard<std::mutex> wlk(mutex_);
+            inFlight_ = false;
+            ++completed_;
+            calibrating_ = true;
+            calibSum_ = 0.0;
+            calibCount_ = 0;
+            monitor_.reset(expectedHitRate_);
+        });
+    return true;
+}
+
+bool
 OnlineUpdater::calibrating() const
 {
     std::lock_guard<std::mutex> lk(mutex_);

@@ -167,6 +167,18 @@ class OnlineUpdater
      */
     bool record(double hit_rate, bool slo_met);
 
+    /**
+     * Launch a background rebuild around an explicit hot set — the
+     * SloAutopilot's actuation path. Same machinery as a drift-
+     * triggered rebuild (replica build off-thread, one snapshot swap,
+     * post-swap re-baselining) but the caller, not the drift monitor,
+     * decides when and what. @p num_shards of 0 keeps the index's
+     * current shard count. Returns false without acting when a
+     * rebuild is already in flight.
+     */
+    bool requestRepartition(std::vector<cluster_id_t> hot_clusters,
+                            std::size_t num_shards = 0);
+
     bool rebuildInFlight() const;
     std::size_t rebuildsCompleted() const;
 
@@ -188,6 +200,8 @@ class OnlineUpdater
 
     /** Tiered index this updater monitors (builder validation). */
     const TieredIndex &index() const { return index_; }
+    /** Mutable view for control-plane callers (SloAutopilot). */
+    TieredIndex &index() { return index_; }
 
   private:
     /** Observations averaged into a post-swap baseline. */

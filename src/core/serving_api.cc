@@ -43,6 +43,37 @@ EngineConfig::validate() const
     if (numHotShards == 0)
         throw std::invalid_argument(
             "EngineConfig: numHotShards must be >= 1");
+    if (degrade.enable) {
+        if (degrade.nprobeFloor == 0)
+            throw std::invalid_argument(
+                "EngineConfig: degrade.nprobeFloor must be >= 1");
+        if (degrade.queuePressure < 1.0)
+            throw std::invalid_argument(
+                "EngineConfig: degrade.queuePressure must be >= 1");
+    }
+    if (autopilot.enable) {
+        if (autopilot.controlIntervalSeconds < 0.0)
+            throw std::invalid_argument(
+                "EngineConfig: autopilot.controlIntervalSeconds must "
+                "be >= 0");
+        if (autopilot.queryReservoir < 16)
+            throw std::invalid_argument(
+                "EngineConfig: autopilot.queryReservoir must be >= 16");
+        if (autopilot.countDecay < 0.0 || autopilot.countDecay > 1.0)
+            throw std::invalid_argument(
+                "EngineConfig: autopilot.countDecay must be in [0, 1]");
+        if (autopilot.minRho < 0.0 || autopilot.maxRho > 1.0 ||
+            autopilot.minRho > autopilot.maxRho)
+            throw std::invalid_argument(
+                "EngineConfig: autopilot rho clamp must satisfy 0 <= "
+                "minRho <= maxRho <= 1");
+        if (autopilot.maxBatchCap == 0)
+            throw std::invalid_argument(
+                "EngineConfig: autopilot.maxBatchCap must be >= 1");
+        if (autopilot.maxShards == 0)
+            throw std::invalid_argument(
+                "EngineConfig: autopilot.maxShards must be >= 1");
+    }
 }
 
 } // namespace vlr::core

@@ -10,9 +10,11 @@
  * SearchResponse reports the hits together with per-stage timings and
  * a Disposition saying how the request left the engine: served by a
  * batch, expired while queued, or rejected by the bounded admission
- * queue. EngineConfig is the validated engine-wide configuration the
- * EngineBuilder assembles; per-request parameters default to its
- * values when a request leaves them unset.
+ * queue. EngineConfig is the single validated engine-wide
+ * configuration the EngineBuilder assembles — dispatcher batching,
+ * overload degradation and the closed-loop SLO autopilot are nested
+ * policies inside it, all checked by one validate(); per-request
+ * parameters default to its values when a request leaves them unset.
  */
 
 #ifndef VLR_CORE_SERVING_API_H
@@ -79,6 +81,13 @@ struct SearchRequest
 struct SearchResponse
 {
     Disposition disposition = Disposition::kServed;
+    /**
+     * True when overload degradation served this request at a
+     * shallower nprobe than requested (see DegradationPolicy);
+     * `nprobe` below reports the effective probe depth actually
+     * searched.
+     */
+    bool degraded = false;
     /** Top-k hits; empty unless disposition == kServed. */
     std::vector<vs::SearchHit> hits;
     /** Admission to batch start (served), to expiry resolution
@@ -104,8 +113,117 @@ struct SearchResponse
 };
 
 /**
- * Engine-wide configuration assembled by EngineBuilder. validate()
- * rejects nonsense before any thread spins up; per-request k/nprobe
+ * Graceful search degradation under overload (the alternative to
+ * letting queued requests expire): when the dispatch backlog exceeds
+ * `queuePressure` batch caps, batches are searched at a proportionally
+ * reduced nprobe, never below `nprobeFloor`. Responses flag the
+ * reduction (SearchResponse::degraded) and the engine counts every
+ * event (EngineStatsSnapshot::degradedServed / degradedBatches). With
+ * `enable` false the engine always searches the requested depth and
+ * batched results stay bit-identical to serial per-request search.
+ */
+struct DegradationPolicy
+{
+    bool enable = false;
+    /** Lowest nprobe degradation may serve (>= 1). A request asking
+     *  for less than the floor is served as requested. */
+    std::size_t nprobeFloor = 4;
+    /**
+     * Backlog-to-batch-cap ratio where degradation starts (>= 1).
+     * At ratio r >= queuePressure the effective nprobe scales by
+     * queuePressure / r — the deeper the overload, the shallower the
+     * search.
+     */
+    double queuePressure = 2.0;
+};
+
+/**
+ * Closed-loop SLO autopilot knobs (paper Figs. 11/16 run live): the
+ * SloAutopilot periodically fits a SearchPerfModel from observed
+ * per-batch latencies, rebuilds the access profile from live probe
+ * counts, re-runs the LatencyBoundedPartitioner against the measured
+ * arrival rate, and actuates rho / hot-shard count / batch cap through
+ * the OnlineUpdater snapshot-swap path. The per-disposition stats
+ * (expired + rejected rates) are the SLO-attainment feedback: misses
+ * above `missRateTarget` escalate coverage beyond the model's pick.
+ */
+struct AutopilotPolicy
+{
+    bool enable = false;
+    /**
+     * Control-cycle period (> 0); 0 disables the background control
+     * thread so tests and benches can step cycles deterministically
+     * via SloAutopilot::runControlCycle().
+     */
+    double controlIntervalSeconds = 0.25;
+    /** Batch observations required before a cycle fits and acts. */
+    std::size_t minBatchObservations = 4;
+    /** Recent queries kept (reservoir-sampled) for live hit-rate
+     *  estimation (>= 16 when enabled). */
+    std::size_t queryReservoir = 256;
+    /** Exponential decay applied to accumulated access counts each
+     *  cycle (in [0, 1]; lower forgets faster). */
+    double countDecay = 0.5;
+    /** Queuing factor eps of Eq. 3 fed to the partitioner. */
+    double epsilon = 1.0;
+    /** Coverage clamp applied to every autopilot pick. */
+    double minRho = 0.0;
+    double maxRho = 1.0;
+    /** Coverage moves smaller than this do not trigger a rebuild. */
+    double rhoDeadband = 0.02;
+    /** Coverage escalation step while misses exceed the target. */
+    double rhoStep = 0.05;
+    /**
+     * Tolerated (expired + rejected) / resolved fraction per control
+     * window; above it the autopilot escalates coverage.
+     */
+    double missRateTarget = 0.01;
+    /** Fraction of the re-picked hot set that may be missing from the
+     *  current placement before a rebuild triggers (hotspot flips move
+     *  membership without moving rho). */
+    double hotSetDivergence = 0.25;
+    /** Batch-cap actuation clamp (>= 1). */
+    std::size_t maxBatchCap = 256;
+    /**
+     * Target resident bytes per hot shard; the autopilot re-picks the
+     * shard count as ceil(hot bytes / budget) up to `maxShards`. 0
+     * keeps the construction-time shard count.
+     */
+    double shardByteBudget = 0.0;
+    /** Shard-count actuation clamp (>= 1; also capped by the tiered
+     *  index's own maxShards). */
+    std::size_t maxShards = 8;
+};
+
+/**
+ * One autopilot control decision, surfaced through
+ * EngineStatsSnapshot::autopilotTrace (bounded history) so operators
+ * and benches can plot chosen rho / shards / batch cap over time.
+ */
+struct AutopilotDecision
+{
+    /** Seconds since engine construction. */
+    double atSeconds = 0.0;
+    /** Measured submissions/s over the control window. */
+    double arrivalRate = 0.0;
+    /** (expired + rejected) / resolved over the control window. */
+    double missRate = 0.0;
+    /** Coverage the partitioner picked from the fitted models. */
+    double modelRho = 0.0;
+    /** Actuated coverage after SLO-attainment escalation + clamps. */
+    double rho = 0.0;
+    /** Actuated hot-shard count. */
+    std::size_t hotShards = 0;
+    /** Actuated dispatcher batch cap. */
+    std::size_t batchCap = 0;
+    /** True when this decision launched a background repartition. */
+    bool repartitioned = false;
+};
+
+/**
+ * Engine-wide configuration assembled by EngineBuilder — the single
+ * config surface: batching, degradation and autopilot are nested
+ * policies validated together by one validate(). Per-request k/nprobe
  * override the defaults here.
  */
 struct EngineConfig
@@ -113,6 +231,11 @@ struct EngineConfig
     /** Dispatcher policy shared with ServingConfig (cap, timeout and
      *  the bounded admission queue). */
     BatchPolicy batching{.maxBatch = 64, .timeoutSeconds = 2e-3};
+    /** Overload nprobe degradation (off by default). */
+    DegradationPolicy degrade;
+    /** Closed-loop SLO autopilot (off by default; requires a tiered
+     *  engine — see EngineBuilder::build). */
+    AutopilotPolicy autopilot;
     /** Results per query for requests that leave k unset. */
     std::size_t defaultK = 10;
     /** Probed IVF lists for requests that leave nprobe unset. */

@@ -1,0 +1,273 @@
+#include "core/slo_autopilot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "core/partitioner.h"
+#include "workload/plans.h"
+
+namespace vlr::core
+{
+
+namespace
+{
+
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+SloAutopilot::SloAutopilot(RetrievalEngine &engine,
+                           OnlineUpdater &updater,
+                           AutopilotPolicy policy)
+    : engine_(engine), updater_(updater), index_(updater.index()),
+      policy_(policy), lastCycle_(Clock::now())
+{
+    const std::size_t rows =
+        std::max<std::size_t>(policy_.queryReservoir, 16);
+    reservoir_.resize(rows * index_.dim());
+    counts_.assign(index_.nlist(), 0.0);
+    engine_.attachAutopilot(this);
+    if (policy_.controlIntervalSeconds > 0.0)
+        thread_ = std::thread([this] { controlLoop(); });
+}
+
+SloAutopilot::~SloAutopilot()
+{
+    stop();
+}
+
+void
+SloAutopilot::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(stopMutex_);
+        stopped_ = true;
+    }
+    stopCv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+SloAutopilot::observeBatch(const BatchObservation &obs,
+                           std::span<const float> queries,
+                           std::size_t nq)
+{
+    const std::size_t d = index_.dim();
+    std::lock_guard<std::mutex> lk(obsMutex_);
+    // Bounded intake: a stalled control thread must not let the
+    // observation buffer grow without limit.
+    if (observations_.size() < 4096)
+        observations_.push_back(obs);
+    const std::size_t rows = reservoir_.size() / d;
+    for (std::size_t i = 0; i < nq; ++i) {
+        const float *q = queries.data() + i * d;
+        ++reservoirSeen_;
+        std::size_t slot;
+        if (reservoirRows_ < rows) {
+            slot = reservoirRows_++;
+        } else {
+            const std::uint64_t j = rng_.uniformU64(reservoirSeen_);
+            if (j >= rows)
+                continue;
+            slot = static_cast<std::size_t>(j);
+        }
+        std::copy(q, q + d, reservoir_.begin() + slot * d);
+    }
+}
+
+bool
+SloAutopilot::runControlCycle()
+{
+    std::lock_guard<std::mutex> cyc(cycleMutex_);
+    engine_.noteAutopilotCycle();
+    ++cycles_;
+
+    const auto now = Clock::now();
+    const double dt = secondsBetween(lastCycle_, now);
+    lastCycle_ = now;
+
+    // SLO-attainment window: per-disposition deltas since the last
+    // cycle. The expired+rejected fraction is the live counterpart of
+    // the paper's attainment signal.
+    const EngineStatsSnapshot s = engine_.stats();
+    const std::size_t d_sub = s.submitted - lastSubmitted_;
+    const std::size_t d_exp = s.expired - lastExpired_;
+    const std::size_t d_rej = s.rejected - lastRejected_;
+    const std::size_t d_res = s.completed - lastCompleted_;
+    lastSubmitted_ = s.submitted;
+    lastExpired_ = s.expired;
+    lastRejected_ = s.rejected;
+    lastCompleted_ = s.completed;
+
+    // Live access profile: drain the index's counters and fold them
+    // into the exponentially decayed history.
+    const std::vector<double> drained = index_.drainAccessCounts();
+    double total = 0.0;
+    for (std::size_t c = 0; c < counts_.size(); ++c) {
+        counts_[c] = policy_.countDecay * counts_[c] + drained[c];
+        total += counts_[c];
+    }
+
+    std::vector<BatchObservation> obs;
+    std::vector<float> queries;
+    std::size_t n_rows = 0;
+    {
+        std::lock_guard<std::mutex> lk(obsMutex_);
+        obs.swap(observations_);
+        n_rows = reservoirRows_;
+        queries.assign(reservoir_.begin(),
+                       reservoir_.begin() + n_rows * index_.dim());
+    }
+    if (obs.size() < policy_.minBatchObservations || n_rows < 2 ||
+        total <= 0.0)
+        return false;
+
+    const double arrival =
+        dt > 0.0 ? static_cast<double>(d_sub) / dt : 0.0;
+    const double miss_rate =
+        d_res > 0 ? static_cast<double>(d_exp + d_rej) /
+                        static_cast<double>(d_res)
+                  : 0.0;
+
+    // 1. Fit Eq. 1 from the window's batches. Scan wall time is
+    // normalized by the miss fraction (clamped away from zero) to
+    // recover the full-miss T_LUT; the hot-tier replicas are assumed
+    // off the critical path.
+    std::vector<PlKnot> cq_knots, lut_knots;
+    cq_knots.reserve(obs.size());
+    lut_knots.reserve(obs.size());
+    for (const BatchObservation &o : obs) {
+        const auto b =
+            static_cast<double>(std::max<std::size_t>(o.batchSize, 1));
+        cq_knots.push_back({b, o.routeSeconds});
+        const double miss =
+            std::clamp(1.0 - o.meanHitRate, 0.05, 1.0);
+        lut_knots.push_back({b, o.scanSeconds / miss});
+    }
+    const SearchPerfModel fit =
+        SearchPerfModel::fromKnots(cq_knots, lut_knots);
+
+    // 2./3. Profile + estimator from live counts and the query
+    // reservoir.
+    const AccessProfile profile = index_.profileFromCounts(counts_);
+    const vs::IvfPqFastScanIndex &src = index_.source();
+    std::vector<double> work(index_.nlist());
+    for (std::size_t c = 0; c < work.size(); ++c)
+        work[c] = static_cast<double>(
+            src.listSize(static_cast<cluster_id_t>(c)));
+    const wl::PlanSet plans =
+        wl::PlanSet::build(src.quantizer(), queries, n_rows,
+                           engine_.config().defaultNprobe, work);
+    const HitRateEstimator estimator(profile, plans);
+
+    // 4. Algorithm 1 against the measured arrival rate: the
+    // throughput bound mu is what the LLM actually demands of us, so
+    // expectedBatch = ceil(tau_s * mu) doubles as the batch-cap pick.
+    const LatencyBoundedPartitioner partitioner(fit, estimator,
+                                                profile);
+    PartitionInputs in;
+    in.sloSearchSeconds = engine_.config().sloSearchSeconds;
+    in.epsilon = policy_.epsilon;
+    in.kvBaselineBytes = 0.0;
+    in.peakLlmThroughput = std::max(arrival, 1.0);
+    const PartitionResult pr = partitioner.partition(in);
+
+    const double cur_rho = index_.rho();
+    double rho =
+        std::clamp(pr.rho, policy_.minRho, policy_.maxRho);
+    // SLO-attainment feedback: misses above target escalate coverage
+    // one step beyond the model's pick.
+    if (miss_rate > policy_.missRateTarget)
+        rho = std::clamp(std::max(rho, cur_rho + policy_.rhoStep),
+                         policy_.minRho, policy_.maxRho);
+
+    // 5a. Batch-cap actuation (never stalls: dispatcher reads it
+    // atomically at the next formation).
+    const std::size_t cap = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::ceil(pr.expectedBatch)), 1,
+        policy_.maxBatchCap);
+    engine_.setBatchCap(cap);
+
+    // 5b. Shard-count re-pick from the byte budget (0 keeps count).
+    const std::size_t cur_shards = index_.numShards();
+    std::size_t shards = cur_shards;
+    if (policy_.shardByteBudget > 0.0) {
+        const double hot_bytes = profile.indexBytes(rho);
+        shards = std::clamp<std::size_t>(
+            static_cast<std::size_t>(
+                std::ceil(hot_bytes / policy_.shardByteBudget)),
+            1, std::min(policy_.maxShards, index_.maxShards()));
+    }
+
+    // 5c. Repartition when coverage moved past the deadband, the
+    // shard count changed, or the hot set itself flipped (hotspot
+    // drift can move membership while rho stays put).
+    std::vector<cluster_id_t> hot = profile.hotClusters(rho);
+    const std::vector<bool> bitmap = index_.hotBitmap();
+    std::size_t in_current = 0;
+    for (const cluster_id_t c : hot)
+        if (bitmap[static_cast<std::size_t>(c)])
+            ++in_current;
+    const double overlap =
+        hot.empty() ? 1.0
+                    : static_cast<double>(in_current) /
+                          static_cast<double>(hot.size());
+    const bool rho_moved =
+        std::fabs(rho - cur_rho) > policy_.rhoDeadband;
+    const bool shards_moved = shards != cur_shards;
+    const bool set_flipped =
+        overlap < 1.0 - policy_.hotSetDivergence;
+
+    bool repartitioned = false;
+    if (rho_moved || shards_moved || set_flipped)
+        repartitioned =
+            updater_.requestRepartition(std::move(hot), shards);
+
+    AutopilotDecision decision;
+    decision.arrivalRate = arrival;
+    decision.missRate = miss_rate;
+    decision.modelRho = pr.rho;
+    decision.rho = rho;
+    decision.hotShards = shards;
+    decision.batchCap = cap;
+    decision.repartitioned = repartitioned;
+    engine_.recordAutopilotDecision(decision);
+    return repartitioned;
+}
+
+std::size_t
+SloAutopilot::cyclesRun() const
+{
+    std::lock_guard<std::mutex> lk(cycleMutex_);
+    return cycles_;
+}
+
+void
+SloAutopilot::controlLoop()
+{
+    std::unique_lock<std::mutex> lk(stopMutex_);
+    while (!stopped_) {
+        if (stopCv_.wait_for(
+                lk,
+                std::chrono::duration<double>(
+                    policy_.controlIntervalSeconds),
+                [this] { return stopped_; }))
+            return;
+        lk.unlock();
+        try {
+            runControlCycle();
+        } catch (const std::exception &e) {
+            logWarn("SloAutopilot: control cycle failed: ", e.what());
+        }
+        lk.lock();
+    }
+}
+
+} // namespace vlr::core

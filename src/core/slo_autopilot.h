@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Closed-loop SLO autopilot: the paper's offline planning pipeline
+ * (Figs. 11/16) run continuously against the live engine.
+ *
+ * Offline, VectorLiteRAG profiles search latency, estimates hit rates
+ * and runs the latency-bounded partitioner once per deployment. The
+ * autopilot closes that loop at serving time: every control cycle it
+ *
+ *   1. fits SearchPerfModel::fromKnots from observed per-batch route
+ *      (T_CQ) and scan (T_LUT) wall times,
+ *   2. rebuilds the AccessProfile from the tiered index's live
+ *      per-cluster probe counts (exponentially decayed across cycles),
+ *   3. re-estimates hit rates from a reservoir of recent queries,
+ *   4. re-runs LatencyBoundedPartitioner against the *measured*
+ *      arrival rate, and
+ *   5. actuates: dispatcher batch cap via
+ *      RetrievalEngine::setBatchCap, coverage rho and hot-shard count
+ *      via OnlineUpdater::requestRepartition — the same background
+ *      rebuild + snapshot swap a drift-triggered update uses, so no
+ *      in-flight batch ever stalls.
+ *
+ * The per-disposition stats are the SLO-attainment feedback (the
+ * paper's attainment signal): when the windowed expired+rejected
+ * fraction exceeds AutopilotPolicy::missRateTarget the autopilot
+ * escalates coverage one rhoStep beyond the model's pick. A hot-set
+ * overlap check triggers rebuilds on hotspot flips that move cluster
+ * membership without moving rho.
+ *
+ * Scan-time normalization: observed scan wall time is divided by the
+ * batch's miss fraction (clamped away from 0) to recover the
+ * full-miss T_LUT the perf model expects — this assumes hot-shard
+ * scans are off the critical path, which holds for the in-memory
+ * replica backends standing in for the paper's GPU shards.
+ *
+ * Every decision is surfaced through EngineStatsSnapshot (bounded
+ * autopilotTrace) so benches can plot chosen rho / shards / batch cap
+ * over time.
+ */
+
+#ifndef VLR_CORE_SLO_AUTOPILOT_H
+#define VLR_CORE_SLO_AUTOPILOT_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine_runtime.h"
+#include "core/online_update.h"
+#include "core/serving_api.h"
+#include "core/tiered_index.h"
+
+namespace vlr::core
+{
+
+/** One batch's signal sample, fed by the engine after every tiered
+ *  batch (cheap: bounded buffer append + reservoir update). */
+struct BatchObservation
+{
+    std::size_t batchSize = 0;
+    /** Coarse-quantize + route phase wall seconds (T_CQ sample). */
+    double routeSeconds = 0.0;
+    /** Scan + merge phase wall seconds (miss-normalized into T_LUT). */
+    double scanSeconds = 0.0;
+    /** Work-weighted mean hit rate of the batch. */
+    double meanHitRate = 0.0;
+};
+
+/**
+ * The control loop. Construct with the engine it steers and the
+ * updater whose snapshot-swap path it actuates through (both must
+ * outlive the autopilot); construction attaches it to the engine.
+ * With policy.controlIntervalSeconds > 0 a background thread runs
+ * cycles periodically; at 0 the loop is manual — tests and benches
+ * call runControlCycle() themselves for determinism. Destroy (or
+ * stop()) before the engine unless the engine owns the autopilot
+ * (EngineBuilder::autopilot path, which sequences teardown).
+ */
+class SloAutopilot
+{
+  public:
+    SloAutopilot(RetrievalEngine &engine, OnlineUpdater &updater,
+                 AutopilotPolicy policy);
+    ~SloAutopilot();
+
+    SloAutopilot(const SloAutopilot &) = delete;
+    SloAutopilot &operator=(const SloAutopilot &) = delete;
+
+    /**
+     * Record one executed batch (called by the engine on the
+     * dispatcher thread; thread-safe and cheap). @p queries holds the
+     * batch's row-major query vectors, reservoir-sampled into the
+     * hit-rate calibration set.
+     */
+    void observeBatch(const BatchObservation &obs,
+                      std::span<const float> queries, std::size_t nq);
+
+    /**
+     * Run one synchronous control cycle: fit, re-partition, actuate.
+     * Serialized against the background thread; safe to call
+     * concurrently. Returns true when the cycle launched a
+     * repartition (cap-only actuation returns false).
+     */
+    bool runControlCycle();
+
+    /** Stop the background control thread (idempotent). */
+    void stop();
+
+    std::size_t cyclesRun() const;
+    const AutopilotPolicy &policy() const { return policy_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    void controlLoop();
+
+    RetrievalEngine &engine_;
+    OnlineUpdater &updater_;
+    TieredIndex &index_;
+    AutopilotPolicy policy_;
+
+    /** Signal intake (dispatcher-thread side). */
+    mutable std::mutex obsMutex_;
+    std::vector<BatchObservation> observations_;
+    /** Row-major reservoir of recent queries (policy_.queryReservoir
+     *  rows of index dim). */
+    std::vector<float> reservoir_;
+    std::size_t reservoirRows_ = 0;
+    std::size_t reservoirSeen_ = 0;
+    Rng rng_{0xa0707110};
+
+    /** Control-cycle state (cycle side; cycleMutex_ serializes). */
+    mutable std::mutex cycleMutex_;
+    std::vector<double> counts_;
+    std::size_t lastSubmitted_ = 0;
+    std::size_t lastExpired_ = 0;
+    std::size_t lastRejected_ = 0;
+    std::size_t lastCompleted_ = 0;
+    Clock::time_point lastCycle_;
+    std::size_t cycles_ = 0;
+
+    std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+    bool stopped_ = false;
+    std::thread thread_;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_SLO_AUTOPILOT_H

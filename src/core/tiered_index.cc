@@ -23,11 +23,14 @@ atomicAddDouble(std::atomic<double> &a, double x)
         ;
 }
 
-/** Clamp the shard count and fall back to the default backend. */
+/** Clamp the shard counts and fall back to the default backend. */
 TieredOptions
 normalizeOptions(TieredOptions opts)
 {
     opts.numShards = std::max<std::size_t>(opts.numShards, 1);
+    if (opts.maxShards == 0)
+        opts.maxShards = opts.numShards;
+    opts.maxShards = std::max(opts.maxShards, opts.numShards);
     if (!opts.backendFactory)
         opts.backendFactory = fastScanShardFactory();
     return opts;
@@ -88,11 +91,11 @@ TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
       accessCounts_(
           std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist())),
       shardProbeCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
-          opts_.numShards)),
+          opts_.maxShards)),
       shardScanSeconds_(
-          std::make_unique<std::atomic<double>[]>(opts_.numShards)),
+          std::make_unique<std::atomic<double>[]>(opts_.maxShards)),
       shardScanCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
-          opts_.numShards))
+          opts_.maxShards))
 {
 }
 
@@ -108,11 +111,11 @@ TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
       accessCounts_(
           std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist())),
       shardProbeCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
-          opts_.numShards)),
+          opts_.maxShards)),
       shardScanSeconds_(
-          std::make_unique<std::atomic<double>[]>(opts_.numShards)),
+          std::make_unique<std::atomic<double>[]>(opts_.maxShards)),
       shardScanCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
-          opts_.numShards))
+          opts_.maxShards))
 {
 }
 
@@ -129,7 +132,7 @@ TieredIndex::routeProbes(const Tiers &tiers,
                          TieredQueryStats *qs) const
 {
     ProbeBuckets b;
-    b.shardProbes.resize(opts_.numShards);
+    b.shardProbes.resize(tiers.assignment.numShards());
 
     // Route the probe list through the pruned router: the same
     // work-weighted accounting the simulator uses, over real list
@@ -269,13 +272,17 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
     std::vector<ProbeBuckets> buckets(nq);
 
     // Phase 1: coarse-quantize and route every query at its own
-    // nprobe (batches may mix per-request probe depths).
+    // nprobe (batches may mix per-request probe depths). The phase
+    // wall time is the live T_CQ(b) sample the autopilot fits.
+    WallTimer route_timer;
     pool.parallelForDynamic(nq, 1, [&](std::size_t i) {
         const float *q = queries.data() + i * d;
         const auto pl = source_.quantizer().probe(q, nprobes[i]);
         buckets[i] =
             routeProbes(*tiers, pl.clusters, bs ? &qstats[i] : nullptr);
     });
+    const double route_s = route_timer.elapsed();
+    WallTimer scan_timer;
 
     // Phase 2: flatten every (query, shard) and (query, cold) scan into
     // an independent pool task, so different queries' shard scans run
@@ -342,20 +349,28 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
             nq == 0 ? 0.0 : sum / static_cast<double>(nq);
         if (nq == 0)
             bs->minHitRate = 0.0;
+        bs->routeSeconds = route_s;
+        bs->scanSeconds = scan_timer.elapsed();
     }
     return out;
 }
 
 void
-TieredIndex::repartition(std::vector<cluster_id_t> hot_clusters)
+TieredIndex::repartition(std::vector<cluster_id_t> hot_clusters,
+                         std::size_t num_shards)
 {
     // Build the replacement generation — every shard backend — outside
     // the lock: in-flight and newly admitted searches keep using the
-    // old snapshot meanwhile.
+    // old snapshot meanwhile. num_shards == 0 keeps the current
+    // snapshot's shard count; per-shard stat arrays are sized to
+    // maxShards so a count change never reallocates them.
+    std::size_t shards = num_shards == 0
+                             ? snapshot()->assignment.numShards()
+                             : num_shards;
+    shards = std::clamp<std::size_t>(shards, 1, opts_.maxShards);
     auto next = std::make_shared<const Tiers>(
         source_,
-        makeHotAssignment(source_, std::move(hot_clusters),
-                          opts_.numShards),
+        makeHotAssignment(source_, std::move(hot_clusters), shards),
         opts_);
     {
         std::lock_guard<std::mutex> lk(snapshotMutex_);
@@ -411,10 +426,12 @@ TieredIndex::stats() const
             : static_cast<double>(s.hotProbes) /
                   static_cast<double>(s.totalProbes);
     s.repartitions = repartitions_.load(std::memory_order_relaxed);
-    s.shardProbeCounts.resize(opts_.numShards);
-    s.shardScanSeconds.resize(opts_.numShards);
-    s.shardScanCounts.resize(opts_.numShards);
-    for (std::size_t i = 0; i < opts_.numShards; ++i) {
+    // Cumulative per-shard counters cover every shard id that ever
+    // existed (maxShards), not just the current snapshot's count.
+    s.shardProbeCounts.resize(opts_.maxShards);
+    s.shardScanSeconds.resize(opts_.maxShards);
+    s.shardScanCounts.resize(opts_.maxShards);
+    for (std::size_t i = 0; i < opts_.maxShards; ++i) {
         s.shardProbeCounts[i] = static_cast<std::size_t>(
             shardProbeCounts_[i].load(std::memory_order_relaxed));
         s.shardScanSeconds[i] =
@@ -459,6 +476,12 @@ std::size_t
 TieredIndex::numHotClusters() const
 {
     return snapshot()->numHot;
+}
+
+std::size_t
+TieredIndex::numShards() const
+{
+    return snapshot()->assignment.numShards();
 }
 
 } // namespace vlr::core

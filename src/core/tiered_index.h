@@ -49,6 +49,12 @@ struct TieredOptions
      * fast-scan replica (fastScanShardFactory()).
      */
     ShardBackendFactory backendFactory;
+    /**
+     * Most shards any repartition may rebuild to (per-shard stat
+     * arrays are sized to this at construction). 0 means numShards,
+     * i.e. the shard count stays fixed — the pre-autopilot behaviour.
+     */
+    std::size_t maxShards = 0;
 };
 
 /** Routing outcome of one live query through the tiers. */
@@ -75,6 +81,12 @@ struct TieredBatchStats
     std::size_t splitQueries = 0;
     double meanHitRate = 0.0;
     double minHitRate = 1.0;
+    /** Wall seconds of the coarse-quantize + route phase — the live
+     *  T_CQ(b) sample the autopilot fits (Eq. 1). */
+    double routeSeconds = 0.0;
+    /** Wall seconds of the parallel scan + merge phase — normalized
+     *  by the batch miss fraction it samples T_LUT(b). */
+    double scanSeconds = 0.0;
 };
 
 /** Cumulative tier statistics since construction. */
@@ -201,9 +213,13 @@ class TieredIndex
      * Rebuild the hot tier around a new hot set and atomically swap it
      * in. The (expensive) rebuild of every shard backend runs before
      * the swap, outside any lock; searches started on the old snapshot
-     * finish on it. Shard count and backend factory are preserved.
+     * finish on it. The backend factory is preserved; @p num_shards
+     * picks the rebuilt shard count (clamped to [1, maxShards()]),
+     * with 0 keeping the current count — the autopilot's shard-count
+     * actuation rides this parameter.
      */
-    void repartition(std::vector<cluster_id_t> hot_clusters);
+    void repartition(std::vector<cluster_id_t> hot_clusters,
+                     std::size_t num_shards = 0);
 
     /**
      * Return and reset the live per-cluster access counts (probes per
@@ -243,8 +259,11 @@ class TieredIndex
 
     double rho() const;
     std::size_t numHotClusters() const;
-    /** Hot shards (fixed at construction; preserved by repartition). */
-    std::size_t numShards() const { return opts_.numShards; }
+    /** Hot shards in the current snapshot (repartition may change it
+     *  up to maxShards()). */
+    std::size_t numShards() const;
+    /** Upper bound on the shard count any repartition may pick. */
+    std::size_t maxShards() const { return opts_.maxShards; }
     std::size_t dim() const { return source_.dim(); }
     std::size_t nlist() const { return source_.nlist(); }
     const vs::IvfPqFastScanIndex &source() const { return source_; }

@@ -46,6 +46,7 @@
 #include "core/retriever.h"
 #include "core/router.h"
 #include "core/serving.h"
+#include "core/slo_autopilot.h"
 #include "core/splitter.h"
 #include "core/tiered_index.h"
 

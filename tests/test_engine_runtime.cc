@@ -163,7 +163,7 @@ TEST_F(EngineFixture, EngineResultsMatchSerialSearch)
     std::vector<std::future<SearchResponse>> futures;
     futures.reserve(nq_);
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine->submit(query(i)));
+        futures.push_back(engine->submit({.query = query(i)}));
 
     for (std::size_t i = 0; i < nq_; ++i) {
         const auto r = futures[i].get();
@@ -194,7 +194,7 @@ TEST_F(EngineFixture, BatchCapIsRespected)
 
     std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine->submit(query(i)));
+        futures.push_back(engine->submit({.query = query(i)}));
     for (auto &f : futures)
         EXPECT_LE(f.get().batchSize, 4u);
 }
@@ -210,7 +210,7 @@ TEST_F(EngineFixture, TimeoutDispatchesPartialBatch)
 
     std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < 3; ++i)
-        futures.push_back(engine->submit(query(i)));
+        futures.push_back(engine->submit({.query = query(i)}));
     for (auto &f : futures) {
         const auto r = f.get(); // resolves without the cap ever filling
         EXPECT_LE(r.batchSize, 3u);
@@ -227,7 +227,7 @@ TEST_F(EngineFixture, DrainCompletesEverythingAdmitted)
 
     std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine->submit(query(i)));
+        futures.push_back(engine->submit({.query = query(i)}));
     engine->drain();
 
     EXPECT_EQ(engine->pendingQueries(), 0u);
@@ -251,7 +251,7 @@ TEST_F(EngineFixture, ShutdownDrainsAndRejectsNewQueries)
 
     std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < 10; ++i)
-        futures.push_back(engine->submit(query(i)));
+        futures.push_back(engine->submit({.query = query(i)}));
     engine->shutdown();
 
     EXPECT_FALSE(engine->accepting());
@@ -260,7 +260,7 @@ TEST_F(EngineFixture, ShutdownDrainsAndRejectsNewQueries)
                   std::future_status::ready);
         EXPECT_EQ(f.get().hits.size(), 10u);
     }
-    EXPECT_THROW(engine->submit(query(0)), std::runtime_error);
+    EXPECT_THROW(engine->submit({.query = query(0)}), std::runtime_error);
     engine->shutdown(); // idempotent
 }
 
@@ -295,7 +295,7 @@ TEST_F(EngineFixture, TieredEngineMatchesSerialSearch)
     std::vector<std::future<SearchResponse>> futures;
     futures.reserve(nq_);
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine->submit(query(i)));
+        futures.push_back(engine->submit({.query = query(i)}));
     for (std::size_t i = 0; i < nq_; ++i) {
         const auto r = futures[i].get();
         ASSERT_EQ(r.hits.size(), serial[i].size()) << "query " << i;
@@ -339,7 +339,7 @@ TEST_F(EngineFixture, TieredEngineDrivesOnlineUpdater)
     const auto serial = serialResults(10, 8);
     std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < nq_; ++i)
-        futures.push_back(engine->submit(query(i)));
+        futures.push_back(engine->submit({.query = query(i)}));
     engine->drain();
     updater.waitForRebuild();
 
@@ -364,7 +364,7 @@ TEST_F(EngineFixture, StatsSnapshotIsConsistent)
                             .build();
 
     for (std::size_t i = 0; i < nq_; ++i)
-        engine->submit(query(i));
+        engine->submit({.query = query(i)});
     engine->drain();
 
     const auto s = engine->stats();

@@ -213,7 +213,7 @@ TEST_F(ServingApiFixture, DeadlineExpiresInQueue)
     }
     std::vector<std::future<SearchResponse>> safe;
     for (std::size_t i = 3; i < 6; ++i)
-        safe.push_back(engine->submit(query(i)));
+        safe.push_back(engine->submit({.query = query(i)}));
 
     for (auto &f : doomed) {
         const auto r = f.get(); // resolves at expiry, not the batch
@@ -371,7 +371,7 @@ TEST_F(ServingApiFixture, BoundedQueueRejectsOnOverflow)
     std::vector<std::future<SearchResponse>> futures;
     futures.reserve(flood);
     for (std::size_t i = 0; i < flood; ++i)
-        futures.push_back(engine->submit(query(i % nq_)));
+        futures.push_back(engine->submit({.query = query(i % nq_)}));
     engine->drain();
 
     std::size_t served = 0, rejected = 0;
@@ -494,7 +494,7 @@ TEST_F(ServingApiFixture, BuilderComposesProfileBuiltTier)
 
     std::vector<std::future<SearchResponse>> futures;
     for (std::size_t i = 0; i < 8; ++i)
-        futures.push_back(engine->submit(query(i)));
+        futures.push_back(engine->submit({.query = query(i)}));
     engine->drain();
     for (auto &f : futures)
         EXPECT_EQ(f.get().disposition, Disposition::kServed);
