@@ -11,6 +11,7 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -32,7 +33,8 @@ main(int argc, char **argv)
                                             /*smoke_queries=*/256,
                                             /*min_queries=*/64);
     if (!args.ok) {
-        std::cerr << "usage: bench_engine [num_queries >= 64] "
+        std::cerr << "bench_engine: " << args.error << "\n"
+                  << "usage: bench_engine [num_queries >= 64] "
                      "[--smoke]\n";
         return 1;
     }
@@ -80,6 +82,17 @@ main(int argc, char **argv)
     // --- closed-loop engine sweep over search-thread counts ---
     TextTable t({"threads", "wall (s)", "QPS", "speedup", "mean batch",
                  "p50 search (ms)", "p99 search (ms)", "model (ms)"});
+    struct SweepRow
+    {
+        std::size_t threads = 0;
+        double wallSeconds = 0.0;
+        double qps = 0.0;
+        double meanBatch = 0.0;
+        double p50Search = 0.0;
+        double p99Search = 0.0;
+        double modelSeconds = 0.0;
+    };
+    std::vector<SweepRow> rows;
     double qps1 = 0.0;
     const std::vector<std::size_t> thread_counts =
         args.smoke ? std::vector<std::size_t>{1, 4}
@@ -113,6 +126,9 @@ main(int argc, char **argv)
         // observed mean batch size; the measured columns show how the
         // parallel executor beats it.
         const double predicted = model.tSearch(s.meanBatchSize);
+        rows.push_back({threads, secs, qps, s.meanBatchSize,
+                        s.searchLatency.p50, s.searchLatency.p99,
+                        predicted});
         t.addRow({std::to_string(threads), TextTable::num(secs, 2),
                   TextTable::num(qps, 0),
                   TextTable::num(qps / qps1, 2) + "x",
@@ -126,5 +142,36 @@ main(int argc, char **argv)
     std::cout << "\nSpeedup is relative to 1 search thread; 'model' is "
                  "the measured-knot\nSearchPerfModel prediction of "
                  "serial latency at the mean batch size.\n";
+
+    // --- perf snapshot for CI trend archiving ---
+    {
+        std::ofstream os("BENCH_engine.json");
+        bench::JsonWriter w(os);
+        w.beginObject();
+        w.kv("bench", "engine");
+        w.kv("smoke", args.smoke);
+        w.kv("numQueries", n_queries);
+        w.kv("numVectors", spec.numVectors);
+        w.kv("dim", spec.dim);
+        w.kv("simd", vs::fastScanHasSimd());
+        w.key("threadSweep");
+        w.beginArray();
+        for (const SweepRow &r : rows) {
+            w.beginObject();
+            w.kv("threads", r.threads);
+            w.kv("wallSeconds", r.wallSeconds);
+            w.kv("qps", r.qps);
+            w.kv("speedup", qps1 > 0.0 ? r.qps / qps1 : 0.0);
+            w.kv("meanBatch", r.meanBatch);
+            w.kv("p50SearchSeconds", r.p50Search);
+            w.kv("p99SearchSeconds", r.p99Search);
+            w.kv("modelSeconds", r.modelSeconds);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+    }
+    std::cout << "\nwrote BENCH_engine.json\n";
     return 0;
 }

@@ -168,7 +168,8 @@ main(int argc, char **argv)
                                             /*smoke_queries=*/600,
                                             /*min_queries=*/2);
     if (!args.ok) {
-        std::cerr << "usage: bench_repartition [num_queries >= 2] "
+        std::cerr << "bench_repartition: " << args.error << "\n"
+                  << "usage: bench_repartition [num_queries >= 2] "
                      "[--smoke]\n";
         return 1;
     }

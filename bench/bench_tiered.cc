@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -36,7 +37,9 @@ main(int argc, char **argv)
                                             /*default_queries=*/2000,
                                             /*smoke_queries=*/300);
     if (!args.ok) {
-        std::cerr << "usage: bench_tiered [num_queries >= 1] [--smoke]\n";
+        std::cerr << "bench_tiered: " << args.error << "\n"
+                  << "usage: bench_tiered [num_queries >= 1] "
+                     "[--smoke]\n";
         return 1;
     }
     const std::size_t n_queries = args.numQueries;
@@ -105,11 +108,39 @@ main(int argc, char **argv)
     TextTable t({"system", "hot", "hot MB", "QPS", "p50 srch (ms)",
                  "p99 srch (ms)", "hot-only", "hit meas", "hit pred"});
 
+    struct RhoRow
+    {
+        double rho = 0.0;
+        std::size_t numHot = 0;
+        double hotBytes = 0.0;
+        double qps = 0.0;
+        double p50Search = 0.0;
+        double p99Search = 0.0;
+        double hotOnlyFraction = 0.0;
+        double hitMeasured = 0.0;
+        double hitPredicted = 0.0;
+    };
+    std::vector<RhoRow> rho_rows;
+    struct ShardRow
+    {
+        std::string backend;
+        std::size_t shards = 0;
+        double qps = 0.0;
+        double p50Search = 0.0;
+        double p99Search = 0.0;
+        double probeBalance = 0.0;
+    };
+    std::vector<ShardRow> shard_rows;
+    double flat_qps = 0.0, flat_p50 = 0.0, flat_p99 = 0.0;
+
     // Single-tier baseline: the flat engine.
     {
         const auto engine = make_builder(core::EngineBuilder(index));
         const double secs = run_engine(*engine);
         const auto s = engine->stats();
+        flat_qps = static_cast<double>(s.completed) / secs;
+        flat_p50 = s.searchLatency.p50;
+        flat_p99 = s.searchLatency.p99;
         t.addRow({"flat", "-", "-",
                   TextTable::num(static_cast<double>(s.completed) / secs,
                                  0),
@@ -127,6 +158,15 @@ main(int argc, char **argv)
         const double secs = run_engine(*engine);
         const auto s = engine->stats();
         const auto ts = tiered.stats();
+        rho_rows.push_back(
+            {rho, ts.numHot, static_cast<double>(ts.hotBytes),
+             static_cast<double>(s.completed) / secs,
+             s.searchLatency.p50, s.searchLatency.p99,
+             ts.queries == 0
+                 ? 0.0
+                 : static_cast<double>(ts.hotOnlyQueries) /
+                       static_cast<double>(ts.queries),
+             ts.meanHitRate, estimator.meanHitRate(rho)});
         t.addRow({"rho=" + TextTable::num(rho, 2),
                   std::to_string(ts.numHot),
                   TextTable::num(static_cast<double>(ts.hotBytes) / 1e6,
@@ -208,6 +248,13 @@ main(int argc, char **argv)
                 scan_max = have_scan ? std::max(scan_max, us) : us;
                 have_scan = true;
             }
+            shard_rows.push_back(
+                {bc.label, shards,
+                 static_cast<double>(s.completed) / secs,
+                 s.searchLatency.p50, s.searchLatency.p99,
+                 mx == 0 ? 0.0
+                         : static_cast<double>(mn) /
+                               static_cast<double>(mx)});
             st.addRow({bc.label, std::to_string(shards),
                        TextTable::num(
                            static_cast<double>(s.completed) / secs, 0),
@@ -233,5 +280,56 @@ main(int argc, char **argv)
                  "per-scan launch delay and\nstresses the fan-out "
                  "path, where shard scans of different queries run\n"
                  "concurrently instead of serializing the batch.\n";
+
+    // --- perf snapshot for CI trend archiving ---
+    {
+        std::ofstream os("BENCH_tiered.json");
+        bench::JsonWriter w(os);
+        w.beginObject();
+        w.kv("bench", "tiered");
+        w.kv("smoke", args.smoke);
+        w.kv("numQueries", n_queries);
+        w.kv("numVectors", spec.numVectors);
+        w.kv("dim", spec.dim);
+        w.kv("simd", vs::fastScanHasSimd());
+        w.key("flat");
+        w.beginObject();
+        w.kv("qps", flat_qps);
+        w.kv("p50SearchSeconds", flat_p50);
+        w.kv("p99SearchSeconds", flat_p99);
+        w.endObject();
+        w.key("rhoSweep");
+        w.beginArray();
+        for (const RhoRow &r : rho_rows) {
+            w.beginObject();
+            w.kv("rho", r.rho);
+            w.kv("numHot", r.numHot);
+            w.kv("hotBytes", r.hotBytes);
+            w.kv("qps", r.qps);
+            w.kv("p50SearchSeconds", r.p50Search);
+            w.kv("p99SearchSeconds", r.p99Search);
+            w.kv("hotOnlyFraction", r.hotOnlyFraction);
+            w.kv("hitRateMeasured", r.hitMeasured);
+            w.kv("hitRatePredicted", r.hitPredicted);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("shardSweep");
+        w.beginArray();
+        for (const ShardRow &r : shard_rows) {
+            w.beginObject();
+            w.kv("backend", r.backend);
+            w.kv("shards", r.shards);
+            w.kv("qps", r.qps);
+            w.kv("p50SearchSeconds", r.p50Search);
+            w.kv("p99SearchSeconds", r.p99Search);
+            w.kv("probeBalance", r.probeBalance);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+    }
+    std::cout << "\nwrote BENCH_tiered.json\n";
     return 0;
 }

@@ -183,16 +183,21 @@ class JsonWriter
 };
 
 /**
- * Minimal CLI shared by the engine/tiered/repartition benches:
- * an optional positional query count plus `--smoke`, which shrinks the
- * dataset and iteration counts so CI can run every bench on every
- * commit (bench code that never runs rots).
+ * Minimal CLI shared by the engine/tiered/repartition/workload
+ * benches: an optional positional query count plus `--smoke`, which
+ * shrinks the dataset and iteration counts so CI can run every bench
+ * on every commit (bench code that never runs rots). Parsing is
+ * strict: an unknown flag, a malformed or out-of-range count, or an
+ * extra positional sets `ok = false` with a description in `error`
+ * instead of being silently ignored.
  */
 struct BenchArgs
 {
     std::size_t numQueries = 0;
     bool smoke = false;
     bool ok = true;
+    /** Set when ok is false: what was wrong with the command line. */
+    std::string error;
 };
 
 inline BenchArgs
@@ -208,9 +213,23 @@ parseBenchArgs(int argc, char **argv, std::size_t default_queries,
             a.smoke = true;
             continue;
         }
-        const long v = std::atol(arg.c_str());
-        if (v < min_queries) {
+        if (arg.empty() || arg[0] == '-') {
             a.ok = false;
+            a.error = "unknown flag '" + arg + "'";
+            return a;
+        }
+        if (explicit_n) {
+            a.ok = false;
+            a.error = "unexpected extra argument '" + arg + "'";
+            return a;
+        }
+        char *end = nullptr;
+        const long v = std::strtol(arg.c_str(), &end, 10);
+        if (end == arg.c_str() || *end != '\0' || v < min_queries) {
+            a.ok = false;
+            a.error = "invalid query count '" + arg +
+                      "' (integer >= " + std::to_string(min_queries) +
+                      " required)";
             return a;
         }
         a.numQueries = static_cast<std::size_t>(v);

@@ -77,6 +77,13 @@ EngineBuilder::degradation(DegradationPolicy policy)
 }
 
 EngineBuilder &
+EngineBuilder::tenantIsolation(TenantPolicy policy)
+{
+    config_.tenants = std::move(policy);
+    return *this;
+}
+
+EngineBuilder &
 EngineBuilder::autopilot(AutopilotPolicy policy)
 {
     config_.autopilot = policy;

@@ -78,6 +78,14 @@ class EngineBuilder
     EngineBuilder &degradation(DegradationPolicy policy);
 
     /**
+     * Weighted per-tenant admission + per-tenant accounting keyed by
+     * SearchRequest::tag (off by default). Requires a bounded
+     * admission queue — the shares are fractions of
+     * BatchPolicy::maxQueue.
+     */
+    EngineBuilder &tenantIsolation(TenantPolicy policy);
+
+    /**
      * Closed-loop SLO autopilot policy. Requires tiered serving: on
      * the tieredFromProfile path the builder creates an engine-owned
      * OnlineUpdater and SloAutopilot and sequences their teardown; on

@@ -96,9 +96,24 @@ RetrievalEngine::resolve(Pending &p, SearchResponse &&r)
     }
 }
 
+std::size_t
+RetrievalEngine::tenantQueueBound(std::uint64_t tenant) const
+{
+    double share = config_.tenants.defaultShare;
+    for (const TenantShare &s : config_.tenants.shares)
+        if (s.tenant == tenant) {
+            share = s.share;
+            break;
+        }
+    const auto bound = static_cast<std::size_t>(
+        share * static_cast<double>(config_.batching.maxQueue));
+    return std::max<std::size_t>(bound, 1);
+}
+
 void
 RetrievalEngine::admit(Pending p)
 {
+    const bool tenants = config_.tenants.enable;
     bool reject = false;
     {
         std::lock_guard<std::mutex> lk(mutex_);
@@ -111,14 +126,28 @@ RetrievalEngine::admit(Pending p)
         const std::size_t depth = queue_.size();
         reject = config_.batching.maxQueue != 0 &&
                  depth >= config_.batching.maxQueue;
+        // Weighted per-tenant admission: a tenant already holding its
+        // share of the bounded queue rejects even while the global
+        // queue has room, so the remaining slots stay reachable for
+        // the other tenants.
+        if (tenants && !reject)
+            reject = queuedPerTenant_[p.tag] >= tenantQueueBound(p.tag);
         {
             std::lock_guard<std::mutex> slk(statsMutex_);
             ++submitted_;
             if (reject)
                 ++rejected_;
+            if (tenants) {
+                TenantCounters &tc = tenantStats_[p.tag];
+                ++tc.submitted;
+                if (reject)
+                    ++tc.rejected;
+            }
         }
         if (!reject) {
             p.seq = nextSeq_++;
+            if (tenants)
+                ++queuedPerTenant_[p.tag];
             queue_.push_back(std::move(p));
         }
     }
@@ -222,6 +251,14 @@ RetrievalEngine::pendingQueries() const
     return queue_.size();
 }
 
+std::size_t
+RetrievalEngine::pendingForTenant(std::uint64_t tenant) const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto it = queuedPerTenant_.find(tenant);
+    return it == queuedPerTenant_.end() ? 0 : it->second;
+}
+
 EngineStatsSnapshot
 RetrievalEngine::stats() const
 {
@@ -250,6 +287,19 @@ RetrievalEngine::stats() const
     s.autopilotRepartitions = autopilotRepartitions_;
     s.autopilotTrace.assign(decisionTrace_.begin(),
                             decisionTrace_.end());
+    s.tenants.reserve(tenantStats_.size());
+    for (const auto &[tenant, tc] : tenantStats_) {
+        TenantStatsSnapshot ts;
+        ts.tenant = tenant;
+        ts.submitted = tc.submitted;
+        ts.served = tc.served;
+        ts.expired = tc.expired;
+        ts.rejected = tc.rejected;
+        ts.degradedServed = tc.degradedServed;
+        ts.queueLatency = digest(tc.queueSamples);
+        ts.totalLatency = digest(tc.totalSamples);
+        s.tenants.push_back(std::move(ts));
+    }
     return s;
 }
 
@@ -286,10 +336,13 @@ RetrievalEngine::takeExpiredLocked(Clock::time_point now)
         return expired;
     std::deque<Pending> keep;
     for (auto &p : queue_) {
-        if (p.hasDeadline && now >= p.deadline)
+        if (p.hasDeadline && now >= p.deadline) {
+            if (config_.tenants.enable)
+                --queuedPerTenant_[p.tag];
             expired.push_back(std::move(p));
-        else
+        } else {
             keep.push_back(std::move(p));
+        }
     }
     queue_.swap(keep);
     return expired;
@@ -305,6 +358,8 @@ RetrievalEngine::resolveExpired(std::vector<Pending> expired)
             ++expired_;
             expiredSamples_.add(secondsBetween(p.admitted, now),
                                 statsRng_);
+            if (config_.tenants.enable)
+                ++tenantStats_[p.tag].expired;
         }
     }
     for (auto &p : expired) {
@@ -433,6 +488,8 @@ RetrievalEngine::dispatcherLoop()
         batch.reserve(group.size());
         std::vector<char> taken(queue_.size(), 0);
         for (const std::size_t i : group) {
+            if (config_.tenants.enable)
+                --queuedPerTenant_[queue_[i].tag];
             batch.push_back(std::move(queue_[i]));
             taken[i] = 1;
         }
@@ -532,6 +589,16 @@ RetrievalEngine::executeBatch(std::vector<Pending> batch,
             totalSamples_.add(secondsBetween(batch[i].admitted, t1),
                               statsRng_);
             ++served_;
+            if (config_.tenants.enable) {
+                TenantCounters &tc = tenantStats_[batch[i].tag];
+                ++tc.served;
+                if (nprobes[i] < batch[i].nprobe)
+                    ++tc.degradedServed;
+                tc.queueSamples.add(
+                    secondsBetween(batch[i].admitted, t0), statsRng_);
+                tc.totalSamples.add(
+                    secondsBetween(batch[i].admitted, t1), statsRng_);
+            }
         }
     }
 

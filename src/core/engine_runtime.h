@@ -14,7 +14,12 @@
  * The dispatcher is deadline- and priority-aware: a request whose
  * deadline elapses while queued resolves Disposition::kExpiredInQueue
  * without ever entering a search batch, submissions that overflow the
- * bounded queue resolve Disposition::kRejected at admission, and each
+ * bounded queue resolve Disposition::kRejected at admission — with
+ * the TenantPolicy enabled a tenant also rejects once it holds its
+ * weighted share of the queue, so one tenant's burst cannot starve
+ * another (per-tenant dispositions and latency digests land in
+ * EngineStatsSnapshot::tenants, keyed by SearchRequest::tag) — and
+ * each
  * batch groups compatible requests — identical k, with per-request
  * nprobe passed straight through to the batch search — ordered
  * earliest-deadline-first within a priority class (deadline-free
@@ -48,10 +53,12 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -108,6 +115,13 @@ struct EngineStatsSnapshot
     std::size_t autopilotRepartitions = 0;
     /** Recent autopilot decisions, oldest first (bounded history). */
     std::vector<AutopilotDecision> autopilotTrace;
+    /**
+     * Per-tenant slices keyed by SearchRequest::tag, ascending;
+     * populated only while TenantPolicy is enabled. Within every
+     * snapshot the per-tenant disposition counts sum exactly to the
+     * global submitted/served/expired/rejected/degradedServed totals.
+     */
+    std::vector<TenantStatsSnapshot> tenants;
 };
 
 class OnlineUpdater;
@@ -199,6 +213,9 @@ class RetrievalEngine
 
     bool accepting() const;
     std::size_t pendingQueries() const;
+    /** Queued requests carrying @p tenant's tag (0 unless the tenant
+     *  policy is enabled). */
+    std::size_t pendingForTenant(std::uint64_t tenant) const;
     EngineStatsSnapshot stats() const;
     const EngineConfig &config() const { return config_; }
 
@@ -252,6 +269,9 @@ class RetrievalEngine
     struct Reservoir
     {
         static constexpr std::size_t kCapacity = 65536;
+        /** Per-tenant digests use a smaller reservoir. */
+        static constexpr std::size_t kTenantCapacity = 8192;
+        std::size_t cap = kCapacity;
         std::vector<double> samples;
         std::size_t seen = 0;
 
@@ -259,18 +279,35 @@ class RetrievalEngine
         add(double x, Rng &rng)
         {
             ++seen;
-            if (samples.size() < kCapacity) {
+            if (samples.size() < cap) {
                 samples.push_back(x);
                 return;
             }
             const std::uint64_t j = rng.uniformU64(seen);
-            if (j < kCapacity)
+            if (j < cap)
                 samples[j] = x;
         }
     };
 
+    /** Per-tenant accounting bucket (guarded by statsMutex_). */
+    struct TenantCounters
+    {
+        std::size_t submitted = 0;
+        std::size_t served = 0;
+        std::size_t expired = 0;
+        std::size_t rejected = 0;
+        std::size_t degradedServed = 0;
+        Reservoir queueSamples{Reservoir::kTenantCapacity};
+        Reservoir totalSamples{Reservoir::kTenantCapacity};
+    };
+
     /** Build a Pending from a request (validates the span length). */
     Pending makePending(const SearchRequest &request) const;
+    /**
+     * Queued-slot bound for one tenant under the TenantPolicy: its
+     * share (override or default) of batching.maxQueue, at least 1.
+     */
+    std::size_t tenantQueueBound(std::uint64_t tenant) const;
     /** Queue one Pending or resolve it kRejected; returns future. */
     void admit(Pending p);
     /** Fulfil promise or invoke callback. */
@@ -319,6 +356,9 @@ class RetrievalEngine
     std::condition_variable cvDispatch_;
     std::condition_variable cvIdle_;
     std::deque<Pending> queue_;
+    /** Queued requests per tenant; maintained only when
+     *  config_.tenants.enable (guarded by mutex_). */
+    std::unordered_map<std::uint64_t, std::size_t> queuedPerTenant_;
     std::uint64_t nextSeq_ = 0;
     bool accepting_ = true;
     bool stop_ = false;
@@ -343,6 +383,9 @@ class RetrievalEngine
     std::size_t autopilotRepartitions_ = 0;
     static constexpr std::size_t kTraceCapacity = 256;
     std::deque<AutopilotDecision> decisionTrace_;
+    /** Per-tenant accounting; populated only when
+     *  config_.tenants.enable (guarded by statsMutex_). */
+    std::map<std::uint64_t, TenantCounters> tenantStats_;
 
     std::thread dispatcher_;
 

@@ -51,6 +51,26 @@ EngineConfig::validate() const
             throw std::invalid_argument(
                 "EngineConfig: degrade.queuePressure must be >= 1");
     }
+    if (tenants.enable) {
+        if (batching.maxQueue == 0)
+            throw std::invalid_argument(
+                "EngineConfig: tenant admission needs a bounded queue "
+                "(batching.maxQueue > 0 defines the shares)");
+        if (tenants.defaultShare <= 0.0 || tenants.defaultShare > 1.0)
+            throw std::invalid_argument(
+                "EngineConfig: tenants.defaultShare must be in (0, 1]");
+        for (std::size_t i = 0; i < tenants.shares.size(); ++i) {
+            const TenantShare &s = tenants.shares[i];
+            if (s.share <= 0.0 || s.share > 1.0)
+                throw std::invalid_argument(
+                    "EngineConfig: tenant share must be in (0, 1]");
+            for (std::size_t j = i + 1; j < tenants.shares.size(); ++j)
+                if (tenants.shares[j].tenant == s.tenant)
+                    throw std::invalid_argument(
+                        "EngineConfig: duplicate tenant share "
+                        "override");
+        }
+    }
     if (autopilot.enable) {
         if (autopilot.controlIntervalSeconds < 0.0)
             throw std::invalid_argument(

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/stats.h"
 #include "core/batch_policy.h"
 #include "core/shard_backend.h"
 #include "vecsearch/ivf_pq_fastscan.h"
@@ -137,6 +138,72 @@ struct DegradationPolicy
     double queuePressure = 2.0;
 };
 
+/** Per-tenant admission share override (see TenantPolicy). */
+struct TenantShare
+{
+    /** Tenant id (SearchRequest::tag). */
+    std::uint64_t tenant = 0;
+    /** Fraction of BatchPolicy::maxQueue this tenant may occupy. */
+    double share = 1.0;
+};
+
+/**
+ * Weighted per-tenant admission + accounting (multi-tenant isolation):
+ * when enabled, SearchRequest::tag is interpreted as a tenant id. A
+ * tenant may occupy at most `share * BatchPolicy::maxQueue` queued
+ * slots (its override in `shares`, else `defaultShare`; always at
+ * least one slot) — submissions beyond that resolve kRejected even
+ * while the global queue has room, so one tenant's burst cannot
+ * starve the others out of the admission queue. The engine also keeps
+ * per-tenant disposition counts and latency digests
+ * (EngineStatsSnapshot::tenants), which sum exactly to the global
+ * totals. Requires a bounded queue (BatchPolicy::maxQueue > 0).
+ *
+ * Tags should come from a small, stable set of tenant ids while the
+ * policy is enabled: the engine tracks one accounting bucket per
+ * distinct tag for its lifetime.
+ */
+struct TenantPolicy
+{
+    bool enable = false;
+    /** Queue share for tenants without an override (in (0, 1]). */
+    double defaultShare = 1.0;
+    /** Per-tenant share overrides (unique tenant ids, each (0, 1]). */
+    std::vector<TenantShare> shares;
+};
+
+/**
+ * Per-tenant slice of EngineStatsSnapshot (populated only while
+ * TenantPolicy is enabled). Counters are exact; latency digests are
+ * reservoir-sampled like the global ones (capacity 8192 per tenant).
+ */
+struct TenantStatsSnapshot
+{
+    /** Tenant id (SearchRequest::tag). */
+    std::uint64_t tenant = 0;
+    std::size_t submitted = 0;
+    std::size_t served = 0;
+    std::size_t expired = 0;
+    std::size_t rejected = 0;
+    /** Served at a degraded (reduced) nprobe. */
+    std::size_t degradedServed = 0;
+    /** Served requests: admission to batch start. */
+    LatencySummary queueLatency;
+    /** Served requests: admission to completion. */
+    LatencySummary totalLatency;
+
+    /** (expired + rejected) / resolved for this tenant. */
+    double
+    missRate() const
+    {
+        const std::size_t resolved = served + expired + rejected;
+        return resolved == 0
+                   ? 0.0
+                   : static_cast<double>(expired + rejected) /
+                         static_cast<double>(resolved);
+    }
+};
+
 /**
  * Closed-loop SLO autopilot knobs (paper Figs. 11/16 run live): the
  * SloAutopilot periodically fits a SearchPerfModel from observed
@@ -233,6 +300,8 @@ struct EngineConfig
     BatchPolicy batching{.maxBatch = 64, .timeoutSeconds = 2e-3};
     /** Overload nprobe degradation (off by default). */
     DegradationPolicy degrade;
+    /** Weighted per-tenant admission + accounting (off by default). */
+    TenantPolicy tenants;
     /** Closed-loop SLO autopilot (off by default; requires a tiered
      *  engine — see EngineBuilder::build). */
     AutopilotPolicy autopilot;

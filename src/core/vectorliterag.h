@@ -31,6 +31,7 @@
 #include "workload/arrival.h"
 #include "workload/dataset.h"
 #include "workload/plans.h"
+#include "workload/tenant.h"
 
 // Core pipeline
 #include "core/access_profile.h"

@@ -1,0 +1,325 @@
+#include "workload/tenant.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <numbers>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vlr::wl
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: decorrelates per-tenant seed streams. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Instantaneous arrival rate of @p spec at time @p t. */
+double
+rateAt(const TenantSpec &spec, double t)
+{
+    double r = spec.arrivalRate;
+    if (spec.diurnalAmplitude > 0.0 && spec.diurnalPeriodSeconds > 0.0)
+        r *= 1.0 + spec.diurnalAmplitude *
+                       std::sin(2.0 * std::numbers::pi * t /
+                                spec.diurnalPeriodSeconds);
+    if (spec.burstFactor != 1.0 && t >= spec.burstStartSeconds &&
+        t < spec.burstEndSeconds)
+        r *= spec.burstFactor;
+    return std::max(r, 0.0);
+}
+
+/**
+ * Rotate the top-fraction popularity ranks (same move as
+ * QueryGenerator::drift): previously cold clusters become hot.
+ */
+void
+applyFlip(std::vector<std::uint32_t> &order, double fraction)
+{
+    const auto n = static_cast<std::size_t>(
+        std::clamp(fraction, 0.0, 1.0) *
+        static_cast<double>(order.size()));
+    if (n < 2)
+        return;
+    std::vector<std::uint32_t> head(order.begin(), order.begin() + n);
+    std::rotate(head.begin(), head.begin() + n / 2, head.end());
+    std::copy(head.begin(), head.end(), order.begin());
+}
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        throw std::runtime_error(
+            "WorkloadTrace: truncated or unreadable trace stream");
+    return v;
+}
+
+constexpr char kTraceMagic[8] = {'V', 'L', 'R', 'W', 'T', 'R', '0', '1'};
+
+} // namespace
+
+void
+TenantSpec::validate() const
+{
+    if (arrivalRate <= 0.0)
+        throw std::invalid_argument(
+            "TenantSpec: arrivalRate must be > 0");
+    if (diurnalAmplitude < 0.0 || diurnalAmplitude >= 1.0)
+        throw std::invalid_argument(
+            "TenantSpec: diurnalAmplitude must be in [0, 1)");
+    if (diurnalAmplitude > 0.0 && diurnalPeriodSeconds <= 0.0)
+        throw std::invalid_argument(
+            "TenantSpec: diurnal modulation needs a period > 0");
+    if (burstFactor < 1.0)
+        throw std::invalid_argument(
+            "TenantSpec: burstFactor must be >= 1");
+    if (burstEndSeconds < burstStartSeconds)
+        throw std::invalid_argument(
+            "TenantSpec: burst window must not end before it starts");
+    if (zipfTheta < 0.0)
+        throw std::invalid_argument(
+            "TenantSpec: zipfTheta must be >= 0");
+    if (hotspotFlipFraction < 0.0 || hotspotFlipFraction > 1.0)
+        throw std::invalid_argument(
+            "TenantSpec: hotspotFlipFraction must be in [0, 1]");
+    for (std::size_t i = 0; i < hotspotFlipSeconds.size(); ++i) {
+        if (hotspotFlipSeconds[i] < 0.0 ||
+            (i > 0 &&
+             hotspotFlipSeconds[i] < hotspotFlipSeconds[i - 1]))
+            throw std::invalid_argument(
+                "TenantSpec: hotspotFlipSeconds must be ascending and "
+                ">= 0");
+    }
+    if (deadlineSeconds < 0.0)
+        throw std::invalid_argument(
+            "TenantSpec: deadlineSeconds must be >= 0");
+}
+
+void
+WorkloadScript::validate() const
+{
+    if (horizonSeconds <= 0.0)
+        throw std::invalid_argument(
+            "WorkloadScript: horizonSeconds must be > 0");
+    if (tenants.empty())
+        throw std::invalid_argument(
+            "WorkloadScript: at least one tenant required");
+    for (const TenantSpec &t : tenants)
+        t.validate();
+    for (std::size_t i = 0; i < tenants.size(); ++i)
+        for (std::size_t j = i + 1; j < tenants.size(); ++j)
+            if (tenants[i].tenant == tenants[j].tenant)
+                throw std::invalid_argument(
+                    "WorkloadScript: duplicate tenant id");
+}
+
+WorkloadTrace
+WorkloadTrace::generate(const WorkloadScript &script,
+                        const SyntheticDataset &dataset,
+                        std::uint64_t seed)
+{
+    script.validate();
+    assert(dataset.hasStats());
+    const DatasetSpec &dspec = dataset.spec();
+
+    WorkloadTrace trace;
+    trace.dim_ = dspec.dim;
+
+    for (const TenantSpec &spec : script.tenants) {
+        // Independent stream per tenant, keyed by the tenant id so
+        // adding or reordering tenants never perturbs the others.
+        Rng rng(mix64(seed) ^ mix64(spec.tenant));
+        const ZipfSampler zipf(dspec.numClusters, spec.zipfTheta);
+
+        // Popularity rank -> cluster id, biased toward larger
+        // clusters (Section III-B) with a per-tenant random
+        // tie-break, so tenants overlap on the big clusters but
+        // diverge in the tail.
+        std::vector<std::uint32_t> order(dspec.numClusters);
+        std::iota(order.begin(), order.end(), 0);
+        const auto &sizes = dataset.clusterSizes();
+        std::vector<std::uint64_t> salt(order.size());
+        for (auto &s : salt)
+            s = rng.nextU64();
+        std::sort(order.begin(), order.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      if (sizes[a] != sizes[b])
+                          return sizes[a] > sizes[b];
+                      return salt[a] < salt[b];
+                  });
+
+        // Non-homogeneous Poisson by thinning: candidates at the
+        // tenant's peak rate, accepted with probability
+        // rate(t) / peak. Hotspot flips apply as candidate time
+        // crosses each scheduled flip.
+        const double peak = spec.arrivalRate *
+                            (1.0 + spec.diurnalAmplitude) *
+                            spec.burstFactor;
+        std::size_t next_flip = 0;
+        double t = 0.0;
+        for (;;) {
+            t += rng.exponential(peak);
+            if (t >= script.horizonSeconds)
+                break;
+            while (next_flip < spec.hotspotFlipSeconds.size() &&
+                   spec.hotspotFlipSeconds[next_flip] <= t) {
+                applyFlip(order, spec.hotspotFlipFraction);
+                ++next_flip;
+            }
+            if (rng.uniform() >= rateAt(spec, t) / peak)
+                continue;
+
+            ScriptedRequest r;
+            r.atSeconds = t;
+            r.tenant = spec.tenant;
+            r.k = spec.k;
+            r.nprobe = spec.nprobe;
+            r.deadlineSeconds = spec.deadlineSeconds;
+            r.priority = spec.priority;
+            const std::size_t rank = zipf.sample(rng);
+            const float *center = dataset.centers().data() +
+                                  order[rank] * dspec.dim;
+            r.query.resize(dspec.dim);
+            for (std::size_t j = 0; j < dspec.dim; ++j)
+                r.query[j] =
+                    center[j] + static_cast<float>(rng.gaussian(
+                                    0.0, dspec.queryStd));
+            trace.requests_.push_back(std::move(r));
+        }
+    }
+
+    // Time-ordered merge; stable sort keeps script order for the
+    // (measure-zero) case of equal arrival times.
+    std::stable_sort(trace.requests_.begin(), trace.requests_.end(),
+                     [](const ScriptedRequest &a,
+                        const ScriptedRequest &b) {
+                         return a.atSeconds < b.atSeconds;
+                     });
+    return trace;
+}
+
+std::size_t
+WorkloadTrace::countForTenant(std::uint64_t tenant) const
+{
+    std::size_t n = 0;
+    for (const ScriptedRequest &r : requests_)
+        if (r.tenant == tenant)
+            ++n;
+    return n;
+}
+
+core::SearchRequest
+WorkloadTrace::request(std::size_t i) const
+{
+    const ScriptedRequest &r = requests_.at(i);
+    core::SearchRequest req;
+    req.query = std::span<const float>(r.query.data(), r.query.size());
+    req.k = r.k;
+    req.nprobe = r.nprobe;
+    req.deadlineSeconds = r.deadlineSeconds;
+    req.priority = r.priority;
+    req.tag = r.tenant;
+    return req;
+}
+
+void
+WorkloadTrace::save(std::ostream &os) const
+{
+    os.write(kTraceMagic, sizeof(kTraceMagic));
+    writePod(os, static_cast<std::uint64_t>(dim_));
+    writePod(os, static_cast<std::uint64_t>(requests_.size()));
+    for (const ScriptedRequest &r : requests_) {
+        writePod(os, r.atSeconds);
+        writePod(os, r.tenant);
+        writePod(os, static_cast<std::uint64_t>(r.k));
+        writePod(os, static_cast<std::uint64_t>(r.nprobe));
+        writePod(os, r.deadlineSeconds);
+        writePod(os, static_cast<std::int32_t>(r.priority));
+        assert(r.query.size() == dim_);
+        os.write(reinterpret_cast<const char *>(r.query.data()),
+                 static_cast<std::streamsize>(dim_ * sizeof(float)));
+    }
+    if (!os)
+        throw std::runtime_error("WorkloadTrace: write failed");
+}
+
+void
+WorkloadTrace::saveFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("WorkloadTrace: cannot open " + path);
+    save(os);
+}
+
+WorkloadTrace
+WorkloadTrace::load(std::istream &is)
+{
+    char magic[sizeof(kTraceMagic)];
+    is.read(magic, sizeof(magic));
+    if (!is || !std::equal(std::begin(magic), std::end(magic),
+                           std::begin(kTraceMagic)))
+        throw std::runtime_error(
+            "WorkloadTrace: bad magic (not a trace file?)");
+    WorkloadTrace trace;
+    trace.dim_ =
+        static_cast<std::size_t>(readPod<std::uint64_t>(is));
+    const auto count =
+        static_cast<std::size_t>(readPod<std::uint64_t>(is));
+    if (trace.dim_ == 0)
+        throw std::runtime_error("WorkloadTrace: zero dim in header");
+    trace.requests_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        ScriptedRequest r;
+        r.atSeconds = readPod<double>(is);
+        r.tenant = readPod<std::uint64_t>(is);
+        r.k = static_cast<std::size_t>(readPod<std::uint64_t>(is));
+        r.nprobe =
+            static_cast<std::size_t>(readPod<std::uint64_t>(is));
+        r.deadlineSeconds = readPod<double>(is);
+        r.priority = static_cast<int>(readPod<std::int32_t>(is));
+        r.query.resize(trace.dim_);
+        is.read(reinterpret_cast<char *>(r.query.data()),
+                static_cast<std::streamsize>(trace.dim_ *
+                                             sizeof(float)));
+        if (!is)
+            throw std::runtime_error(
+                "WorkloadTrace: truncated trace stream");
+        trace.requests_.push_back(std::move(r));
+    }
+    return trace;
+}
+
+WorkloadTrace
+WorkloadTrace::loadFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("WorkloadTrace: cannot open " + path);
+    return load(is);
+}
+
+} // namespace vlr::wl

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Replayable multi-tenant workload scripts (the YCSB-style sustained
+ * proof the serving engine is evaluated on).
+ *
+ * A WorkloadScript declares a set of tenants, each a TenantSpec: its
+ * own Zipf popularity skew over the dataset's clusters, a baseline
+ * Poisson arrival rate shaped by diurnal drift, burst windows and
+ * scheduled hotspot flips, and the SLO class (k, nprobe, deadline,
+ * priority) every one of its requests carries. WorkloadTrace::generate
+ * expands a script into a time-ordered request trace that is fully
+ * deterministic from a single seed — same script + same seed is the
+ * byte-identical trace — and save()/load() serialize the trace so any
+ * run can be replayed exactly, on any engine configuration.
+ *
+ * The tenant id rides the engine's opaque SearchRequest::tag field;
+ * with EngineConfig::tenants enabled the dispatcher keys weighted
+ * admission and per-tenant disposition/latency accounting off the
+ * same id (see core/serving_api.h).
+ */
+
+#ifndef VLR_WORKLOAD_TENANT_H
+#define VLR_WORKLOAD_TENANT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/serving_api.h"
+#include "workload/dataset.h"
+
+namespace vlr::wl
+{
+
+/**
+ * One tenant's traffic contract: arrival process, popularity skew and
+ * the per-request SLO class stamped on everything it submits.
+ */
+struct TenantSpec
+{
+    /** Label for tables and JSON snapshots. */
+    std::string name;
+    /** Tenant id carried as SearchRequest::tag (unique per script). */
+    std::uint64_t tenant = 0;
+
+    // --- arrival process ---
+    /** Baseline Poisson arrival rate (req/s, > 0). */
+    double arrivalRate = 100.0;
+    /**
+     * Diurnal rate modulation: rate(t) scales by
+     * 1 + diurnalAmplitude * sin(2 pi t / diurnalPeriodSeconds).
+     * Amplitude in [0, 1); 0 disables.
+     */
+    double diurnalAmplitude = 0.0;
+    double diurnalPeriodSeconds = 0.0;
+    /** Burst window: rate multiplied by burstFactor (>= 1) on
+     *  [burstStartSeconds, burstEndSeconds). */
+    double burstFactor = 1.0;
+    double burstStartSeconds = 0.0;
+    double burstEndSeconds = 0.0;
+
+    // --- popularity over clusters ---
+    /** Zipf exponent of this tenant's cluster popularity (>= 0). */
+    double zipfTheta = 0.9;
+    /** Times at which the tenant's popularity permutation flips
+     *  (previously cold clusters become hot), ascending. */
+    std::vector<double> hotspotFlipSeconds;
+    /** Fraction of popularity ranks rotated per flip (in [0, 1]). */
+    double hotspotFlipFraction = 0.5;
+
+    // --- SLO class (stamped on every request) ---
+    /** Results per query; 0 = engine default. */
+    std::size_t k = 0;
+    /** Probe depth; 0 = engine default. */
+    std::size_t nprobe = 0;
+    /** Queueing deadline; <= 0 = no deadline. */
+    double deadlineSeconds = 0.0;
+    /** Dispatch priority. */
+    int priority = 0;
+
+    /** @throws std::invalid_argument on an unusable spec. */
+    void validate() const;
+};
+
+/** A full scenario: tenants sharing one engine over a horizon. */
+struct WorkloadScript
+{
+    /** Trace length in seconds (> 0). */
+    double horizonSeconds = 1.0;
+    std::vector<TenantSpec> tenants;
+
+    /** @throws std::invalid_argument on an empty horizon, no tenants
+     *  or duplicate tenant ids. */
+    void validate() const;
+};
+
+/** One scripted request: arrival time + tenant + SLO class + query. */
+struct ScriptedRequest
+{
+    /** Arrival offset from trace start (seconds). */
+    double atSeconds = 0.0;
+    std::uint64_t tenant = 0;
+    std::size_t k = 0;
+    std::size_t nprobe = 0;
+    double deadlineSeconds = 0.0;
+    int priority = 0;
+    /** Query vector (dim floats). */
+    std::vector<float> query;
+
+    bool operator==(const ScriptedRequest &) const = default;
+};
+
+/**
+ * A generated, time-ordered request trace. Deterministic: generate()
+ * with the same (script, dataset, seed) produces the identical trace,
+ * and save()/load() round-trip it exactly (binary, host-endian).
+ */
+class WorkloadTrace
+{
+  public:
+    WorkloadTrace() = default;
+
+    /**
+     * Expand @p script against @p dataset (stats must be built).
+     * Each tenant draws from an independent stream derived from
+     * @p seed, so adding a tenant never perturbs the others' traffic.
+     */
+    static WorkloadTrace generate(const WorkloadScript &script,
+                                  const SyntheticDataset &dataset,
+                                  std::uint64_t seed);
+
+    /** Requests sorted by (atSeconds, tenant, submission order). */
+    const std::vector<ScriptedRequest> &requests() const
+    {
+        return requests_;
+    }
+    std::size_t size() const { return requests_.size(); }
+    std::size_t dim() const { return dim_; }
+
+    /** Scripted requests carrying @p tenant's id. */
+    std::size_t countForTenant(std::uint64_t tenant) const;
+
+    /**
+     * Typed engine request for entry @p i: the query span aliases the
+     * trace, so the trace must outlive the submission.
+     */
+    core::SearchRequest request(std::size_t i) const;
+
+    /** Serialize (binary). @throws std::runtime_error on I/O error. */
+    void save(std::ostream &os) const;
+    /** Write to @p path via save(). */
+    void saveFile(const std::string &path) const;
+    /** Deserialize a save()d trace. @throws std::runtime_error on a
+     *  malformed stream. */
+    static WorkloadTrace load(std::istream &is);
+    /** Read @p path via load(). */
+    static WorkloadTrace loadFile(const std::string &path);
+
+    bool operator==(const WorkloadTrace &) const = default;
+
+  private:
+    std::size_t dim_ = 0;
+    std::vector<ScriptedRequest> requests_;
+};
+
+} // namespace vlr::wl
+
+#endif // VLR_WORKLOAD_TENANT_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the shared bench CLI parser: strict rejection of unknown
+ * flags, malformed counts and extra positionals (each with a
+ * diagnostic in BenchArgs::error), plus the --smoke / explicit-count
+ * precedence rules. Also covers the JsonWriter comma management the
+ * BENCH_*.json emitters rely on.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+
+namespace vlr::bench
+{
+namespace
+{
+
+BenchArgs
+parse(std::vector<std::string> argv_strings, long min_queries = 1)
+{
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>("bench"));
+    for (std::string &s : argv_strings)
+        argv.push_back(s.data());
+    return parseBenchArgs(static_cast<int>(argv.size()), argv.data(),
+                          /*default_queries=*/2000,
+                          /*smoke_queries=*/300, min_queries);
+}
+
+TEST(BenchArgs, DefaultsWithNoArguments)
+{
+    const auto a = parse({});
+    EXPECT_TRUE(a.ok);
+    EXPECT_FALSE(a.smoke);
+    EXPECT_EQ(a.numQueries, 2000u);
+    EXPECT_TRUE(a.error.empty());
+}
+
+TEST(BenchArgs, SmokeShrinksDefaultCount)
+{
+    const auto a = parse({"--smoke"});
+    EXPECT_TRUE(a.ok);
+    EXPECT_TRUE(a.smoke);
+    EXPECT_EQ(a.numQueries, 300u);
+}
+
+TEST(BenchArgs, ExplicitCountWinsOverSmokeDefault)
+{
+    for (const auto &argv :
+         {std::vector<std::string>{"123", "--smoke"},
+          std::vector<std::string>{"--smoke", "123"}}) {
+        const auto a = parse(argv);
+        EXPECT_TRUE(a.ok);
+        EXPECT_TRUE(a.smoke);
+        EXPECT_EQ(a.numQueries, 123u);
+    }
+}
+
+TEST(BenchArgs, UnknownFlagIsAnError)
+{
+    const auto a = parse({"--smok"});
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("unknown flag"), std::string::npos);
+    EXPECT_NE(a.error.find("--smok"), std::string::npos);
+}
+
+TEST(BenchArgs, MalformedCountIsAnError)
+{
+    for (const char *bad : {"12x", "x12", "", "1.5"}) {
+        const auto a = parse({bad});
+        EXPECT_FALSE(a.ok) << "'" << bad << "' accepted";
+        EXPECT_FALSE(a.error.empty());
+    }
+}
+
+TEST(BenchArgs, CountBelowMinimumIsAnError)
+{
+    const auto a = parse({"63"}, /*min_queries=*/64);
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find(">= 64"), std::string::npos);
+    EXPECT_TRUE(parse({"64"}, /*min_queries=*/64).ok);
+}
+
+TEST(BenchArgs, ExtraPositionalIsAnError)
+{
+    const auto a = parse({"100", "200"});
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("unexpected extra argument"),
+              std::string::npos);
+}
+
+TEST(JsonWriter, NestedStructuresGetCommasRight)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("a", std::size_t{1});
+    w.key("list");
+    w.beginArray();
+    w.value(std::size_t{2});
+    w.beginObject();
+    w.kv("b", true);
+    w.kv("c", "x");
+    w.endObject();
+    w.endArray();
+    w.kv("d", 1.5);
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"a\":1,\"list\":[2,{\"b\":true,\"c\":\"x\"}],"
+              "\"d\":1.5}");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("nan", std::nan(""));
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"nan\":null}");
+}
+
+} // namespace
+} // namespace vlr::bench

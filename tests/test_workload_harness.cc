@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Tests for the multi-tenant replayable workload harness: deterministic
+ * trace generation (same script + seed is the identical trace, per
+ * tenant streams independent of each other), binary save/load
+ * round-trips, script and TenantPolicy validation, deterministic
+ * per-tenant served counts across engine runs, weighted-admission
+ * isolation under a sustained one-tenant flood (demonstrably failing
+ * with isolation off), and the per-tenant-counts-sum-to-globals
+ * invariant under concurrent submit/drain (exercised under the CI
+ * sanitizer configs).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine_builder.h"
+#include "core/engine_runtime.h"
+#include "core/shard_backend.h"
+#include "workload/tenant.h"
+
+namespace vlr::wl
+{
+namespace
+{
+
+/** Small stats-only dataset: enough for trace generation. */
+struct WorkloadHarnessFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        spec_ = tinySpec();
+        spec_.numVectors = 3000;
+        spec_.dim = 16;
+        spec_.numClusters = 24;
+        spec_.nprobe = 8;
+        dataset_ = std::make_unique<SyntheticDataset>(spec_);
+        dataset_->buildStats();
+    }
+
+    /** Two-tenant script exercising diurnal, burst and flip paths. */
+    WorkloadScript
+    makeScript() const
+    {
+        WorkloadScript script;
+        script.horizonSeconds = 0.5;
+        TenantSpec a;
+        a.name = "a";
+        a.tenant = 1;
+        a.arrivalRate = 400.0;
+        a.zipfTheta = 1.2;
+        a.k = 5;
+        a.nprobe = 4;
+        a.deadlineSeconds = 0.02;
+        a.priority = 2;
+        script.tenants.push_back(a);
+        TenantSpec b;
+        b.name = "b";
+        b.tenant = 2;
+        b.arrivalRate = 300.0;
+        b.diurnalAmplitude = 0.5;
+        b.diurnalPeriodSeconds = 0.5;
+        b.burstFactor = 4.0;
+        b.burstStartSeconds = 0.2;
+        b.burstEndSeconds = 0.3;
+        b.zipfTheta = 0.8;
+        b.hotspotFlipSeconds = {0.25};
+        b.k = 10;
+        script.tenants.push_back(b);
+        return script;
+    }
+
+    DatasetSpec spec_;
+    std::unique_ptr<SyntheticDataset> dataset_;
+};
+
+TEST_F(WorkloadHarnessFixture, GenerateIsDeterministic)
+{
+    const auto script = makeScript();
+    const auto t1 = WorkloadTrace::generate(script, *dataset_, 7);
+    const auto t2 = WorkloadTrace::generate(script, *dataset_, 7);
+    EXPECT_TRUE(t1 == t2);
+    EXPECT_GT(t1.size(), 0u);
+    EXPECT_EQ(t1.dim(), spec_.dim);
+    EXPECT_GT(t1.countForTenant(1), 0u);
+    EXPECT_GT(t1.countForTenant(2), 0u);
+    EXPECT_EQ(t1.countForTenant(1) + t1.countForTenant(2), t1.size());
+
+    // A different seed must not reproduce the trace.
+    const auto t3 = WorkloadTrace::generate(script, *dataset_, 8);
+    EXPECT_FALSE(t1 == t3);
+
+    // Time-ordered within the horizon, SLO class stamped per tenant.
+    double prev = 0.0;
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        const ScriptedRequest &r = t1.requests()[i];
+        EXPECT_GE(r.atSeconds, prev);
+        EXPECT_LT(r.atSeconds, script.horizonSeconds);
+        prev = r.atSeconds;
+        const TenantSpec &spec =
+            script.tenants[r.tenant == 1 ? 0 : 1];
+        EXPECT_EQ(r.k, spec.k);
+        EXPECT_EQ(r.nprobe, spec.nprobe);
+        EXPECT_EQ(r.deadlineSeconds, spec.deadlineSeconds);
+        EXPECT_EQ(r.priority, spec.priority);
+        EXPECT_EQ(r.query.size(), spec_.dim);
+    }
+}
+
+TEST_F(WorkloadHarnessFixture, TenantStreamsAreIndependent)
+{
+    // Adding a tenant to the script must not perturb an existing
+    // tenant's requests (each tenant draws from its own id-keyed
+    // stream).
+    auto script = makeScript();
+    WorkloadScript solo;
+    solo.horizonSeconds = script.horizonSeconds;
+    solo.tenants = {script.tenants[0]};
+    const auto both = WorkloadTrace::generate(script, *dataset_, 7);
+    const auto alone = WorkloadTrace::generate(solo, *dataset_, 7);
+
+    std::vector<ScriptedRequest> of_a;
+    for (const ScriptedRequest &r : both.requests())
+        if (r.tenant == 1)
+            of_a.push_back(r);
+    ASSERT_EQ(of_a.size(), alone.size());
+    for (std::size_t i = 0; i < of_a.size(); ++i)
+        EXPECT_TRUE(of_a[i] == alone.requests()[i]);
+}
+
+TEST_F(WorkloadHarnessFixture, SaveLoadRoundTripsExactly)
+{
+    const auto trace =
+        WorkloadTrace::generate(makeScript(), *dataset_, 42);
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    trace.save(ss);
+    const auto reloaded = WorkloadTrace::load(ss);
+    EXPECT_TRUE(trace == reloaded);
+
+    // request(i) exposes the reloaded entries unchanged.
+    const core::SearchRequest req = reloaded.request(0);
+    EXPECT_EQ(req.tag, reloaded.requests()[0].tenant);
+    EXPECT_EQ(req.k, reloaded.requests()[0].k);
+    EXPECT_EQ(req.query.size(), reloaded.dim());
+
+    // Malformed streams are rejected, not misread.
+    std::stringstream garbage("definitely not a trace");
+    EXPECT_THROW(WorkloadTrace::load(garbage), std::runtime_error);
+    std::string bytes = ss.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream truncated(bytes, std::ios::in | std::ios::binary);
+    EXPECT_THROW(WorkloadTrace::load(truncated), std::runtime_error);
+}
+
+TEST_F(WorkloadHarnessFixture, ScriptValidationRejectsBadSpecs)
+{
+    auto script = makeScript();
+    script.tenants[1].tenant = script.tenants[0].tenant;
+    EXPECT_THROW(WorkloadTrace::generate(script, *dataset_, 1),
+                 std::invalid_argument);
+
+    script = makeScript();
+    script.horizonSeconds = 0.0;
+    EXPECT_THROW(script.validate(), std::invalid_argument);
+
+    script = makeScript();
+    script.tenants[0].arrivalRate = 0.0;
+    EXPECT_THROW(script.validate(), std::invalid_argument);
+
+    script = makeScript();
+    script.tenants[1].hotspotFlipSeconds = {0.3, 0.1};
+    EXPECT_THROW(script.validate(), std::invalid_argument);
+
+    script = makeScript();
+    script.tenants[1].burstFactor = 0.5;
+    EXPECT_THROW(script.validate(), std::invalid_argument);
+
+    script = makeScript();
+    script.tenants[0].diurnalAmplitude = 1.5;
+    EXPECT_THROW(script.validate(), std::invalid_argument);
+}
+
+// --- Engine-side tests -----------------------------------------------
+
+/** Adds a trained fast-scan index over the generated corpus. */
+struct TenantEngineFixture : public WorkloadHarnessFixture
+{
+    void
+    SetUp() override
+    {
+        WorkloadHarnessFixture::SetUp();
+        dataset_->buildVectors();
+        cq_ = dataset_->makeCoarseQuantizer();
+        index_ = std::make_unique<vs::IvfPqFastScanIndex>(cq_,
+                                                          spec_.dim / 4);
+        index_->train(dataset_->vectors(), spec_.numVectors);
+        index_->addPreassigned(dataset_->vectors(), spec_.numVectors,
+                               dataset_->assignments());
+        QueryGenerator gen(*dataset_, 5);
+        queries_ = gen.generate(nq_);
+    }
+
+    std::span<const float>
+    query(std::size_t i) const
+    {
+        return {queries_.data() + (i % nq_) * spec_.dim, spec_.dim};
+    }
+
+    /** Skewed access profile over the index's clusters. */
+    core::AccessProfile
+    makeProfile() const
+    {
+        const std::size_t nlist = spec_.numClusters;
+        std::vector<double> counts(nlist), work(nlist), bytes(nlist);
+        for (std::size_t c = 0; c < nlist; ++c) {
+            const auto id = static_cast<cluster_id_t>(c);
+            counts[c] = static_cast<double>(nlist - c);
+            work[c] = static_cast<double>(index_->listSize(id));
+            bytes[c] = static_cast<double>(index_->listBytes(id));
+        }
+        return core::AccessProfile(std::move(counts), std::move(work),
+                                   std::move(bytes));
+    }
+
+    const std::size_t nq_ = 64;
+    std::vector<float> queries_;
+    std::shared_ptr<vs::FlatCoarseQuantizer> cq_;
+    std::unique_ptr<vs::IvfPqFastScanIndex> index_;
+};
+
+TEST_F(TenantEngineFixture, ReplayServedCountsAreDeterministic)
+{
+    // Replaying the identical trace on two fresh engines (deadlines
+    // off, queue ample) serves every request and yields identical
+    // per-tenant served counts both times.
+    auto script = makeScript();
+    for (TenantSpec &t : script.tenants)
+        t.deadlineSeconds = 0.0;
+    const auto trace = WorkloadTrace::generate(script, *dataset_, 11);
+    ASSERT_GT(trace.size(), 0u);
+
+    core::TenantPolicy tenants;
+    tenants.enable = true;
+    const auto run = [&] {
+        const auto engine = core::EngineBuilder(*index_)
+                                .defaultK(10)
+                                .defaultNprobe(spec_.nprobe)
+                                .searchThreads(2)
+                                .batching({.maxBatch = 16,
+                                           .timeoutSeconds = 5e-4})
+                                .admissionQueueBound(4096)
+                                .tenantIsolation(tenants)
+                                .build();
+        std::vector<std::future<core::SearchResponse>> futures;
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            futures.push_back(engine->submit(trace.request(i)));
+        engine->drain();
+        for (auto &f : futures)
+            EXPECT_EQ(f.get().disposition, core::Disposition::kServed);
+        return engine->stats();
+    };
+
+    const auto s1 = run();
+    const auto s2 = run();
+    ASSERT_EQ(s1.tenants.size(), 2u);
+    ASSERT_EQ(s2.tenants.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const auto &t1 = s1.tenants[i];
+        const auto &t2 = s2.tenants[i];
+        EXPECT_EQ(t1.tenant, t2.tenant);
+        EXPECT_EQ(t1.served, t2.served);
+        EXPECT_EQ(t1.served, trace.countForTenant(t1.tenant));
+        EXPECT_EQ(t1.expired, 0u);
+        EXPECT_EQ(t1.rejected, 0u);
+    }
+}
+
+TEST_F(TenantEngineFixture, WeightedAdmissionPreventsStarvation)
+{
+    // Tenant 1 floods a slow (throttled-backend) engine far beyond
+    // its drain rate; tenant 2 submits a modest paced stream. With
+    // weighted admission the flood saturates only its own queue share
+    // and tenant 2 is admitted; without it the flood holds the whole
+    // bounded queue and tenant 2 is starved at admission — priority
+    // cannot help a request that is never admitted.
+    const auto profile = makeProfile();
+    constexpr std::size_t kQueue = 16;
+    constexpr std::size_t kVictim = 30;
+
+    const auto victim_miss_rate = [&](bool isolated) {
+        core::TenantPolicy tenants;
+        tenants.enable = true;
+        tenants.defaultShare = isolated ? 0.5 : 1.0;
+        const auto engine =
+            core::EngineBuilder(*index_)
+                .tieredFromProfile(profile, 1.0)
+                .hotShards(1)
+                .shardBackend(core::throttledShardFactory(2e-3))
+                .defaultK(5)
+                .defaultNprobe(4)
+                .searchThreads(1)
+                .batching({.maxBatch = 4, .timeoutSeconds = 5e-4})
+                .admissionQueueBound(kQueue)
+                .tenantIsolation(tenants)
+                .build();
+
+        std::atomic<bool> stop{false};
+        std::vector<std::future<core::SearchResponse>> flood;
+        std::thread flooder([&] {
+            std::size_t i = 0;
+            while (!stop.load()) {
+                core::SearchRequest r;
+                r.query = query(i++);
+                r.tag = 1;
+                flood.push_back(engine->submit(r));
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+        });
+
+        // Let the flood reach its admission bound before the victim
+        // starts (8 queued when isolated, the full queue when not).
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(5);
+        while (engine->pendingForTenant(1) < kQueue / 2 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+        std::vector<std::future<core::SearchResponse>> victim;
+        for (std::size_t i = 0; i < kVictim; ++i) {
+            core::SearchRequest r;
+            r.query = query(i);
+            r.tag = 2;
+            r.priority = 2;
+            victim.push_back(engine->submit(r));
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        stop.store(true);
+        flooder.join();
+        engine->drain();
+
+        std::size_t rejected = 0;
+        for (auto &f : victim)
+            if (f.get().disposition == core::Disposition::kRejected)
+                ++rejected;
+        for (auto &f : flood)
+            f.get();
+        return static_cast<double>(rejected) /
+               static_cast<double>(kVictim);
+    };
+
+    EXPECT_LE(victim_miss_rate(true), 0.1);
+    EXPECT_GE(victim_miss_rate(false), 0.4);
+}
+
+TEST_F(TenantEngineFixture, TenantCountsSumToGlobalsUnderConcurrency)
+{
+    // Four tenants hammer a small-queue engine from their own threads
+    // (mixed deadlines force all three dispositions) while the main
+    // thread snapshots stats mid-flight: in EVERY snapshot the
+    // per-tenant disposition counts must sum exactly to the global
+    // totals, and at the end each tenant's resolutions must sum to
+    // its submissions.
+    constexpr std::size_t kTenants = 4;
+    constexpr std::size_t kPerTenant = 300;
+
+    core::TenantPolicy tenants;
+    tenants.enable = true;
+    tenants.defaultShare = 0.6;
+    const auto engine = core::EngineBuilder(*index_)
+                            .defaultK(5)
+                            .defaultNprobe(4)
+                            .searchThreads(2)
+                            .batching({.maxBatch = 8,
+                                       .timeoutSeconds = 2e-4})
+                            .admissionQueueBound(8)
+                            .tenantIsolation(tenants)
+                            .build();
+
+    const auto check_sums = [](const core::EngineStatsSnapshot &s) {
+        std::size_t submitted = 0, served = 0, expired = 0,
+                    rejected = 0, degraded = 0;
+        for (const auto &t : s.tenants) {
+            submitted += t.submitted;
+            served += t.served;
+            expired += t.expired;
+            rejected += t.rejected;
+            degraded += t.degradedServed;
+        }
+        EXPECT_EQ(submitted, s.submitted);
+        EXPECT_EQ(served, s.served);
+        EXPECT_EQ(expired, s.expired);
+        EXPECT_EQ(rejected, s.rejected);
+        EXPECT_EQ(degraded, s.degradedServed);
+    };
+
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < kTenants; ++t)
+        workers.emplace_back([&, t] {
+            std::vector<std::future<core::SearchResponse>> futures;
+            for (std::size_t i = 0; i < kPerTenant; ++i) {
+                core::SearchRequest r;
+                r.query = query(i);
+                r.tag = t + 1;
+                // Every third request gets a deadline tight enough to
+                // expire in a backed-up queue.
+                if (i % 3 == 0)
+                    r.deadlineSeconds = 1e-4;
+                futures.push_back(engine->submit(r));
+            }
+            for (auto &f : futures)
+                f.get();
+        });
+
+    for (std::size_t i = 0; i < 50; ++i) {
+        check_sums(engine->stats());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (std::thread &w : workers)
+        w.join();
+    engine->drain();
+
+    const auto s = engine->stats();
+    check_sums(s);
+    EXPECT_EQ(s.submitted, kTenants * kPerTenant);
+    ASSERT_EQ(s.tenants.size(), kTenants);
+    for (const auto &t : s.tenants) {
+        EXPECT_EQ(t.submitted, kPerTenant);
+        EXPECT_EQ(t.served + t.expired + t.rejected, t.submitted);
+    }
+}
+
+TEST_F(TenantEngineFixture, TenantPolicyValidation)
+{
+    core::TenantPolicy tenants;
+    tenants.enable = true;
+
+    // Weighted admission requires a bounded queue.
+    EXPECT_THROW(core::EngineBuilder(*index_)
+                     .tenantIsolation(tenants)
+                     .build(),
+                 std::invalid_argument);
+
+    tenants.defaultShare = 0.0;
+    EXPECT_THROW(core::EngineBuilder(*index_)
+                     .admissionQueueBound(16)
+                     .tenantIsolation(tenants)
+                     .build(),
+                 std::invalid_argument);
+
+    tenants.defaultShare = 0.5;
+    tenants.shares = {{1, 1.5}};
+    EXPECT_THROW(core::EngineBuilder(*index_)
+                     .admissionQueueBound(16)
+                     .tenantIsolation(tenants)
+                     .build(),
+                 std::invalid_argument);
+
+    tenants.shares = {{1, 0.5}, {1, 0.25}};
+    EXPECT_THROW(core::EngineBuilder(*index_)
+                     .admissionQueueBound(16)
+                     .tenantIsolation(tenants)
+                     .build(),
+                 std::invalid_argument);
+
+    // A valid policy builds; disabled policies need no bounded queue.
+    tenants.shares = {{1, 0.5}};
+    EXPECT_NO_THROW(core::EngineBuilder(*index_)
+                        .admissionQueueBound(16)
+                        .tenantIsolation(tenants)
+                        .build());
+    tenants.enable = false;
+    EXPECT_NO_THROW(
+        core::EngineBuilder(*index_).tenantIsolation(tenants).build());
+}
+
+} // namespace
+} // namespace vlr::wl
