@@ -3,8 +3,42 @@
 #include <algorithm>
 #include <memory>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace vlr
 {
+
+namespace
+{
+
+/** Best-effort pin of @p t to @p core; returns success. */
+bool
+pinThreadToCore(std::thread &t, std::size_t core)
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(core % CPU_SETSIZE, &set);
+    return pthread_setaffinity_np(t.native_handle(), sizeof(set),
+                                  &set) == 0;
+#else
+    (void)t;
+    (void)core;
+    return false;
+#endif
+}
+
+} // namespace
+
+std::size_t
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads)
 {
@@ -13,6 +47,22 @@ ThreadPool::ThreadPool(std::size_t num_threads)
     threads_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i)
         threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::ThreadPool(ThreadPoolOptions options)
+    : ThreadPool(options.numThreads == 0 ? hardwareConcurrency()
+                                         : options.numThreads)
+{
+    if (!options.pinThreads || threads_.empty())
+        return;
+    // Round-robin workers across cores. Every pin must take for the
+    // pool to report pinned() — a half-pinned pool would skew any
+    // scaling measurement built on it.
+    const std::size_t cores = hardwareConcurrency();
+    bool all = true;
+    for (std::size_t i = 0; i < threads_.size(); ++i)
+        all = pinThreadToCore(threads_[i], i % cores) && all;
+    pinned_ = all;
 }
 
 ThreadPool::~ThreadPool()

@@ -56,6 +56,13 @@ EngineBuilder::searchThreads(std::size_t n)
 }
 
 EngineBuilder &
+EngineBuilder::pinSearchThreads(bool pin)
+{
+    config_.pinSearchThreads = pin;
+    return *this;
+}
+
+EngineBuilder &
 EngineBuilder::sloSearchSeconds(double seconds)
 {
     config_.sloSearchSeconds = seconds;

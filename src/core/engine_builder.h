@@ -68,8 +68,11 @@ class EngineBuilder
     /** Probed lists for requests that leave nprobe unset. */
     EngineBuilder &defaultNprobe(std::size_t nprobe);
 
-    /** Search worker threads (>= 1). */
+    /** Search worker threads (1 = inline, 0 = hardware-sized). */
     EngineBuilder &searchThreads(std::size_t n);
+
+    /** Pin search workers round-robin to cores (Linux; best effort). */
+    EngineBuilder &pinSearchThreads(bool pin);
 
     /** Retrieval-stage SLO fed to the drift monitor. */
     EngineBuilder &sloSearchSeconds(double seconds);

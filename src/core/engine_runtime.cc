@@ -38,7 +38,9 @@ RetrievalEngine::RetrievalEngine(const vs::IvfPqFastScanIndex &index,
                                  const TieredIndex *tiered,
                                  EngineConfig config)
     : index_(index), ownedTiered_(std::move(owned)), tiered_(tiered),
-      config_(std::move(config)), pool_(config_.numSearchThreads),
+      config_(std::move(config)),
+      pool_(ThreadPoolOptions{.numThreads = config_.numSearchThreads,
+                              .pinThreads = config_.pinSearchThreads}),
       batchCap_(config_.batching.maxBatch), started_(Clock::now())
 {
     config_.validate();

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Epoch-based memory reclamation for the lock-free read path.
+ *
+ * The serving hot path must pin an immutable snapshot (the tiered
+ * index's current hot/cold placement) without taking a mutex or
+ * bouncing a shared reference count between reader cores. EpochManager
+ * implements the classic three-actor epoch scheme:
+ *
+ *  - readers wrap each access in an EpochGuard: the guard announces
+ *    the current global epoch in a per-thread slot (a single
+ *    uncontended store + fence), loads the shared pointer with one
+ *    acquire load, and clears the slot on exit;
+ *  - writers publish a replacement object with an atomic pointer swap
+ *    and retire() the old one, which advances the global epoch and
+ *    parks the object in a limbo list tagged with the pre-advance
+ *    epoch;
+ *  - reclamation frees a retired object only once every announced
+ *    reader epoch is strictly newer than the object's retirement
+ *    epoch, i.e. no thread that could still hold the old pointer is
+ *    inside a guard.
+ *
+ * The announce protocol re-checks the global epoch after a seq_cst
+ * fence and re-announces until it observes a stable value (the
+ * crossbeam/folly recipe): this closes the race where a reader
+ * announces epoch e, stalls, and a concurrent retire-plus-scan misses
+ * the announcement — after the fence the reader is guaranteed to see
+ * any epoch advance that a successful scan could have ordered before
+ * it, and re-announcing the newer epoch forces its subsequent pointer
+ * load to observe the new object.
+ *
+ * Guards nest (inner guards are free), retire() and tryReclaim() are
+ * mutex-protected — they run on the repartition control path, never on
+ * the per-query read path — and the destructor frees everything still
+ * in limbo. Threads register a slot per manager on first use; slots of
+ * exited threads stay quiescent and cost one load per scan.
+ *
+ * PerThread<T> is the underlying per-instance, per-thread slot
+ * registry, exposed because the statistics sharding in TieredIndex
+ * uses the same pattern: local() returns this thread's slot (creating
+ * and registering it on first use), forEach() visits every slot ever
+ * created for the instance. Slots are owned by the PerThread instance;
+ * the thread-local index maps manager ids (never reused) to slots, so
+ * a stale cache entry for a destroyed instance can never be looked up
+ * again.
+ */
+
+#ifndef VLR_CORE_EPOCH_H
+#define VLR_CORE_EPOCH_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace vlr::core
+{
+
+/**
+ * Per-instance, per-thread slot registry: each thread gets one lazily
+ * created T per PerThread instance, and the owner can iterate every
+ * slot. The slot lookup after registration is a scan of a small
+ * thread-local vector (one entry per PerThread instance this thread
+ * has touched) — no lock, no shared-cache-line traffic. Registration
+ * and iteration serialize on an internal mutex.
+ *
+ * T must be constructible by the factory passed at construction (or
+ * default-constructible with the default factory). Slots live until
+ * the PerThread instance is destroyed; they are never reclaimed when a
+ * thread exits, so forEach() also covers threads that have finished.
+ */
+template <typename T> class PerThread
+{
+  public:
+    PerThread() : PerThread([] { return std::make_unique<T>(); }) {}
+
+    explicit PerThread(std::function<std::unique_ptr<T>()> factory)
+        : id_(nextId().fetch_add(1, std::memory_order_relaxed)),
+          factory_(std::move(factory))
+    {
+    }
+
+    PerThread(const PerThread &) = delete;
+    PerThread &operator=(const PerThread &) = delete;
+
+    /** This thread's slot, created and registered on first use. */
+    T &
+    local()
+    {
+        struct Entry
+        {
+            std::uint64_t id;
+            T *slot;
+        };
+        static thread_local std::vector<Entry> cache;
+        for (const Entry &e : cache)
+            if (e.id == id_)
+                return *e.slot;
+        auto owned = factory_();
+        T *slot = owned.get();
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            slots_.push_back(std::move(owned));
+        }
+        cache.push_back({id_, slot});
+        return *slot;
+    }
+
+    /** Visit every slot ever created for this instance (serialized
+     *  with registration; concurrent local() calls on other threads
+     *  may add slots that this pass does not see). */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (const auto &slot : slots_)
+            fn(*slot);
+    }
+
+    /** Slots created so far (registered threads). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return slots_.size();
+    }
+
+  private:
+    static std::atomic<std::uint64_t> &
+    nextId()
+    {
+        static std::atomic<std::uint64_t> counter{1};
+        return counter;
+    }
+
+    std::uint64_t id_;
+    std::function<std::unique_ptr<T>()> factory_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<T>> slots_;
+};
+
+/**
+ * Epoch-based reclamation domain. One manager guards one family of
+ * snapshot objects (e.g. a TieredIndex's placement generations).
+ *
+ * Reader protocol (hot path, no locks):
+ * @code
+ *   EpochGuard g(epochs_);
+ *   const Tiers *t = tiers_.load(std::memory_order_acquire);
+ *   ... use *t for the whole guarded section ...
+ * @endcode
+ *
+ * Writer protocol (control path):
+ * @code
+ *   const Tiers *old = tiers_.exchange(next, std::memory_order_acq_rel);
+ *   epochs_.retire(old);   // freed once every reader moves past it
+ * @endcode
+ *
+ * A guard held by one thread also covers helper threads whose access
+ * is bracketed by the guard's lifetime (fork/join fan-out: the owner
+ * enters the guard, distributes the pointer, and exits only after
+ * every helper finished) — the snapshot cannot be retired-and-freed
+ * while the owning guard is active.
+ */
+class EpochManager
+{
+  public:
+    EpochManager() : slots_([] { return std::make_unique<Slot>(); }) {}
+
+    /** Frees everything still in limbo. No guard may be active. */
+    ~EpochManager()
+    {
+        for (const Retired &r : limbo_)
+            r.del(r.p);
+    }
+
+    EpochManager(const EpochManager &) = delete;
+    EpochManager &operator=(const EpochManager &) = delete;
+
+    /** Enter a guarded section (use EpochGuard, not this directly).
+     *  Nested enters on the same thread are counted and free. */
+    void
+    enter()
+    {
+        Slot &s = slots_.local();
+        if (s.nesting++ > 0)
+            return;
+        std::uint64_t e = global_.load(std::memory_order_acquire);
+        for (;;) {
+            // Release (not relaxed) so a reclaimer that acquire-reads
+            // this announcement sees everything the thread did in its
+            // *previous* guarded section — the edge race detectors
+            // need, since they do not model the fence below.
+            s.epoch.store(e, std::memory_order_release);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            const std::uint64_t g =
+                global_.load(std::memory_order_acquire);
+            if (g == e)
+                break;
+            e = g; // the epoch moved past our announcement; re-announce
+        }
+    }
+
+    /** Leave a guarded section; the outermost exit goes quiescent. */
+    void
+    exit()
+    {
+        Slot &s = slots_.local();
+        if (--s.nesting > 0)
+            return;
+        s.epoch.store(kQuiescent, std::memory_order_release);
+    }
+
+    /**
+     * Hand @p p to the reclamation domain after unlinking it from the
+     * shared structure: advances the global epoch, parks the object
+     * tagged with the pre-advance epoch and opportunistically reclaims
+     * whatever has become unreachable. Not for the read hot path.
+     */
+    template <typename T>
+    void
+    retire(const T *p)
+    {
+        retire(const_cast<T *>(p),
+               [](void *q) { delete static_cast<T *>(q); });
+    }
+
+    /** Type-erased retire; @p del frees @p p when safe. */
+    void
+    retire(void *p, void (*del)(void *))
+    {
+        const std::uint64_t epoch =
+            global_.fetch_add(1, std::memory_order_acq_rel);
+        {
+            std::lock_guard<std::mutex> lk(limboMutex_);
+            limbo_.push_back({p, del, epoch});
+        }
+        tryReclaim();
+    }
+
+    /**
+     * Free every retired object whose epoch every active reader has
+     * moved past. Called by retire(); callable directly to drain limbo
+     * (e.g. in tests or teardown paths). @return objects freed.
+     */
+    std::size_t
+    tryReclaim()
+    {
+        std::vector<Retired> free_now;
+        {
+            std::lock_guard<std::mutex> lk(limboMutex_);
+            if (limbo_.empty())
+                return 0;
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            std::uint64_t min_active =
+                std::numeric_limits<std::uint64_t>::max();
+            slots_.forEach([&min_active](const Slot &s) {
+                const std::uint64_t e =
+                    s.epoch.load(std::memory_order_acquire);
+                if (e != kQuiescent)
+                    min_active = std::min(min_active, e);
+            });
+            // An object retired at epoch R is unreachable once every
+            // active announcement is > R: such readers entered after
+            // the epoch advance, hence after the unlink.
+            std::size_t kept = 0;
+            for (Retired &r : limbo_) {
+                if (r.epoch < min_active)
+                    free_now.push_back(r);
+                else
+                    limbo_[kept++] = r;
+            }
+            limbo_.resize(kept);
+        }
+        for (const Retired &r : free_now)
+            r.del(r.p);
+        return free_now.size();
+    }
+
+    /** Retired objects still awaiting reclamation. */
+    std::size_t
+    limboSize() const
+    {
+        std::lock_guard<std::mutex> lk(limboMutex_);
+        return limbo_.size();
+    }
+
+    /** Current global epoch (monotonic; diagnostic). */
+    std::uint64_t
+    currentEpoch() const
+    {
+        return global_.load(std::memory_order_acquire);
+    }
+
+  private:
+    static constexpr std::uint64_t kQuiescent = 0;
+
+    /** One reader thread's announcement. Only `epoch` is shared (the
+     *  reclaimer scans it); `nesting` is owner-thread state. Aligned
+     *  out of false sharing with other threads' slots. */
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> epoch{kQuiescent};
+        std::uint32_t nesting = 0;
+    };
+
+    struct Retired
+    {
+        void *p;
+        void (*del)(void *);
+        std::uint64_t epoch;
+    };
+
+    std::atomic<std::uint64_t> global_{1};
+    PerThread<Slot> slots_;
+    mutable std::mutex limboMutex_;
+    std::vector<Retired> limbo_;
+};
+
+/** RAII reader pin: enter on construction, exit on destruction. */
+class EpochGuard
+{
+  public:
+    explicit EpochGuard(EpochManager &mgr) : mgr_(mgr) { mgr_.enter(); }
+    ~EpochGuard() { mgr_.exit(); }
+
+    EpochGuard(const EpochGuard &) = delete;
+    EpochGuard &operator=(const EpochGuard &) = delete;
+
+  private:
+    EpochManager &mgr_;
+};
+
+} // namespace vlr::core
+
+#endif // VLR_CORE_EPOCH_H

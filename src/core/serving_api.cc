@@ -34,9 +34,6 @@ EngineConfig::validate() const
     if (defaultNprobe == 0)
         throw std::invalid_argument(
             "EngineConfig: defaultNprobe must be >= 1");
-    if (numSearchThreads == 0)
-        throw std::invalid_argument(
-            "EngineConfig: numSearchThreads must be >= 1");
     if (sloSearchSeconds <= 0.0)
         throw std::invalid_argument(
             "EngineConfig: sloSearchSeconds must be > 0");

@@ -309,8 +309,13 @@ struct EngineConfig
     std::size_t defaultK = 10;
     /** Probed IVF lists for requests that leave nprobe unset. */
     std::size_t defaultNprobe = 16;
-    /** Search worker threads (>= 1; 1 = batch executes inline). */
+    /** Search worker threads: 1 = batch executes inline, 0 = size the
+     *  pool to the hardware (ThreadPool::hardwareConcurrency()). */
     std::size_t numSearchThreads = 4;
+    /** Pin search workers round-robin across cores (Linux;
+     *  best-effort elsewhere) so per-thread caches, stat shards and
+     *  epoch slots stay core-resident. */
+    bool pinSearchThreads = false;
     /**
      * Retrieval-stage SLO (Table I); tiered batches whose search stage
      * exceeds it are reported to the drift monitor as SLO misses.

@@ -13,16 +13,6 @@ namespace vlr::core
 namespace
 {
 
-/** fetch_add for atomic<double> without relying on C++20 FP atomics. */
-void
-atomicAddDouble(std::atomic<double> &a, double x)
-{
-    double cur = a.load(std::memory_order_relaxed);
-    while (!a.compare_exchange_weak(cur, cur + x,
-                                    std::memory_order_relaxed))
-        ;
-}
-
 /** Clamp the shard counts and fall back to the default backend. */
 TieredOptions
 normalizeOptions(TieredOptions opts)
@@ -79,23 +69,36 @@ TieredIndex::Tiers::Tiers(const vs::IvfPqFastScanIndex &source,
                     static_cast<double>(source.nlist());
 }
 
+TieredIndex::StatShard::StatShard(std::size_t nlist,
+                                  std::size_t max_shards)
+    : accessCounts(std::make_unique<std::atomic<std::uint64_t>[]>(nlist)),
+      shardProbes(
+          std::make_unique<std::atomic<std::uint64_t>[]>(max_shards)),
+      shardScanSeconds(
+          std::make_unique<std::atomic<double>[]>(max_shards)),
+      shardScanCounts(
+          std::make_unique<std::atomic<std::uint64_t>[]>(max_shards))
+{
+    for (std::size_t c = 0; c < nlist; ++c)
+        accessCounts[c].store(0, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < max_shards; ++s) {
+        shardProbes[s].store(0, std::memory_order_relaxed);
+        shardScanSeconds[s].store(0.0, std::memory_order_relaxed);
+        shardScanCounts[s].store(0, std::memory_order_relaxed);
+    }
+}
+
 TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
                          std::vector<cluster_id_t> hot_clusters,
                          TieredOptions opts)
     : source_(source), opts_(normalizeOptions(std::move(opts))),
-      tiers_(std::make_shared<const Tiers>(
-          source,
-          makeHotAssignment(source, std::move(hot_clusters),
-                            opts_.numShards),
-          opts_)),
-      accessCounts_(
-          std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist())),
-      shardProbeCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
-          opts_.maxShards)),
-      shardScanSeconds_(
-          std::make_unique<std::atomic<double>[]>(opts_.maxShards)),
-      shardScanCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
-          opts_.maxShards))
+      tiers_(new Tiers(source,
+                       makeHotAssignment(source, std::move(hot_clusters),
+                                         opts_.numShards),
+                       opts_)),
+      statShards_([nlist = source.nlist(), max = opts_.maxShards] {
+          return std::make_unique<StatShard>(nlist, max);
+      })
 {
 }
 
@@ -103,27 +106,23 @@ TieredIndex::TieredIndex(const vs::IvfPqFastScanIndex &source,
                          const AccessProfile &profile, double rho,
                          TieredOptions opts)
     : source_(source), opts_(normalizeOptions(std::move(opts))),
-      tiers_(std::make_shared<const Tiers>(
-          source,
-          IndexSplitter::split(profile, rho,
-                               static_cast<int>(opts_.numShards)),
-          opts_)),
-      accessCounts_(
-          std::make_unique<std::atomic<std::uint64_t>[]>(source.nlist())),
-      shardProbeCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
-          opts_.maxShards)),
-      shardScanSeconds_(
-          std::make_unique<std::atomic<double>[]>(opts_.maxShards)),
-      shardScanCounts_(std::make_unique<std::atomic<std::uint64_t>[]>(
-          opts_.maxShards))
+      tiers_(new Tiers(source,
+                       IndexSplitter::split(
+                           profile, rho,
+                           static_cast<int>(opts_.numShards)),
+                       opts_)),
+      statShards_([nlist = source.nlist(), max = opts_.maxShards] {
+          return std::make_unique<StatShard>(nlist, max);
+      })
 {
 }
 
-std::shared_ptr<const TieredIndex::Tiers>
-TieredIndex::snapshot() const
+TieredIndex::~TieredIndex()
 {
-    std::lock_guard<std::mutex> lk(snapshotMutex_);
-    return tiers_;
+    // No reader may be active (class contract), so the current
+    // generation can be freed directly; epochs_'s destructor drains
+    // whatever repartitions left in limbo.
+    delete tiers_.load(std::memory_order_relaxed);
 }
 
 TieredIndex::ProbeBuckets
@@ -131,6 +130,7 @@ TieredIndex::routeProbes(const Tiers &tiers,
                          std::span<const cluster_id_t> clusters,
                          TieredQueryStats *qs) const
 {
+    StatShard &stats = localStats();
     ProbeBuckets b;
     b.shardProbes.resize(tiers.assignment.numShards());
 
@@ -145,7 +145,7 @@ TieredIndex::routeProbes(const Tiers &tiers,
         const auto w = static_cast<double>(source_.listSize(c));
         plan.probeWork.push_back(w);
         plan.totalWork += w;
-        accessCounts_[static_cast<std::size_t>(c)].fetch_add(
+        stats.accessCounts[static_cast<std::size_t>(c)].fetch_add(
             1, std::memory_order_relaxed);
         const shard_id_t s =
             tiers.assignment.clusterShard[static_cast<std::size_t>(c)];
@@ -153,7 +153,7 @@ TieredIndex::routeProbes(const Tiers &tiers,
             b.coldProbes.push_back(c);
         } else {
             b.shardProbes[static_cast<std::size_t>(s)].push_back(c);
-            shardProbeCounts_[static_cast<std::size_t>(s)].fetch_add(
+            stats.shardProbes[static_cast<std::size_t>(s)].fetch_add(
                 1, std::memory_order_relaxed);
             ++b.hotCount;
         }
@@ -164,16 +164,17 @@ TieredIndex::routeProbes(const Tiers &tiers,
     const RoutedQuery &rq = routed.queries[0];
 
     const bool hot_only = b.coldProbes.empty() && b.hotCount > 0;
-    queries_.fetch_add(1, std::memory_order_relaxed);
+    stats.queries.fetch_add(1, std::memory_order_relaxed);
     if (hot_only)
-        hotOnly_.fetch_add(1, std::memory_order_relaxed);
+        stats.hotOnly.fetch_add(1, std::memory_order_relaxed);
     else if (b.hotCount == 0)
-        coldOnly_.fetch_add(1, std::memory_order_relaxed);
+        stats.coldOnly.fetch_add(1, std::memory_order_relaxed);
     else
-        split_.fetch_add(1, std::memory_order_relaxed);
-    hotProbes_.fetch_add(b.hotCount, std::memory_order_relaxed);
-    totalProbes_.fetch_add(clusters.size(), std::memory_order_relaxed);
-    atomicAddDouble(hitRateSum_, rq.hitRate);
+        stats.split.fetch_add(1, std::memory_order_relaxed);
+    stats.hotProbes.fetch_add(b.hotCount, std::memory_order_relaxed);
+    stats.totalProbes.fetch_add(clusters.size(),
+                                std::memory_order_relaxed);
+    StatShard::ownerAdd(stats.hitRateSum, rq.hitRate);
 
     if (qs) {
         qs->hotProbes = b.hotCount;
@@ -199,13 +200,15 @@ TieredIndex::timedScan(const Tiers &tiers, const float *query,
             : tiers.shards[static_cast<std::size_t>(shard)]
                   ->searchClusters(query, k, clusters, scratch);
     const double secs = timer.elapsed();
+    StatShard &stats = localStats();
     if (shard == kCpuShard) {
-        atomicAddDouble(coldScanSeconds_, secs);
-        coldScanCounts_.fetch_add(1, std::memory_order_relaxed);
+        StatShard::ownerAdd(stats.coldScanSeconds, secs);
+        stats.coldScanCounts.fetch_add(1, std::memory_order_relaxed);
     } else {
-        atomicAddDouble(
-            shardScanSeconds_[static_cast<std::size_t>(shard)], secs);
-        shardScanCounts_[static_cast<std::size_t>(shard)].fetch_add(
+        StatShard::ownerAdd(
+            stats.shardScanSeconds[static_cast<std::size_t>(shard)],
+            secs);
+        stats.shardScanCounts[static_cast<std::size_t>(shard)].fetch_add(
             1, std::memory_order_relaxed);
     }
     return hits;
@@ -238,7 +241,10 @@ std::vector<vs::SearchHit>
 TieredIndex::search(const float *query, std::size_t k, std::size_t nprobe,
                     vs::SearchScratch *scratch, TieredQueryStats *qs) const
 {
-    const auto tiers = snapshot();
+    // The whole read path runs inside one epoch guard: the snapshot
+    // pin is the single acquire load below — no mutex, no refcount.
+    EpochGuard guard(epochs_);
+    const Tiers *tiers = currentTiers();
     const auto pl = source_.quantizer().probe(query, nprobe);
     const ProbeBuckets buckets = routeProbes(*tiers, pl.clusters, qs);
     return scanBuckets(*tiers, query, k, buckets, scratch);
@@ -265,8 +271,13 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
     assert(queries.size() >= nq * d);
     assert(nprobes.size() >= nq);
     // One snapshot serves the whole batch, so a concurrent repartition
-    // cannot split a batch across placement generations.
-    const auto tiers = snapshot();
+    // cannot split a batch across placement generations. The calling
+    // thread's guard brackets every pool task below (fork/join), so
+    // the snapshot cannot be reclaimed while any worker still scans
+    // it — workers need no guards of their own.
+    EpochGuard guard(epochs_);
+    const Tiers *tiersPtr = currentTiers();
+    const Tiers &tiers = *tiersPtr;
     std::vector<std::vector<vs::SearchHit>> out(nq);
     std::vector<TieredQueryStats> qstats(bs ? nq : 0);
     std::vector<ProbeBuckets> buckets(nq);
@@ -279,7 +290,7 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
         const float *q = queries.data() + i * d;
         const auto pl = source_.quantizer().probe(q, nprobes[i]);
         buckets[i] =
-            routeProbes(*tiers, pl.clusters, bs ? &qstats[i] : nullptr);
+            routeProbes(tiers, pl.clusters, bs ? &qstats[i] : nullptr);
     });
     const double route_s = route_timer.elapsed();
     WallTimer scan_timer;
@@ -315,7 +326,7 @@ TieredIndex::searchBatchParallel(std::span<const float> queries,
         const float *q = queries.data() + task.query * d;
         const ProbeBuckets &qb = buckets[task.query];
         parts[task.query][task.slot] = timedScan(
-            *tiers, q, k, task.shard,
+            tiers, q, k, task.shard,
             task.shard == kCpuShard
                 ? qb.coldProbes
                 : qb.shardProbes[static_cast<std::size_t>(task.shard)],
@@ -359,23 +370,27 @@ void
 TieredIndex::repartition(std::vector<cluster_id_t> hot_clusters,
                          std::size_t num_shards)
 {
-    // Build the replacement generation — every shard backend — outside
-    // the lock: in-flight and newly admitted searches keep using the
+    // Build the replacement generation — every shard backend — off the
+    // read path: in-flight and newly admitted searches keep using the
     // old snapshot meanwhile. num_shards == 0 keeps the current
     // snapshot's shard count; per-shard stat arrays are sized to
     // maxShards so a count change never reallocates them.
-    std::size_t shards = num_shards == 0
-                             ? snapshot()->assignment.numShards()
-                             : num_shards;
+    std::size_t shards = num_shards;
+    if (shards == 0) {
+        EpochGuard guard(epochs_);
+        shards = currentTiers()->assignment.numShards();
+    }
     shards = std::clamp<std::size_t>(shards, 1, opts_.maxShards);
-    auto next = std::make_shared<const Tiers>(
+    auto next = std::make_unique<Tiers>(
         source_,
         makeHotAssignment(source_, std::move(hot_clusters), shards),
         opts_);
-    {
-        std::lock_guard<std::mutex> lk(snapshotMutex_);
-        tiers_ = std::move(next);
-    }
+    // Publish with one swap; readers pinned to the displaced
+    // generation keep it alive via their epoch guards, and the epoch
+    // domain frees it once the last of them exits.
+    const Tiers *old =
+        tiers_.exchange(next.release(), std::memory_order_acq_rel);
+    epochs_.retire(old);
     repartitions_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -384,9 +399,14 @@ TieredIndex::drainAccessCounts()
 {
     const std::size_t n = nlist();
     std::vector<double> out(n);
-    for (std::size_t c = 0; c < n; ++c)
-        out[c] = static_cast<double>(
-            accessCounts_[c].exchange(0, std::memory_order_relaxed));
+    statShards_.forEach([&out, n](StatShard &shard) {
+        for (std::size_t c = 0; c < n; ++c) {
+            const std::uint64_t v = shard.accessCounts[c].exchange(
+                0, std::memory_order_relaxed);
+            if (v != 0)
+                out[c] += static_cast<double>(v);
+        }
+    });
     return out;
 }
 
@@ -409,40 +429,50 @@ TieredStatsSnapshot
 TieredIndex::stats() const
 {
     TieredStatsSnapshot s;
-    s.queries = queries_.load(std::memory_order_relaxed);
-    s.hotOnlyQueries = hotOnly_.load(std::memory_order_relaxed);
-    s.coldOnlyQueries = coldOnly_.load(std::memory_order_relaxed);
-    s.splitQueries = split_.load(std::memory_order_relaxed);
-    s.hotProbes = hotProbes_.load(std::memory_order_relaxed);
-    s.totalProbes = totalProbes_.load(std::memory_order_relaxed);
-    s.meanHitRate =
-        s.queries == 0
-            ? 0.0
-            : hitRateSum_.load(std::memory_order_relaxed) /
-                  static_cast<double>(s.queries);
+    // Two-phase merge: every per-thread shard folds into one snapshot.
+    double hit_rate_sum = 0.0;
+    s.shardProbeCounts.resize(opts_.maxShards);
+    s.shardScanSeconds.resize(opts_.maxShards);
+    s.shardScanCounts.resize(opts_.maxShards);
+    statShards_.forEach([&](const StatShard &shard) {
+        s.queries += shard.queries.load(std::memory_order_relaxed);
+        s.hotOnlyQueries +=
+            shard.hotOnly.load(std::memory_order_relaxed);
+        s.coldOnlyQueries +=
+            shard.coldOnly.load(std::memory_order_relaxed);
+        s.splitQueries += shard.split.load(std::memory_order_relaxed);
+        s.hotProbes += shard.hotProbes.load(std::memory_order_relaxed);
+        s.totalProbes +=
+            shard.totalProbes.load(std::memory_order_relaxed);
+        hit_rate_sum += shard.hitRateSum.load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < opts_.maxShards; ++i) {
+            s.shardProbeCounts[i] += static_cast<std::size_t>(
+                shard.shardProbes[i].load(std::memory_order_relaxed));
+            s.shardScanSeconds[i] +=
+                shard.shardScanSeconds[i].load(
+                    std::memory_order_relaxed);
+            s.shardScanCounts[i] += static_cast<std::size_t>(
+                shard.shardScanCounts[i].load(
+                    std::memory_order_relaxed));
+        }
+        s.coldScanSeconds +=
+            shard.coldScanSeconds.load(std::memory_order_relaxed);
+        s.coldScanCounts += static_cast<std::size_t>(
+            shard.coldScanCounts.load(std::memory_order_relaxed));
+    });
+    s.meanHitRate = s.queries == 0
+                        ? 0.0
+                        : hit_rate_sum / static_cast<double>(s.queries);
     s.hotProbeFraction =
         s.totalProbes == 0
             ? 0.0
             : static_cast<double>(s.hotProbes) /
                   static_cast<double>(s.totalProbes);
     s.repartitions = repartitions_.load(std::memory_order_relaxed);
-    // Cumulative per-shard counters cover every shard id that ever
-    // existed (maxShards), not just the current snapshot's count.
-    s.shardProbeCounts.resize(opts_.maxShards);
-    s.shardScanSeconds.resize(opts_.maxShards);
-    s.shardScanCounts.resize(opts_.maxShards);
-    for (std::size_t i = 0; i < opts_.maxShards; ++i) {
-        s.shardProbeCounts[i] = static_cast<std::size_t>(
-            shardProbeCounts_[i].load(std::memory_order_relaxed));
-        s.shardScanSeconds[i] =
-            shardScanSeconds_[i].load(std::memory_order_relaxed);
-        s.shardScanCounts[i] = static_cast<std::size_t>(
-            shardScanCounts_[i].load(std::memory_order_relaxed));
-    }
-    s.coldScanSeconds = coldScanSeconds_.load(std::memory_order_relaxed);
-    s.coldScanCounts = static_cast<std::size_t>(
-        coldScanCounts_.load(std::memory_order_relaxed));
-    const auto tiers = snapshot();
+    s.pendingReclaims = epochs_.limboSize();
+
+    EpochGuard guard(epochs_);
+    const Tiers *tiers = currentTiers();
     s.rho = tiers->rho;
     s.numHot = tiers->numHot;
     s.hotBytes = tiers->hotBytes;
@@ -458,7 +488,8 @@ TieredIndex::stats() const
 std::vector<bool>
 TieredIndex::hotBitmap() const
 {
-    const auto tiers = snapshot();
+    EpochGuard guard(epochs_);
+    const Tiers *tiers = currentTiers();
     std::vector<bool> bm(nlist(), false);
     for (const auto &shard : tiers->assignment.shardClusters)
         for (const cluster_id_t c : shard)
@@ -469,19 +500,22 @@ TieredIndex::hotBitmap() const
 double
 TieredIndex::rho() const
 {
-    return snapshot()->rho;
+    EpochGuard guard(epochs_);
+    return currentTiers()->rho;
 }
 
 std::size_t
 TieredIndex::numHotClusters() const
 {
-    return snapshot()->numHot;
+    EpochGuard guard(epochs_);
+    return currentTiers()->numHot;
 }
 
 std::size_t
 TieredIndex::numShards() const
 {
-    return snapshot()->assignment.numShards();
+    EpochGuard guard(epochs_);
+    return currentTiers()->assignment.numShards();
 }
 
 } // namespace vlr::core

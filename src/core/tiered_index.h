@@ -13,10 +13,21 @@
  * query's probe list is routed through the pruned Router over the
  * multi-shard ShardAssignment, so hot-covered queries skip the cold
  * tier entirely and the router's work-weighted hit rates come from the
- * same code path the simulator uses. Live searches bump per-cluster
- * atomic access counters; the OnlineUpdater drains them to drive
- * skew-tracking repartitions that rebuild every shard off-lock and swap
- * in a new tier snapshot without stalling in-flight batches.
+ * same code path the simulator uses.
+ *
+ * The read path is lock-free and contention-free: searches pin the
+ * current tier snapshot with a single acquire load inside an
+ * EpochGuard (epoch.h) instead of a mutex-guarded shared_ptr copy, and
+ * every per-probe statistic (per-cluster access counts, per-shard
+ * probe/scan counters, scan wall-time accumulators, per-query routing
+ * tallies) lands in a per-thread stat shard — an uncontended cache
+ * line owned by the recording thread. drainAccessCounts()/stats()
+ * merge the shards on demand, preserving the exact totals the
+ * OnlineUpdater and SloAutopilot drained before the sharding.
+ * repartition() rebuilds every shard off the read path, publishes the
+ * new generation with one atomic pointer swap, and retires the old one
+ * to the epoch domain, which frees it only after every reader has
+ * moved past it.
  */
 
 #ifndef VLR_CORE_TIERED_INDEX_H
@@ -24,13 +35,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/threadpool.h"
 #include "core/access_profile.h"
+#include "core/epoch.h"
 #include "core/router.h"
 #include "core/shard_backend.h"
 #include "core/splitter.h"
@@ -132,6 +143,9 @@ struct TieredStatsSnapshot
     double coldScanSeconds = 0.0;
     /** Cumulative cold scan calls since construction. */
     std::size_t coldScanCounts = 0;
+    /** Retired placement generations not yet reclaimed (epoch limbo;
+     *  0 once every reader has moved past old snapshots). */
+    std::size_t pendingReclaims = 0;
 };
 
 /**
@@ -145,8 +159,11 @@ struct TieredStatsSnapshot
  * scan reproduces the serial scan.
  *
  * Thread-safety: search methods are const and may run from any number
- * of threads; repartition() may run concurrently with searches (each
- * search pins the tier snapshot it started with via shared_ptr). The
+ * of threads; repartition() may run concurrently with searches. A
+ * search pins the placement generation it started with via an epoch
+ * guard (no mutex, no shared_ptr refcount bounce) and a concurrent
+ * repartition retires the displaced generation to the epoch domain,
+ * which frees it only after every pinned reader has exited. The
  * source index must outlive the TieredIndex and must not be mutated
  * while tiered searches run.
  */
@@ -172,6 +189,12 @@ class TieredIndex
     TieredIndex(const vs::IvfPqFastScanIndex &source,
                 const AccessProfile &profile, double rho,
                 TieredOptions opts = {});
+
+    /** No search or repartition may be in flight at destruction. */
+    ~TieredIndex();
+
+    TieredIndex(const TieredIndex &) = delete;
+    TieredIndex &operator=(const TieredIndex &) = delete;
 
     /**
      * Serial tiered search: probe the shared coarse quantizer, route
@@ -213,10 +236,11 @@ class TieredIndex
      * Rebuild the hot tier around a new hot set and atomically swap it
      * in. The (expensive) rebuild of every shard backend runs before
      * the swap, outside any lock; searches started on the old snapshot
-     * finish on it. The backend factory is preserved; @p num_shards
-     * picks the rebuilt shard count (clamped to [1, maxShards()]),
-     * with 0 keeping the current count — the autopilot's shard-count
-     * actuation rides this parameter.
+     * finish on it (the displaced generation is epoch-retired and
+     * freed once the last pinned reader exits). The backend factory is
+     * preserved; @p num_shards picks the rebuilt shard count (clamped
+     * to [1, maxShards()]), with 0 keeping the current count — the
+     * autopilot's shard-count actuation rides this parameter.
      */
     void repartition(std::vector<cluster_id_t> hot_clusters,
                      std::size_t num_shards = 0);
@@ -226,8 +250,9 @@ class TieredIndex
      * cluster since the last drain) — the profiling input of an online
      * repartition cycle.
      *
-     * Consistency contract: counters are relaxed atomics bumped once
-     * per routed probe, before the probe's scan runs. A drain that
+     * Consistency contract: each recording thread bumps its own stat
+     * shard once per routed probe, before the probe's scan runs; a
+     * drain exchanges every shard's counters to zero. A drain that
      * overlaps in-flight batches may therefore split one batch's
      * probes across two drains, and is not an instantaneous snapshot
      * across clusters — but no probe is ever lost or double-counted:
@@ -246,11 +271,12 @@ class TieredIndex
     AccessProfile profileFromCounts(std::vector<double> counts) const;
 
     /**
-     * Cumulative statistics. Counters share drainAccessCounts()'
-     * consistency contract: each is bumped once per query/probe with
-     * relaxed ordering, so a snapshot taken mid-batch may observe a
-     * partially recorded batch (e.g. queries ahead of hotProbes), but
-     * every counter is exact at any quiescent point.
+     * Cumulative statistics, merged across the per-thread stat shards.
+     * Counters share drainAccessCounts()' consistency contract: each
+     * is bumped once per query/probe with relaxed ordering in the
+     * recording thread's shard, so a snapshot taken mid-batch may
+     * observe a partially recorded batch (e.g. queries ahead of
+     * hotProbes), but every counter is exact at any quiescent point.
      */
     TieredStatsSnapshot stats() const;
 
@@ -285,6 +311,48 @@ class TieredIndex
               const TieredOptions &opts);
     };
 
+    /**
+     * One thread's statistics shard: every counter the read path
+     * touches, on cache lines owned by the recording thread. Members
+     * are atomics only so drains (exchange) and stats merges (load)
+     * from other threads are race-free; the recording thread is the
+     * sole writer outside drains, so its relaxed RMWs never contend.
+     * The wall-second accumulators are owner-only plain read-modify-
+     * write stores — no CAS loop anywhere on the hot path.
+     */
+    struct alignas(64) StatShard
+    {
+        StatShard(std::size_t nlist, std::size_t max_shards);
+
+        /** Per-cluster probe counts (nlist entries; drained). */
+        std::unique_ptr<std::atomic<std::uint64_t>[]> accessCounts;
+        /** Cumulative probes routed to each shard (maxShards). */
+        std::unique_ptr<std::atomic<std::uint64_t>[]> shardProbes;
+        /** Cumulative wall seconds inside each shard's scans. */
+        std::unique_ptr<std::atomic<double>[]> shardScanSeconds;
+        /** Cumulative searchClusters calls per shard. */
+        std::unique_ptr<std::atomic<std::uint64_t>[]> shardScanCounts;
+        std::atomic<double> coldScanSeconds{0.0};
+        std::atomic<std::uint64_t> coldScanCounts{0};
+        std::atomic<std::uint64_t> queries{0};
+        std::atomic<std::uint64_t> hotOnly{0};
+        std::atomic<std::uint64_t> coldOnly{0};
+        std::atomic<std::uint64_t> split{0};
+        std::atomic<std::uint64_t> hotProbes{0};
+        std::atomic<std::uint64_t> totalProbes{0};
+        /** Owner-only accumulate; merged into meanHitRate. */
+        std::atomic<double> hitRateSum{0.0};
+
+        /** Owner-thread add to a double accumulator (single writer,
+         *  so load+store replaces the old CAS loop). */
+        static void
+        ownerAdd(std::atomic<double> &a, double x)
+        {
+            a.store(a.load(std::memory_order_relaxed) + x,
+                    std::memory_order_relaxed);
+        }
+    };
+
     /** One query's probe list bucketed by destination. */
     struct ProbeBuckets
     {
@@ -295,11 +363,24 @@ class TieredIndex
         std::size_t hotCount = 0;
     };
 
-    std::shared_ptr<const Tiers> snapshot() const;
+    /** Current generation; caller must hold an EpochGuard. */
+    const Tiers *
+    currentTiers() const
+    {
+        return tiers_.load(std::memory_order_acquire);
+    }
+
+    /** This thread's stat shard (registered on first use). */
+    StatShard &
+    localStats() const
+    {
+        return statShards_.local();
+    }
 
     /**
      * Bucket one probe list by destination shard, record access
-     * counters and per-query routing stats.
+     * counters and per-query routing stats in the calling thread's
+     * stat shard.
      */
     ProbeBuckets routeProbes(const Tiers &tiers,
                              std::span<const cluster_id_t> clusters,
@@ -315,8 +396,15 @@ class TieredIndex
     const vs::IvfPqFastScanIndex &source_;
     TieredOptions opts_;
 
-    mutable std::mutex snapshotMutex_;
-    std::shared_ptr<const Tiers> tiers_;
+    /**
+     * Current placement generation. Readers pin it with a single
+     * acquire load inside an EpochGuard; repartition() publishes a
+     * replacement with exchange(acq_rel) and retires the old pointer
+     * to epochs_.
+     */
+    std::atomic<const Tiers *> tiers_;
+    /** Reclamation domain for displaced placement generations. */
+    mutable EpochManager epochs_;
 
     /** Time one bucket scan and record it under shard/cold stats. */
     std::vector<vs::SearchHit> timedScan(const Tiers &tiers,
@@ -326,25 +414,8 @@ class TieredIndex
                                              clusters,
                                          vs::SearchScratch *scratch) const;
 
-    /** Live per-cluster probe counters (relaxed; profiling input). */
-    std::unique_ptr<std::atomic<std::uint64_t>[]> accessCounts_;
-    /** Cumulative probes routed to each shard (relaxed). */
-    std::unique_ptr<std::atomic<std::uint64_t>[]> shardProbeCounts_;
-    /** Cumulative wall seconds inside each shard's scans (CAS add). */
-    std::unique_ptr<std::atomic<double>[]> shardScanSeconds_;
-    /** Cumulative searchClusters calls per shard (relaxed). */
-    std::unique_ptr<std::atomic<std::uint64_t>[]> shardScanCounts_;
-    mutable std::atomic<double> coldScanSeconds_{0.0};
-    mutable std::atomic<std::uint64_t> coldScanCounts_{0};
-
-    mutable std::atomic<std::uint64_t> queries_{0};
-    mutable std::atomic<std::uint64_t> hotOnly_{0};
-    mutable std::atomic<std::uint64_t> coldOnly_{0};
-    mutable std::atomic<std::uint64_t> split_{0};
-    mutable std::atomic<std::uint64_t> hotProbes_{0};
-    mutable std::atomic<std::uint64_t> totalProbes_{0};
-    /** Sum of per-query hit rates (CAS loop; see atomicAddDouble). */
-    mutable std::atomic<double> hitRateSum_{0.0};
+    /** Per-thread statistics shards (merged by drain/stats). */
+    mutable PerThread<StatShard> statShards_;
     std::atomic<std::uint64_t> repartitions_{0};
 };
 

@@ -434,8 +434,9 @@ TEST_F(ServingApiFixture, BuilderRejectsInvalidConfig)
                  std::invalid_argument);
     EXPECT_THROW(EngineBuilder(*index_).defaultNprobe(0).build(),
                  std::invalid_argument);
-    EXPECT_THROW(EngineBuilder(*index_).searchThreads(0).build(),
-                 std::invalid_argument);
+    // searchThreads(0) is no longer an error: it sizes the pool to the
+    // hardware.
+    EXPECT_NO_THROW(EngineBuilder(*index_).searchThreads(0).build());
     EXPECT_THROW(EngineBuilder(*index_).sloSearchSeconds(0.0).build(),
                  std::invalid_argument);
     EXPECT_THROW(EngineBuilder(*index_)

@@ -167,6 +167,51 @@ TEST(ThreadPool, SubmitDetachedInlineWhenNoWorkers)
     EXPECT_EQ(x, 7);
 }
 
+TEST(ThreadPool, HardwareConcurrencyIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPool, OptionsZeroThreadsSizesToHardware)
+{
+    ThreadPool pool(ThreadPoolOptions{});
+    const std::size_t hw = ThreadPool::hardwareConcurrency();
+    // numThreads == 0 resolves to the hardware; a pool of <= 1 worker
+    // runs inline and reports zero threads.
+    EXPECT_EQ(pool.numThreads(), hw <= 1 ? 0u : hw);
+}
+
+TEST(ThreadPool, OptionsExplicitCountOverridesHardware)
+{
+    ThreadPool pool(ThreadPoolOptions{.numThreads = 3});
+    EXPECT_EQ(pool.numThreads(), 3u);
+    std::atomic<int> count{0};
+    pool.parallelFor(100, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PinnedPoolStillRunsWork)
+{
+    // Pinning is best effort (Linux only, may fail under restricted
+    // affinity masks); correctness of the work must not depend on it.
+    ThreadPool pool(
+        ThreadPoolOptions{.numThreads = 2, .pinThreads = true});
+    std::atomic<int> count{0};
+    pool.parallelFor(64, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 64);
+#if !defined(__linux__)
+    EXPECT_FALSE(pool.pinned());
+#endif
+}
+
+TEST(ThreadPool, InlinePoolNeverReportsPinned)
+{
+    ThreadPool pool(
+        ThreadPoolOptions{.numThreads = 1, .pinThreads = true});
+    EXPECT_EQ(pool.numThreads(), 0u);
+    EXPECT_FALSE(pool.pinned());
+}
+
 TEST(ThreadPool, ConcurrentLoopsFromMultipleCallers)
 {
     // Two external threads drive independent loops through one shared

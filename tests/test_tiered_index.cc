@@ -603,6 +603,91 @@ TEST_F(TieredFixture, DrainedCountsSumToTotalProbesAcrossConcurrentBatches)
               s.shardProbeCounts[0] + s.shardProbeCounts[1]);
 }
 
+TEST_F(TieredFixture, ConcurrentSearchRepartitionDrainStress)
+{
+    // The full adversarial schedule for the lock-free read path:
+    // parallel-batch searchers, serial searchers, a repartition churn
+    // thread (snapshot swap + epoch retirement), and a stats drainer
+    // all run concurrently. Afterwards the drain consistency contract
+    // must hold exactly and the epoch domain must have reclaimed every
+    // displaced generation. Run under ASan/UBSan and TSan in CI.
+    TieredOptions opts;
+    opts.numShards = 2;
+    TieredIndex tiered(*index_, topBySize(nlist_ / 4), opts);
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> failed{false};
+    double concurrent_drained = 0.0;
+    std::thread drainer([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            for (const double v : tiered.drainAccessCounts())
+                concurrent_drained += v;
+            std::this_thread::yield();
+        }
+    });
+    std::thread churner([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            tiered.repartition(topBySize(nlist_ / 2));
+            tiered.repartition(topBySize(nlist_ / 8));
+        }
+    });
+
+    const std::size_t reps = 6;
+    std::vector<std::thread> searchers;
+    searchers.emplace_back([&] {
+        ThreadPool pool(2);
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            const auto got = tiered.searchBatchParallel(
+                queries_, nq_, k_, nprobe_, pool);
+            if (got.size() != nq_)
+                failed = true;
+        }
+    });
+    searchers.emplace_back([&] {
+        for (std::size_t rep = 0; rep < reps; ++rep)
+            for (std::size_t i = 0; i < nq_; ++i) {
+                // Any snapshot gives exact parity with the flat index.
+                const float *q = queries_.data() + i * d_;
+                const auto expected = index_->search(q, k_, nprobe_);
+                const auto got = tiered.search(q, k_, nprobe_);
+                if (got.size() != expected.size()) {
+                    failed = true;
+                    continue;
+                }
+                for (std::size_t j = 0; j < got.size(); ++j)
+                    if (got[j].id != expected[j].id ||
+                        got[j].dist != expected[j].dist)
+                        failed = true;
+            }
+    });
+    for (auto &th : searchers)
+        th.join();
+    stop = true;
+    churner.join();
+    drainer.join();
+    EXPECT_FALSE(failed.load());
+
+    double total_drained = concurrent_drained;
+    for (const double v : tiered.drainAccessCounts())
+        total_drained += v;
+    double expected_probes = 0.0;
+    for (std::size_t i = 0; i < nq_; ++i)
+        expected_probes += static_cast<double>(
+            cq_->probe(queries_.data() + i * d_, nprobe_)
+                .clusters.size());
+    expected_probes *= static_cast<double>(2 * reps);
+
+    const auto s = tiered.stats();
+    EXPECT_DOUBLE_EQ(total_drained,
+                     static_cast<double>(s.totalProbes));
+    EXPECT_DOUBLE_EQ(total_drained, expected_probes);
+
+    // Quiescent: one more swap reclaims everything still in limbo —
+    // retire() frees eagerly once no reader pins an older epoch.
+    tiered.repartition(topBySize(nlist_ / 4));
+    EXPECT_EQ(tiered.stats().pendingReclaims, 0u);
+}
+
 TEST_F(TieredFixture, OnlineUpdaterTriggersBackgroundRebuild)
 {
     // Start with an empty hot tier but claim a high expected hit rate:
