@@ -6,6 +6,7 @@
 
 #include "core/online_update.h"
 #include "core/slo_autopilot.h"
+#include "storage/index_store.h"
 
 namespace vlr::core
 {
@@ -18,6 +19,19 @@ EngineBuilder::EngineBuilder(const vs::IvfPqFastScanIndex &index)
 EngineBuilder::EngineBuilder(const TieredIndex &tiered)
     : index_(tiered.source()), tiered_(&tiered)
 {
+}
+
+EngineBuilder::EngineBuilder(
+    std::shared_ptr<const vs::IvfPqFastScanIndex> owned)
+    : ownedIndex_(std::move(owned)), index_(*ownedIndex_)
+{
+}
+
+EngineBuilder
+EngineBuilder::fromArtifact(const std::string &path)
+{
+    return EngineBuilder(std::make_shared<const vs::IvfPqFastScanIndex>(
+        storage::IndexStore::load(path)));
 }
 
 EngineBuilder &
@@ -124,6 +138,13 @@ EngineBuilder::shardBackend(ShardBackendFactory factory)
 }
 
 EngineBuilder &
+EngineBuilder::coldTier(const HotShardBackend *backend)
+{
+    coldBackend_ = backend;
+    return *this;
+}
+
+EngineBuilder &
 EngineBuilder::updater(OnlineUpdater *updater)
 {
     updater_ = updater;
@@ -145,6 +166,15 @@ EngineBuilder::build()
         throw std::invalid_argument(
             "EngineBuilder: hotShards/shardBackend only shape the "
             "engine-owned tier built by tieredFromProfile");
+    if (coldBackend_ != nullptr && !fromProfile_)
+        throw std::invalid_argument(
+            "EngineBuilder: coldTier() only shapes the engine-owned "
+            "tier built by tieredFromProfile");
+    if (coldBackend_ != nullptr &&
+        coldBackend_->numClusters() != index_.nlist())
+        throw std::invalid_argument(
+            "EngineBuilder: cold backend cluster count does not match "
+            "the served index");
     if (updater_ != nullptr && tiered_ == nullptr)
         throw std::invalid_argument(
             "EngineBuilder: updater() requires a caller-owned "
@@ -169,6 +199,7 @@ EngineBuilder::build()
     if (fromProfile_) {
         TieredOptions topts{config_.numHotShards,
                             config_.shardBackendFactory};
+        topts.coldBackend = coldBackend_;
         // Give the autopilot's shard-count actuation headroom to grow
         // the hot tier past the construction-time count.
         if (config_.autopilot.enable)
@@ -180,6 +211,9 @@ EngineBuilder::build()
     }
     std::unique_ptr<RetrievalEngine> engine(new RetrievalEngine(
         index_, std::move(owned), tiered, config_));
+    // fromArtifact path: the engine adopts the restored index so it
+    // outlives every component referencing it.
+    engine->ownedIndex_ = std::move(ownedIndex_);
     OnlineUpdater *updater = updater_;
     if (config_.autopilot.enable && fromProfile_) {
         // Engine-owned control plane: the updater exists purely as the

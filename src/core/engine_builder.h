@@ -28,6 +28,7 @@
 #define VLR_CORE_ENGINE_BUILDER_H
 
 #include <memory>
+#include <string>
 
 #include "core/access_profile.h"
 #include "core/engine_runtime.h"
@@ -55,6 +56,25 @@ class EngineBuilder
      * flat-path index and dim()).
      */
     explicit EngineBuilder(const TieredIndex &tiered);
+
+    /**
+     * Cold-start path: restore a complete index from a
+     * storage::IndexStore artifact and serve it — no training, no
+     * re-encoding, and searches bit-identical to the index the
+     * artifact was saved from. The engine owns the restored index (it
+     * is kept alive for the engine's lifetime), so the builder chains
+     * exactly like the in-memory constructors:
+     *
+     * @code
+     * auto engine = core::EngineBuilder::fromArtifact("index.vlra")
+     *                   .tieredFromProfile(profile, 0.25)
+     *                   .build();
+     * @endcode
+     *
+     * @throws vs::IoError when the artifact is missing, malformed,
+     *         from an unsupported format version, or truncated.
+     */
+    static EngineBuilder fromArtifact(const std::string &path);
 
     /** Replace the whole configuration in one call. */
     EngineBuilder &config(EngineConfig cfg);
@@ -120,6 +140,17 @@ class EngineBuilder
     EngineBuilder &shardBackend(ShardBackendFactory factory);
 
     /**
+     * Route the engine-owned tier's cold probes to @p backend instead
+     * of scanning the source index in place (TieredOptions::
+     * coldBackend) — e.g. a storage::MmapColdTier serving the long
+     * tail from a memory-mapped artifact. Caller-owned; must outlive
+     * the engine, serve the same cluster contents as the index, and
+     * honour the bit-identical parity contract. Only valid with
+     * tieredFromProfile.
+     */
+    EngineBuilder &coldTier(const HotShardBackend *backend);
+
+    /**
      * Attach a drift-monitoring updater. Only valid when the builder
      * was constructed from a caller-owned TieredIndex; the updater
      * must monitor that same index. For tieredFromProfile engines,
@@ -138,12 +169,23 @@ class EngineBuilder
     std::unique_ptr<RetrievalEngine> build();
 
   private:
+    /** fromArtifact delegation target: adopts a restored index. */
+    explicit EngineBuilder(
+        std::shared_ptr<const vs::IvfPqFastScanIndex> owned);
+
+    /**
+     * Restored index backing index_ on the fromArtifact path (heap-
+     * stable, so the reference stays valid across builder copies);
+     * transferred into the engine by build().
+     */
+    std::shared_ptr<const vs::IvfPqFastScanIndex> ownedIndex_;
     const vs::IvfPqFastScanIndex &index_;
     const TieredIndex *tiered_ = nullptr;
     const AccessProfile *profile_ = nullptr;
     double rho_ = 0.0;
     bool fromProfile_ = false;
     bool shardOptionsSet_ = false;
+    const HotShardBackend *coldBackend_ = nullptr;
     OnlineUpdater *updater_ = nullptr;
     EngineConfig config_;
 };

@@ -337,6 +337,13 @@ class RetrievalEngine
     void noteAutopilotCycle();
     void recordAutopilotDecision(AutopilotDecision decision);
 
+    /**
+     * Index restored from an on-disk artifact by
+     * EngineBuilder::fromArtifact, or null when the caller owns the
+     * index. Declared first so it outlives every member referencing
+     * index_ (members are destroyed in reverse declaration order).
+     */
+    std::shared_ptr<const vs::IvfPqFastScanIndex> ownedIndex_;
     /** Flat-mode index (tiered_->source() when tiered). */
     const vs::IvfPqFastScanIndex &index_;
     /** Tiered index built by EngineBuilder::tieredFromProfile. */

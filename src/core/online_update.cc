@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/log.h"
 #include "common/timer.h"
 
 namespace vlr::core
@@ -91,12 +92,37 @@ estimateUpdateTimings(const DatasetContext &ctx, double rho, int num_shards,
     return t;
 }
 
+namespace
+{
+
+/** Run a rebuild hook, containing any exception to a warning. */
+void
+runHook(const std::function<void()> &hook)
+{
+    if (!hook)
+        return;
+    try {
+        hook();
+    } catch (const std::exception &e) {
+        logWarn("OnlineUpdater: repartition hook failed: ", e.what());
+    }
+}
+
+} // namespace
+
 OnlineUpdater::OnlineUpdater(TieredIndex &index, Options opts,
                              double expected_hit_rate)
     : index_(index), opts_(opts),
       monitor_(opts.drift, expected_hit_rate),
       expectedHitRate_(expected_hit_rate)
 {
+}
+
+void
+OnlineUpdater::setRepartitionHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    repartitionHook_ = std::move(hook);
 }
 
 OnlineUpdater::~OnlineUpdater()
@@ -149,7 +175,9 @@ OnlineUpdater::record(double hit_rate, bool slo_met)
         index_.profileFromCounts(index_.drainAccessCounts());
     auto hot = profile.hotClusters(opts_.rho);
     inFlight_ = true;
-    worker_ = std::thread([this, hot = std::move(hot)]() mutable {
+    worker_ = std::thread([this, hot = std::move(hot),
+                           hook = repartitionHook_]() mutable {
+        runHook(hook);
         index_.repartition(std::move(hot));
         std::lock_guard<std::mutex> wlk(mutex_);
         inFlight_ = false;
@@ -182,7 +210,9 @@ OnlineUpdater::requestRepartition(std::vector<cluster_id_t> hot_clusters,
                     static_cast<double>(nlist);
     inFlight_ = true;
     worker_ = std::thread(
-        [this, hot = std::move(hot_clusters), num_shards]() mutable {
+        [this, hot = std::move(hot_clusters), num_shards,
+         hook = repartitionHook_]() mutable {
+            runHook(hook);
             index_.repartition(std::move(hot), num_shards);
             std::lock_guard<std::mutex> wlk(mutex_);
             inFlight_ = false;

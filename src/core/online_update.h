@@ -15,6 +15,7 @@
 #ifndef VLR_CORE_ONLINE_UPDATE_H
 #define VLR_CORE_ONLINE_UPDATE_H
 
+#include <functional>
 #include <mutex>
 #include <thread>
 
@@ -182,6 +183,19 @@ class OnlineUpdater
     bool rebuildInFlight() const;
     std::size_t rebuildsCompleted() const;
 
+    /**
+     * Install a callback run on the background rebuild thread at the
+     * start of every rebuild — drift-triggered and requested alike —
+     * before the hot tier is re-replicated. The storage layer hangs
+     * its delta merge here (storage::MmapColdTier::mergeDeltas), so
+     * streamed vectors fold into the mapped artifact as part of the
+     * same maintenance cycle that re-partitions the hot set. A hook
+     * that throws is caught and logged; the rebuild proceeds (the
+     * merge retries on the next cycle). Pass nullptr to clear.
+     * Thread-safe; takes effect from the next rebuild launch.
+     */
+    void setRepartitionHook(std::function<void()> hook);
+
     /** Block until any in-flight rebuild has swapped in. */
     void waitForRebuild();
 
@@ -220,6 +234,8 @@ class OnlineUpdater
     std::thread worker_;
     bool inFlight_ = false;
     std::size_t completed_ = 0;
+    /** Copied into each worker at launch (see setRepartitionHook). */
+    std::function<void()> repartitionHook_;
 };
 
 } // namespace vlr::core

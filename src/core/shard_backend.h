@@ -74,6 +74,22 @@ class HotShardBackend
 
     /** Short backend name for stats and bench tables. */
     virtual std::string name() const = 0;
+
+    /**
+     * Bytes of this backend's data actually resident in RAM right now.
+     * In-memory backends equal bytes(); backends serving out of a
+     * memory-mapped file report only the pages the kernel currently
+     * holds (storage::MmapColdTier walks mincore()). Advisory — the
+     * value may be stale by the time the caller reads it.
+     */
+    virtual std::size_t residentBytes() const { return bytes(); }
+
+    /**
+     * Clusters whose data is fully RAM-resident right now. Advisory,
+     * like residentBytes(); defaults to numClusters() for in-memory
+     * backends.
+     */
+    virtual std::size_t residentClusters() const { return numClusters(); }
 };
 
 /**

@@ -193,10 +193,16 @@ TieredIndex::timedScan(const Tiers &tiers, const float *query,
                        vs::SearchScratch *scratch) const
 {
     WallTimer timer;
+    // Cold probes go to the pluggable cold backend when one is
+    // configured, otherwise scan the source index in place; both sides
+    // of the choice are bit-identical by the parity contract.
     std::vector<vs::SearchHit> hits =
         shard == kCpuShard
-            ? source_.searchClusters(query, k, clusters, nullptr,
-                                     scratch)
+            ? (opts_.coldBackend != nullptr
+                   ? opts_.coldBackend->searchClusters(query, k,
+                                                       clusters, scratch)
+                   : source_.searchClusters(query, k, clusters, nullptr,
+                                            scratch))
             : tiers.shards[static_cast<std::size_t>(shard)]
                   ->searchClusters(query, k, clusters, scratch);
     const double secs = timer.elapsed();
@@ -482,6 +488,12 @@ TieredIndex::stats() const
     s.shardBytes.reserve(tiers->shards.size());
     for (const auto &shard : tiers->shards)
         s.shardBytes.push_back(shard->bytes());
+    if (opts_.coldBackend != nullptr) {
+        s.coldBackend = opts_.coldBackend->name();
+        s.coldBytes = opts_.coldBackend->bytes();
+        s.coldResidentBytes = opts_.coldBackend->residentBytes();
+        s.coldResidentClusters = opts_.coldBackend->residentClusters();
+    }
     return s;
 }
 

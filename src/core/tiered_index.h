@@ -8,7 +8,11 @@
  * default is an in-memory fast-scan subset replica standing in for a
  * GPU-resident shard), while cold probes scan the source index in place
  * — the CPU keeps the full index, exactly as the paper's host-side
- * master copy does. Hot clusters are placed across shards by the same
+ * master copy does. Alternatively TieredOptions::coldBackend swaps the
+ * in-place cold scan for a pluggable backend (storage::MmapColdTier
+ * serves cold probes straight from a memory-mapped artifact), keeping
+ * the same bit-identical parity contract. Hot clusters are placed
+ * across shards by the same
  * size-balanced round-robin dealing IndexSplitter::split uses, and each
  * query's probe list is routed through the pruned Router over the
  * multi-shard ShardAssignment, so hot-covered queries skip the cold
@@ -66,6 +70,18 @@ struct TieredOptions
      * i.e. the shard count stays fixed — the pre-autopilot behaviour.
      */
     std::size_t maxShards = 0;
+    /**
+     * Optional cold-tier backend. Null (the default) keeps the classic
+     * behaviour: cold probes scan the source index in place. Non-null
+     * routes every cold probe to this backend instead — e.g. a
+     * storage::MmapColdTier serving list segments from a mapped
+     * artifact, which frees the cold tier from the process heap.
+     * Caller-owned; must outlive the TieredIndex. Parity contract:
+     * the backend must serve exactly the source index's cluster
+     * contents with bit-identical distances (HotShardBackend
+     * semantics), or tiered results diverge from the serial scan.
+     */
+    const HotShardBackend *coldBackend = nullptr;
 };
 
 /** Routing outcome of one live query through the tiers. */
@@ -143,6 +159,15 @@ struct TieredStatsSnapshot
     double coldScanSeconds = 0.0;
     /** Cumulative cold scan calls since construction. */
     std::size_t coldScanCounts = 0;
+    /** Cold backend name; empty when cold probes scan the source. */
+    std::string coldBackend;
+    /** Bytes served by the cold backend (0 without one). */
+    std::size_t coldBytes = 0;
+    /** RAM-resident bytes of the cold backend right now (advisory;
+     *  mincore()-based for memory-mapped backends). */
+    std::size_t coldResidentBytes = 0;
+    /** Cold-backend clusters fully RAM-resident right now. */
+    std::size_t coldResidentClusters = 0;
     /** Retired placement generations not yet reclaimed (epoch limbo;
      *  0 once every reader has moved past old snapshots). */
     std::size_t pendingReclaims = 0;

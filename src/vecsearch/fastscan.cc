@@ -43,6 +43,37 @@ packPq4Codes(std::size_t m, std::span<const std::uint8_t> codes,
     return packed;
 }
 
+void
+appendPq4Codes(std::size_t m, std::vector<std::uint8_t> &packed,
+               std::size_t n_old, std::span<const std::uint8_t> codes,
+               std::size_t n_new)
+{
+    assert(codes.size() >= n_new * m);
+    const std::size_t bb = packedBlockBytes(m);
+    assert(packed.size() ==
+           (n_old + kFastScanBlock - 1) / kFastScanBlock * bb);
+    const std::size_t nblocks =
+        (n_old + n_new + kFastScanBlock - 1) / kFastScanBlock;
+    packed.resize(nblocks * bb, 0);
+
+    for (std::size_t i = 0; i < n_new; ++i) {
+        const std::size_t pos = n_old + i;
+        const std::size_t block = pos / kFastScanBlock;
+        const std::size_t lane = pos % kFastScanBlock;
+        std::uint8_t *bp = packed.data() + block * bb;
+        for (std::size_t s = 0; s < m; ++s) {
+            const std::uint8_t code = codes[i * m + s];
+            assert(code < 16);
+            std::uint8_t &slot = bp[s * 16 + (lane % 16)];
+            if (lane < 16)
+                slot = static_cast<std::uint8_t>((slot & 0xF0) | code);
+            else
+                slot = static_cast<std::uint8_t>((slot & 0x0F) |
+                                                 (code << 4));
+        }
+    }
+}
+
 QuantizedLut
 quantizeLut(std::size_t m, std::span<const float> lut)
 {

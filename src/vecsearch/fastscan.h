@@ -47,6 +47,21 @@ std::vector<std::uint8_t> packPq4Codes(std::size_t m,
                                        std::size_t n);
 
 /**
+ * Append n_new codes to an already-packed list of n_old codes in place:
+ * the tail block's free lanes are filled and whole new blocks are
+ * grown, without unpacking the existing codes. @p packed must hold
+ * exactly the blocks of n_old codes (padding lanes zero, as
+ * packPq4Codes leaves them) and afterwards is byte-for-byte identical
+ * to packPq4Codes over the concatenated code sequence — the O(n_new)
+ * ingestion primitive behind addPreassigned and the storage layer's
+ * delta lists.
+ */
+void appendPq4Codes(std::size_t m, std::vector<std::uint8_t> &packed,
+                    std::size_t n_old,
+                    std::span<const std::uint8_t> codes,
+                    std::size_t n_new);
+
+/**
  * Quantize a float LUT (m rows of 16) to uint8 with a shared step so
  * accumulated uint16 scores map back to distances affinely.
  */

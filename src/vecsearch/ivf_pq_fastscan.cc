@@ -43,9 +43,10 @@ IvfPqFastScanIndex::addPreassigned(std::span<const float> vecs,
     assert(vecs.size() >= n * d);
     assert(assign.size() >= n);
 
-    // Group incoming codes per cluster, then re-pack each touched list.
-    // Re-packing a whole list keeps the blocked layout contiguous, which
-    // mirrors the full-shard (not per-cluster) updates the paper uses.
+    // Group incoming codes per cluster, then grow each touched list in
+    // place: appendPq4Codes fills the tail block's free lanes and adds
+    // whole new blocks without unpacking what is already there, so one
+    // call costs O(n) codes rather than O(list size).
     std::vector<std::vector<std::uint8_t>> pending(ids_.size());
     std::vector<std::uint8_t> code(m);
     for (std::size_t i = 0; i < n; ++i) {
@@ -60,29 +61,25 @@ IvfPqFastScanIndex::addPreassigned(std::span<const float> vecs,
     for (std::size_t c = 0; c < pending.size(); ++c) {
         if (pending[c].empty())
             continue;
-        // Unpack existing codes, append, re-pack.
         const std::size_t n_new = pending[c].size() / m;
         const std::size_t n_old = ids_[c].size() - n_new;
-        std::vector<std::uint8_t> all(ids_[c].size() * m);
-        if (n_old > 0) {
-            // Recover old codes from packed layout.
-            const std::uint8_t *bp = packed_[c].data();
-            const std::size_t bb = packedBlockBytes(m);
-            for (std::size_t i = 0; i < n_old; ++i) {
-                const std::size_t block = i / kFastScanBlock;
-                const std::size_t lane = i % kFastScanBlock;
-                for (std::size_t s = 0; s < m; ++s) {
-                    const std::uint8_t byte =
-                        bp[block * bb + s * 16 + (lane % 16)];
-                    all[i * m + s] =
-                        lane < 16 ? (byte & 0x0F) : (byte >> 4);
-                }
-            }
-        }
-        std::copy(pending[c].begin(), pending[c].end(),
-                  all.begin() + n_old * m);
-        packed_[c] = packPq4Codes(m, all, ids_[c].size());
+        appendPq4Codes(m, packed_[c], n_old, pending[c], n_new);
     }
+}
+
+void
+IvfPqFastScanIndex::appendEncoded(cluster_id_t c,
+                                  std::span<const idx_t> list_ids,
+                                  std::span<const std::uint8_t> codes)
+{
+    const std::size_t m = pq_.numSub();
+    const auto ci = static_cast<std::size_t>(c);
+    assert(ci < ids_.size());
+    assert(codes.size() >= list_ids.size() * m);
+    const std::size_t n_old = ids_[ci].size();
+    ids_[ci].insert(ids_[ci].end(), list_ids.begin(), list_ids.end());
+    appendPq4Codes(m, packed_[ci], n_old, codes, list_ids.size());
+    total_ += list_ids.size();
 }
 
 std::vector<SearchHit>
@@ -205,6 +202,53 @@ IvfPqFastScanIndex::subsetClusters(
     }
     out.total_ = resident;
     return out;
+}
+
+IvfPqFastScanIndex
+IvfPqFastScanIndex::fromParts(std::shared_ptr<const CoarseQuantizer> cq,
+                              ProductQuantizer pq,
+                              std::vector<std::vector<idx_t>> ids,
+                              std::vector<std::vector<std::uint8_t>> packed)
+{
+    if (!pq.isTrained())
+        fatal("IvfPqFastScanIndex::fromParts: quantizer is not trained");
+    if (pq.dim() != cq->dim())
+        fatal("IvfPqFastScanIndex::fromParts: PQ/CQ dimension mismatch");
+    if (ids.size() != cq->nlist() || packed.size() != cq->nlist())
+        fatal("IvfPqFastScanIndex::fromParts: list count != nlist");
+    const std::size_t m = pq.numSub();
+    const std::size_t bb = packedBlockBytes(m);
+    IvfPqFastScanIndex out(std::move(cq), m);
+    out.pq_ = std::move(pq);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ids.size(); ++c) {
+        const std::size_t n = ids[c].size();
+        const std::size_t nblocks =
+            (n + kFastScanBlock - 1) / kFastScanBlock;
+        if (packed[c].size() != nblocks * bb)
+            fatal("IvfPqFastScanIndex::fromParts: packed bytes of "
+                  "cluster " +
+                  std::to_string(c) + " do not match its id count");
+        total += n;
+    }
+    out.ids_ = std::move(ids);
+    out.packed_ = std::move(packed);
+    out.total_ = total;
+    return out;
+}
+
+std::span<const idx_t>
+IvfPqFastScanIndex::listIds(cluster_id_t c) const
+{
+    assert(c >= 0 && static_cast<std::size_t>(c) < ids_.size());
+    return ids_[static_cast<std::size_t>(c)];
+}
+
+std::span<const std::uint8_t>
+IvfPqFastScanIndex::listPacked(cluster_id_t c) const
+{
+    assert(c >= 0 && static_cast<std::size_t>(c) < packed_.size());
+    return packed_[static_cast<std::size_t>(c)];
 }
 
 std::size_t

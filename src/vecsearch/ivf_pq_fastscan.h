@@ -52,8 +52,25 @@ class IvfPqFastScanIndex
                const KMeansParams &params = {});
 
     void add(std::span<const float> vecs, std::size_t n);
+    /**
+     * Append n vectors with precomputed cluster assignments. Each
+     * touched list grows in place — tail-block lanes are filled and new
+     * blocks appended without unpacking existing codes — so a call
+     * costs O(n) regardless of how large the target lists already are
+     * (the streaming-ingestion fix; earlier revisions re-packed every
+     * touched list wholesale).
+     */
     void addPreassigned(std::span<const float> vecs, std::size_t n,
                         std::span<const std::int32_t> assign);
+
+    /**
+     * Append already-encoded codes to one inverted list — the storage
+     * layer's delta-merge path. @p list_ids must continue this index's
+     * id numbering (the caller assigned them at encode time); @p codes
+     * holds list_ids.size() * numSub() bytes of 4-bit codes.
+     */
+    void appendEncoded(cluster_id_t c, std::span<const idx_t> list_ids,
+                       std::span<const std::uint8_t> codes);
 
     std::vector<SearchHit> search(const float *query, std::size_t k,
                                   std::size_t nprobe,
@@ -106,6 +123,24 @@ class IvfPqFastScanIndex
      */
     IvfPqFastScanIndex subsetClusters(
         std::span<const cluster_id_t> clusters) const;
+
+    /**
+     * Rebuild an index from a trained PQ and exported inverted lists —
+     * the deserialization path (storage::IndexStore). The lists are
+     * adopted verbatim, so searches on the restored index are
+     * bit-identical to the index they were exported from. size() is
+     * the sum of list sizes; @p ids/@p packed must have nlist entries
+     * with packed sized to whole fast-scan blocks.
+     */
+    static IvfPqFastScanIndex fromParts(
+        std::shared_ptr<const CoarseQuantizer> cq, ProductQuantizer pq,
+        std::vector<std::vector<idx_t>> ids,
+        std::vector<std::vector<std::uint8_t>> packed);
+
+    /** Vector ids of one inverted list, in stored (scan) order. */
+    std::span<const idx_t> listIds(cluster_id_t c) const;
+    /** Packed fast-scan codes of one inverted list (whole blocks). */
+    std::span<const std::uint8_t> listPacked(cluster_id_t c) const;
 
     const CoarseQuantizer &quantizer() const { return *cq_; }
     const ProductQuantizer &pq() const { return pq_; }

@@ -185,5 +185,34 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
                        ::testing::Values(1, 31, 32, 33, 100, 256)));
 
+TEST(FastScan, AppendMatchesRepackOverConcatenation)
+{
+    Rng rng(99);
+    const std::size_t m = 8;
+    // Sweep splits crossing block boundaries both ways: filling a
+    // partial tail block, landing exactly on one, and growing past it.
+    for (const std::size_t n_old : {0ul, 1ul, 15ul, 16ul, 31ul, 32ul,
+                                    33ul, 64ul, 97ul})
+        for (const std::size_t n_new : {1ul, 7ul, 16ul, 32ul, 40ul}) {
+            std::vector<std::uint8_t> codes((n_old + n_new) * m);
+            for (auto &c : codes)
+                c = static_cast<std::uint8_t>(rng.uniformU64(16));
+            auto packed = packPq4Codes(
+                m, std::span<const std::uint8_t>(codes.data(),
+                                                 n_old * m),
+                n_old);
+            appendPq4Codes(
+                m, packed, n_old,
+                std::span<const std::uint8_t>(codes.data() + n_old * m,
+                                              n_new * m),
+                n_new);
+            const auto repacked =
+                packPq4Codes(m, codes, n_old + n_new);
+            ASSERT_EQ(packed.size(), repacked.size())
+                << n_old << "+" << n_new;
+            EXPECT_TRUE(packed == repacked) << n_old << "+" << n_new;
+        }
+}
+
 } // namespace
 } // namespace vlr::vs

@@ -3,6 +3,7 @@
  * Round-trip tests for binary serialization of trained artifacts.
  */
 
+#include <algorithm>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -179,6 +180,95 @@ TEST(Io, FromCodebooksValidatesSize)
     EXPECT_THROW(
         ProductQuantizer::fromCodebooks(16, 4, 4, std::vector<float>(7)),
         std::runtime_error);
+}
+
+TEST(Io, ErrorsAreRecoverableIoErrors)
+{
+    // Loaders must throw the catchable IoError subtype (callers keep
+    // serving the old index on a failed reload), never fatal().
+    std::stringstream bad("not an artifact at all");
+    try {
+        loadPq(bad);
+        FAIL() << "bad magic not rejected";
+    } catch (const IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("vecsearch io:"),
+                  std::string::npos);
+    }
+}
+
+/** Small trained fast-scan index for packed-lists round trips. */
+IvfPqFastScanIndex
+tinyFastScan(std::size_t n, std::uint64_t seed)
+{
+    const std::size_t d = 8, nlist = 4;
+    const auto data = gaussianData(n, d, seed);
+    const auto centroids = gaussianData(nlist, d, seed + 1);
+    auto cq = std::make_shared<FlatCoarseQuantizer>(centroids, nlist, d);
+    IvfPqFastScanIndex index(cq, d / 4);
+    index.train(data, n);
+    index.add(data, n);
+    return index;
+}
+
+TEST(Io, PackedListsRoundTripIsExact)
+{
+    const auto index = tinyFastScan(500, 20);
+    std::stringstream buf;
+    const auto layout = savePackedLists(buf, index);
+    EXPECT_EQ(layout.total, index.size());
+    EXPECT_EQ(buf.str().size(), layout.sectionBytes);
+
+    const auto lists = loadPackedLists(buf, index.pq().numSub());
+    ASSERT_EQ(lists.ids.size(), index.nlist());
+    for (std::size_t c = 0; c < index.nlist(); ++c) {
+        const auto ids = index.listIds(static_cast<cluster_id_t>(c));
+        const auto packed =
+            index.listPacked(static_cast<cluster_id_t>(c));
+        ASSERT_EQ(lists.ids[c].size(), ids.size()) << "cluster " << c;
+        EXPECT_TRUE(std::equal(ids.begin(), ids.end(),
+                               lists.ids[c].begin()));
+        ASSERT_EQ(lists.packed[c].size(), packed.size());
+        EXPECT_TRUE(std::equal(packed.begin(), packed.end(),
+                               lists.packed[c].begin()));
+    }
+
+    // The zero-copy buffer parser agrees with the stream reader.
+    const std::string bytes = buf.str();
+    const auto parsed = parsePackedLists(
+        reinterpret_cast<const std::uint8_t *>(bytes.data()),
+        bytes.size(), index.pq().numSub());
+    EXPECT_EQ(parsed.sectionBytes, layout.sectionBytes);
+    for (std::size_t c = 0; c < index.nlist(); ++c) {
+        EXPECT_EQ(parsed.segments[c].offset, layout.segments[c].offset);
+        EXPECT_EQ(parsed.segments[c].count, layout.segments[c].count);
+    }
+}
+
+TEST(Io, PackedListsRejectsBadMagicAndTruncation)
+{
+    const auto index = tinyFastScan(300, 21);
+    std::stringstream buf;
+    savePackedLists(buf, index);
+    std::string bytes = buf.str();
+
+    std::string corrupt = bytes;
+    corrupt[0] = 'X';
+    std::stringstream bad(corrupt);
+    EXPECT_THROW(loadPackedLists(bad, index.pq().numSub()), IoError);
+
+    // Truncation mid-segment is an explicit IoError, not garbage lists.
+    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(loadPackedLists(cut, index.pq().numSub()), IoError);
+    EXPECT_THROW(
+        parsePackedLists(
+            reinterpret_cast<const std::uint8_t *>(bytes.data()),
+            bytes.size() / 2, index.pq().numSub()),
+        IoError);
+
+    // Wrong sub-quantizer count is caught before any allocation.
+    std::stringstream wrong(bytes);
+    EXPECT_THROW(loadPackedLists(wrong, index.pq().numSub() + 1),
+                 IoError);
 }
 
 } // namespace

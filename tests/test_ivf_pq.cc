@@ -226,5 +226,72 @@ TEST_F(IvfPqFixture, FastScanSearchClustersConsistent)
         EXPECT_EQ(full[j].id, subset[j].id);
 }
 
+TEST_F(IvfPqFixture, FastScanIncrementalAddMatchesOneShot)
+{
+    // The streaming-ingestion contract: adding a corpus in many
+    // addPreassigned() calls yields byte-identical packed lists to one
+    // call (the per-cluster append path, not a wholesale re-pack).
+    std::vector<std::int32_t> assign(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        assign[i] = cq_->probe(data_.data() + i * d_, 1).clusters[0];
+
+    IvfPqFastScanIndex oneshot(cq_, 8), incremental(cq_, 8);
+    oneshot.train(data_, n_);
+    incremental.train(data_, n_);
+    oneshot.addPreassigned(data_, n_, assign);
+    const std::size_t chunk = 257; // deliberately not a 32 multiple
+    for (std::size_t off = 0; off < n_; off += chunk) {
+        const std::size_t len = std::min(chunk, n_ - off);
+        incremental.addPreassigned(
+            std::span<const float>(data_.data() + off * d_, len * d_),
+            len,
+            std::span<const std::int32_t>(assign.data() + off, len));
+    }
+
+    ASSERT_EQ(incremental.size(), oneshot.size());
+    for (cluster_id_t c = 0; c < static_cast<cluster_id_t>(nlist_);
+         ++c) {
+        const auto ia = oneshot.listIds(c);
+        const auto ib = incremental.listIds(c);
+        ASSERT_EQ(ia.size(), ib.size()) << "cluster " << c;
+        EXPECT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin()))
+            << "cluster " << c;
+        const auto pa = oneshot.listPacked(c);
+        const auto pb = incremental.listPacked(c);
+        ASSERT_EQ(pa.size(), pb.size()) << "cluster " << c;
+        EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin()))
+            << "cluster " << c;
+    }
+}
+
+TEST_F(IvfPqFixture, FastScanFromPartsRebuildsBitIdentical)
+{
+    IvfPqFastScanIndex fast(cq_, 8);
+    fast.train(data_, n_);
+    fast.add(data_, n_);
+
+    std::vector<std::vector<idx_t>> ids(nlist_);
+    std::vector<std::vector<std::uint8_t>> packed(nlist_);
+    for (std::size_t c = 0; c < nlist_; ++c) {
+        const auto la = fast.listIds(static_cast<cluster_id_t>(c));
+        const auto lp = fast.listPacked(static_cast<cluster_id_t>(c));
+        ids[c].assign(la.begin(), la.end());
+        packed[c].assign(lp.begin(), lp.end());
+    }
+    const auto rebuilt = IvfPqFastScanIndex::fromParts(
+        cq_, fast.pq(), std::move(ids), std::move(packed));
+    ASSERT_EQ(rebuilt.size(), fast.size());
+    for (std::size_t i = 0; i < nq_; ++i) {
+        const float *q = queries_.data() + i * d_;
+        const auto a = fast.search(q, 10, 8);
+        const auto b = rebuilt.search(q, 10, 8);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t j = 0; j < a.size(); ++j) {
+            EXPECT_EQ(a[j].id, b[j].id);
+            EXPECT_EQ(a[j].dist, b[j].dist);
+        }
+    }
+}
+
 } // namespace
 } // namespace vlr::vs
