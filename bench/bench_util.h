@@ -186,15 +186,19 @@ class JsonWriter
  * Minimal CLI shared by the engine/tiered/repartition/workload
  * benches: an optional positional query count plus `--smoke`, which
  * shrinks the dataset and iteration counts so CI can run every bench
- * on every commit (bench code that never runs rots). Parsing is
- * strict: an unknown flag, a malformed or out-of-range count, or an
- * extra positional sets `ok = false` with a description in `error`
- * instead of being silently ignored.
+ * on every commit (bench code that never runs rots). Benches that
+ * ship multiple scenarios (bench_workload) opt into a `--scenario
+ * <name>` flag via @p allow_scenario. Parsing is strict: an unknown
+ * flag, a malformed or out-of-range count, or an extra positional
+ * sets `ok = false` with a description in `error` instead of being
+ * silently ignored.
  */
 struct BenchArgs
 {
     std::size_t numQueries = 0;
     bool smoke = false;
+    /** Selected --scenario, or empty for the bench's default. */
+    std::string scenario;
     bool ok = true;
     /** Set when ok is false: what was wrong with the command line. */
     std::string error;
@@ -202,7 +206,8 @@ struct BenchArgs
 
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, std::size_t default_queries,
-               std::size_t smoke_queries, long min_queries = 1)
+               std::size_t smoke_queries, long min_queries = 1,
+               bool allow_scenario = false)
 {
     BenchArgs a;
     a.numQueries = default_queries;
@@ -211,6 +216,19 @@ parseBenchArgs(int argc, char **argv, std::size_t default_queries,
         const std::string arg = argv[i];
         if (arg == "--smoke") {
             a.smoke = true;
+            continue;
+        }
+        if (allow_scenario && arg == "--scenario") {
+            if (i + 1 >= argc) {
+                a.ok = false;
+                a.error = "--scenario needs a name";
+                return a;
+            }
+            a.scenario = argv[++i];
+            continue;
+        }
+        if (allow_scenario && arg.rfind("--scenario=", 0) == 0) {
+            a.scenario = arg.substr(std::string("--scenario=").size());
             continue;
         }
         if (arg.empty() || arg[0] == '-') {

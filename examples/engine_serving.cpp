@@ -6,10 +6,12 @@
  * deadline and priority, and every outcome is a SearchResponse whose
  * Disposition says how the request left the engine (served, expired in
  * queue, or rejected by the bounded admission queue). The stream is
- * split across two tenants (interactive vs bulk) with weighted
- * per-tenant admission enabled, so the demo also prints the engine's
- * per-tenant disposition and latency accounting — the executable
- * counterpart of the simulator-driven quickstart.
+ * split across two tenants (interactive vs bulk), each registered as
+ * a typed TenantClass — admission share, weighted-fair-batching
+ * weight, SLO targets and degradation eligibility in one contract —
+ * so the demo also prints the engine's per-tenant disposition, served
+ * scanned-work and latency accounting — the executable counterpart of
+ * the simulator-driven quickstart.
  *
  * Run: ./engine_serving [--smoke]
  */
@@ -54,15 +56,17 @@ main(int argc, char **argv)
               << " fast-scan\n";
 
     // 2. One fluent chain builds the engine: dispatcher policy,
-    //    per-engine defaults, a bounded admission queue and weighted
-    //    per-tenant admission (each tenant may hold at most 60% of
-    //    the queue; requests carry the tenant id in SearchRequest::
-    //    tag). build() validates everything before the dispatcher
-    //    thread starts.
-    constexpr std::uint64_t kInteractive = 1, kBulk = 2;
+    //    per-engine defaults, a bounded admission queue and one typed
+    //    TenantClass per tenant — admission share, WFQ weight and
+    //    degradation eligibility in a single contract; requests carry
+    //    the typed id in SearchRequest::tenant. Fair service makes
+    //    batch slots follow the weights (interactive gets 3x bulk's
+    //    scanned-work share while both are backlogged). build()
+    //    validates everything before the dispatcher thread starts.
+    constexpr core::TenantId kInteractive{1}, kBulk{2};
     core::TenantPolicy tenants;
     tenants.enable = true;
-    tenants.defaultShare = 0.6;
+    tenants.fairService = true;
     const auto engine =
         core::EngineBuilder(index)
             .defaultK(10)
@@ -71,6 +75,15 @@ main(int argc, char **argv)
             .batching({.maxBatch = 32, .timeoutSeconds = 2e-3})
             .admissionQueueBound(256)
             .tenantIsolation(tenants)
+            .tenantClass({.id = kInteractive,
+                          .name = "interactive",
+                          .share = 0.6,
+                          .weight = 3.0,
+                          .degradable = false})
+            .tenantClass({.id = kBulk,
+                          .name = "bulk",
+                          .share = 0.6,
+                          .weight = 1.0})
             .build();
 
     // 3. Open-loop Poisson arrivals, replayed in real time. Every
@@ -101,11 +114,11 @@ main(int argc, char **argv)
         request.query = std::span<const float>(
             queries.data() + i * spec.dim, spec.dim);
         if (i % 8 == 0) {
-            request.tag = kInteractive;
+            request.tenant = kInteractive;
             request.priority = 1;
             request.deadlineSeconds = 5e-3;
         } else {
-            request.tag = kBulk;
+            request.tenant = kBulk;
             request.deadlineSeconds = 50e-3;
         }
         futures.push_back(engine->submit(request));
@@ -149,16 +162,19 @@ main(int argc, char **argv)
               << TextTable::num(stats.meanBatchSize, 1) << ")\n\n";
 
     // 5. Per-tenant accounting: the engine keeps exact disposition
-    //    counts and latency digests per tenant id; they sum to the
-    //    global totals above.
-    TextTable tt({"tenant", "submitted", "served", "expired",
-                  "rejected", "miss", "p99 total (ms)"});
+    //    counts, served scanned-work and latency digests per tenant
+    //    id; they sum to the global totals above, and the work split
+    //    tracks the WFQ weights while both tenants stay backlogged.
+    TextTable tt({"tenant", "weight", "submitted", "served", "expired",
+                  "rejected", "work", "miss", "p99 total (ms)"});
     for (const auto &ts : stats.tenants)
         tt.addRow({ts.tenant == kInteractive ? "interactive" : "bulk",
+                   TextTable::num(ts.weight, 1),
                    std::to_string(ts.submitted),
                    std::to_string(ts.served),
                    std::to_string(ts.expired),
                    std::to_string(ts.rejected),
+                   std::to_string(ts.servedWork),
                    TextTable::pct(ts.missRate()),
                    TextTable::num(ts.totalLatency.p99 * 1e3, 3)});
     tt.print(std::cout);

@@ -105,6 +105,19 @@ EngineBuilder::tenantIsolation(TenantPolicy policy)
 }
 
 EngineBuilder &
+EngineBuilder::tenantClass(TenantClass cls)
+{
+    config_.tenants.enable = true;
+    for (TenantClass &existing : config_.tenants.classes)
+        if (existing.id == cls.id) {
+            existing = std::move(cls);
+            return *this;
+        }
+    config_.tenants.classes.push_back(std::move(cls));
+    return *this;
+}
+
+EngineBuilder &
 EngineBuilder::autopilot(AutopilotPolicy policy)
 {
     config_.autopilot = policy;

@@ -101,12 +101,33 @@ class EngineBuilder
     EngineBuilder &degradation(DegradationPolicy policy);
 
     /**
-     * Weighted per-tenant admission + per-tenant accounting keyed by
-     * SearchRequest::tag (off by default). Requires a bounded
-     * admission queue — the shares are fractions of
-     * BatchPolicy::maxQueue.
+     * Multi-tenant service policy keyed by the typed
+     * SearchRequest::tenant (off by default): per-tenant admission
+     * shares, weighted fair batching (TenantPolicy::fairService) and
+     * per-tenant accounting. Requires a bounded admission queue — the
+     * shares are fractions of BatchPolicy::maxQueue.
      */
     EngineBuilder &tenantIsolation(TenantPolicy policy);
+
+    /**
+     * Register (or replace, by id) one tenant's complete service
+     * contract — share, WFQ weight, SLO targets and degradation
+     * eligibility in a single validated TenantClass — and enable the
+     * tenant policy. Sugar over tenantIsolation() for the common
+     * "declare my tenants one by one" flow:
+     *
+     * @code
+     * builder.tenantClass({.id = {1}, .name = "premium",
+     *                      .share = 0.4, .weight = 4.0,
+     *                      .slo = {.missRateTarget = 0.01,
+     *                              .p99TargetSeconds = 0.05},
+     *                      .degradable = false});
+     * @endcode
+     *
+     * Inconsistent contracts are rejected by build() with a message
+     * naming the offending field.
+     */
+    EngineBuilder &tenantClass(TenantClass cls);
 
     /**
      * Closed-loop SLO autopilot policy. Requires tiered serving: on

@@ -38,7 +38,7 @@ RetrievalEngine::RetrievalEngine(const vs::IvfPqFastScanIndex &index,
                                  const TieredIndex *tiered,
                                  EngineConfig config)
     : index_(index), ownedTiered_(std::move(owned)), tiered_(tiered),
-      config_(std::move(config)),
+      config_(std::move(config)), tenantTable_(config_.tenants),
       pool_(ThreadPoolOptions{.numThreads = config_.numSearchThreads,
                               .pinThreads = config_.pinSearchThreads}),
       batchCap_(config_.batching.maxBatch), started_(Clock::now())
@@ -69,6 +69,7 @@ RetrievalEngine::makePending(const SearchRequest &request) const
     p.nprobe =
         request.nprobe == 0 ? config_.defaultNprobe : request.nprobe;
     p.priority = request.priority;
+    p.tenant = request.tenant;
     p.tag = request.tag;
     p.admitted = Clock::now();
     if (request.deadlineSeconds > 0.0) {
@@ -98,18 +99,37 @@ RetrievalEngine::resolve(Pending &p, SearchResponse &&r)
     }
 }
 
-std::size_t
-RetrievalEngine::tenantQueueBound(std::uint64_t tenant) const
+double
+RetrievalEngine::liveShareLocked(TenantId tenant) const
 {
-    double share = config_.tenants.defaultShare;
-    for (const TenantShare &s : config_.tenants.shares)
-        if (s.tenant == tenant) {
-            share = s.share;
-            break;
-        }
+    const auto it = liveShare_.find(tenant);
+    return it != liveShare_.end() ? it->second
+                                  : tenantTable_.resolve(tenant).share;
+}
+
+std::size_t
+RetrievalEngine::tenantQueueBound(TenantId tenant) const
+{
     const auto bound = static_cast<std::size_t>(
-        share * static_cast<double>(config_.batching.maxQueue));
+        liveShareLocked(tenant) *
+        static_cast<double>(config_.batching.maxQueue));
     return std::max<std::size_t>(bound, 1);
+}
+
+double
+RetrievalEngine::tenantShare(TenantId tenant) const
+{
+    std::lock_guard<std::mutex> slk(statsMutex_);
+    return liveShareLocked(tenant);
+}
+
+void
+RetrievalEngine::setTenantShare(TenantId tenant, double share)
+{
+    const TenantClass &c = tenantTable_.resolve(tenant);
+    share = std::clamp(share, c.minShare, c.maxShare);
+    std::lock_guard<std::mutex> slk(statsMutex_);
+    liveShare_[tenant] = share;
 }
 
 void
@@ -128,19 +148,22 @@ RetrievalEngine::admit(Pending p)
         const std::size_t depth = queue_.size();
         reject = config_.batching.maxQueue != 0 &&
                  depth >= config_.batching.maxQueue;
-        // Weighted per-tenant admission: a tenant already holding its
-        // share of the bounded queue rejects even while the global
-        // queue has room, so the remaining slots stay reachable for
-        // the other tenants.
-        if (tenants && !reject)
-            reject = queuedPerTenant_[p.tag] >= tenantQueueBound(p.tag);
         {
             std::lock_guard<std::mutex> slk(statsMutex_);
+            // Per-tenant admission: a tenant already holding its live
+            // share of the bounded queue rejects even while the
+            // global queue has room, so the remaining slots stay
+            // reachable for the other tenants. Decided under
+            // statsMutex_ because the adaptive controller moves live
+            // shares under it.
+            if (tenants && !reject)
+                reject = queuedPerTenant_[p.tenant] >=
+                         tenantQueueBound(p.tenant);
             ++submitted_;
             if (reject)
                 ++rejected_;
             if (tenants) {
-                TenantCounters &tc = tenantStats_[p.tag];
+                TenantCounters &tc = tenantStats_[p.tenant];
                 ++tc.submitted;
                 if (reject)
                     ++tc.rejected;
@@ -149,7 +172,7 @@ RetrievalEngine::admit(Pending p)
         if (!reject) {
             p.seq = nextSeq_++;
             if (tenants)
-                ++queuedPerTenant_[p.tag];
+                ++queuedPerTenant_[p.tenant];
             queue_.push_back(std::move(p));
         }
     }
@@ -158,6 +181,7 @@ RetrievalEngine::admit(Pending p)
         r.disposition = Disposition::kRejected;
         r.k = p.k;
         r.nprobe = p.nprobe;
+        r.tenant = p.tenant;
         r.tag = p.tag;
         resolve(p, std::move(r));
         return;
@@ -254,7 +278,7 @@ RetrievalEngine::pendingQueries() const
 }
 
 std::size_t
-RetrievalEngine::pendingForTenant(std::uint64_t tenant) const
+RetrievalEngine::pendingForTenant(TenantId tenant) const
 {
     std::lock_guard<std::mutex> lk(mutex_);
     const auto it = queuedPerTenant_.find(tenant);
@@ -284,6 +308,7 @@ RetrievalEngine::stats() const
     s.expiredLatency = digest(expiredSamples_);
     s.degradedServed = degradedServed_;
     s.degradedBatches = degradedBatches_;
+    s.servedWork = servedWork_;
     s.currentBatchCap = batchCap();
     s.autopilotCycles = autopilotCycles_;
     s.autopilotRepartitions = autopilotRepartitions_;
@@ -298,6 +323,9 @@ RetrievalEngine::stats() const
         ts.expired = tc.expired;
         ts.rejected = tc.rejected;
         ts.degradedServed = tc.degradedServed;
+        ts.servedWork = tc.servedWork;
+        ts.share = liveShareLocked(tenant);
+        ts.weight = tenantTable_.weight(tenant);
         ts.queueLatency = digest(tc.queueSamples);
         ts.totalLatency = digest(tc.totalSamples);
         s.tenants.push_back(std::move(ts));
@@ -340,7 +368,7 @@ RetrievalEngine::takeExpiredLocked(Clock::time_point now)
     for (auto &p : queue_) {
         if (p.hasDeadline && now >= p.deadline) {
             if (config_.tenants.enable)
-                --queuedPerTenant_[p.tag];
+                --queuedPerTenant_[p.tenant];
             expired.push_back(std::move(p));
         } else {
             keep.push_back(std::move(p));
@@ -361,7 +389,7 @@ RetrievalEngine::resolveExpired(std::vector<Pending> expired)
             expiredSamples_.add(secondsBetween(p.admitted, now),
                                 statsRng_);
             if (config_.tenants.enable)
-                ++tenantStats_[p.tag].expired;
+                ++tenantStats_[p.tenant].expired;
         }
     }
     for (auto &p : expired) {
@@ -371,6 +399,7 @@ RetrievalEngine::resolveExpired(std::vector<Pending> expired)
         r.totalSeconds = r.queueSeconds;
         r.k = p.k;
         r.nprobe = p.nprobe;
+        r.tenant = p.tenant;
         r.tag = p.tag;
         resolve(p, std::move(r));
     }
@@ -403,15 +432,111 @@ RetrievalEngine::formGroupLocked() const
               });
     std::vector<std::size_t> group;
     const std::size_t cap = batchCap();
-    const std::size_t lead_k = queue_[order.front()].k;
-    for (const std::size_t i : order) {
-        if (queue_[i].k != lead_k)
-            continue;
-        group.push_back(i);
-        if (group.size() >= cap)
+    if (!tenantTable_.fairService()) {
+        const std::size_t lead_k = queue_[order.front()].k;
+        for (const std::size_t i : order) {
+            if (queue_[i].k != lead_k)
+                continue;
+            group.push_back(i);
+            if (group.size() >= cap)
+                break;
+        }
+        return group;
+    }
+
+    // Start-time fair queueing over the EDF order: split the sorted
+    // order into per-tenant candidate lists (each already in EDF
+    // order) and grant batch slots to the tenant whose next candidate
+    // has the smallest virtual start time,
+    //
+    //   start    = max(engine virtual time, tenant's last finish)
+    //   finish   = start + effective nprobe / effective weight
+    //   vtime    = start of the granted slot,
+    //
+    // ties to the smaller would-be finish, then the smaller tenant id.
+    // Granting by start is what makes the discipline self-correcting:
+    // a tenant that has received less service restarts at the engine
+    // virtual time, below every backlogged competitor's pending
+    // finish, and wins the next slot. (Granting by finish alone can
+    // permanently lock out a lighter tenant whose cost/weight
+    // increment is commensurate with a heavier tenant's — their
+    // would-be finishes tie on every round and a deterministic
+    // tie-break then decides every grant.) Charging effective nprobe
+    // makes the long-run *scanned work* share proportional to the
+    // weight while a tenant stays backlogged; a tenant that went idle
+    // restarts at the engine virtual time, so idle periods bank no
+    // credit. The first grant fixes the batch's k; candidates with a
+    // different k are skipped (they stay queued for a later batch).
+    // Everything here mutates local copies — the grants are committed
+    // by chargeGroupLocked() only when the batch really dispatches.
+    std::map<TenantId, std::vector<std::size_t>> byTenant;
+    for (const std::size_t i : order)
+        byTenant[queue_[i].tenant].push_back(i);
+    double vtime = virtualTime_;
+    std::map<TenantId, double> finish;
+    for (const auto &[tenant, list] : byTenant) {
+        const auto it = virtualFinish_.find(tenant);
+        finish[tenant] = it == virtualFinish_.end() ? 0.0 : it->second;
+    }
+    std::map<TenantId, std::size_t> cursor;
+    std::size_t lead_k = 0;
+    while (group.size() < cap) {
+        bool found = false;
+        TenantId best;
+        double bestStart = 0.0;
+        double bestFinish = 0.0;
+        std::size_t bestIdx = 0;
+        for (const auto &[tenant, list] : byTenant) {
+            std::size_t &cur = cursor[tenant];
+            while (cur < list.size() && !group.empty() &&
+                   queue_[list[cur]].k != lead_k)
+                ++cur;
+            if (cur >= list.size())
+                continue;
+            const std::size_t idx = list[cur];
+            const double start = std::max(vtime, finish[tenant]);
+            const double f =
+                start + static_cast<double>(queue_[idx].nprobe) /
+                            tenantTable_.weight(tenant);
+            // Strict < keeps the smaller tenant id on full ties (the
+            // map iterates ids ascending).
+            if (!found || start < bestStart ||
+                (start == bestStart && f < bestFinish)) {
+                found = true;
+                best = tenant;
+                bestStart = start;
+                bestFinish = f;
+                bestIdx = idx;
+            }
+        }
+        if (!found)
             break;
+        if (group.empty())
+            lead_k = queue_[bestIdx].k;
+        vtime = std::max(vtime, finish[best]);
+        finish[best] = bestFinish;
+        group.push_back(bestIdx);
+        ++cursor[best];
     }
     return group;
+}
+
+void
+RetrievalEngine::chargeGroupLocked(const std::vector<std::size_t> &group)
+{
+    if (!tenantTable_.fairService())
+        return;
+    // Replay the grants in group order. The arithmetic is identical
+    // to the simulation in formGroupLocked(), so the committed tags
+    // match what selection assumed.
+    for (const std::size_t i : group) {
+        const Pending &p = queue_[i];
+        double &finish = virtualFinish_[p.tenant];
+        const double start = std::max(virtualTime_, finish);
+        finish = start + static_cast<double>(p.nprobe) /
+                             tenantTable_.weight(p.tenant);
+        virtualTime_ = start;
+    }
 }
 
 void
@@ -485,13 +610,16 @@ RetrievalEngine::dispatcherLoop()
             continue;
         }
 
-        // Extract the group in dispatch order, compact the queue.
+        // The batch is committed: charge its WFQ grants (a formed
+        // group that goes back to sleep above charges nothing), then
+        // extract it in dispatch order and compact the queue.
+        chargeGroupLocked(group);
         std::vector<Pending> batch;
         batch.reserve(group.size());
         std::vector<char> taken(queue_.size(), 0);
         for (const std::size_t i : group) {
             if (config_.tenants.enable)
-                --queuedPerTenant_[queue_[i].tag];
+                --queuedPerTenant_[queue_[i].tenant];
             batch.push_back(std::move(queue_[i]));
             taken[i] = 1;
         }
@@ -540,7 +668,14 @@ RetrievalEngine::executeBatch(std::vector<Pending> batch,
         std::copy(batch[i].query.begin(), batch[i].query.end(),
                   queries.begin() + i * d);
         std::size_t np = batch[i].nprobe;
-        if (scale < 1.0) {
+        // Degradation is tenant-scoped: a request whose TenantClass
+        // opted out (degradable = false) keeps its requested depth
+        // even under pressure, so best-effort tenants absorb the
+        // recall loss before premium ones.
+        const bool eligible =
+            !config_.tenants.enable ||
+            tenantTable_.resolve(batch[i].tenant).degradable;
+        if (scale < 1.0 && eligible) {
             const auto scaled =
                 static_cast<std::size_t>(std::llround(
                     static_cast<double>(np) * scale));
@@ -591,9 +726,11 @@ RetrievalEngine::executeBatch(std::vector<Pending> batch,
             totalSamples_.add(secondsBetween(batch[i].admitted, t1),
                               statsRng_);
             ++served_;
+            servedWork_ += nprobes[i];
             if (config_.tenants.enable) {
-                TenantCounters &tc = tenantStats_[batch[i].tag];
+                TenantCounters &tc = tenantStats_[batch[i].tenant];
                 ++tc.served;
+                tc.servedWork += nprobes[i];
                 if (nprobes[i] < batch[i].nprobe)
                     ++tc.degradedServed;
                 tc.queueSamples.add(
@@ -615,6 +752,7 @@ RetrievalEngine::executeBatch(std::vector<Pending> batch,
         r.batchSize = nq;
         r.k = k;
         r.nprobe = nprobes[i];
+        r.tenant = batch[i].tenant;
         r.tag = batch[i].tag;
         resolve(batch[i], std::move(r));
     }

@@ -16,14 +16,19 @@
  * without ever entering a search batch, submissions that overflow the
  * bounded queue resolve Disposition::kRejected at admission — with
  * the TenantPolicy enabled a tenant also rejects once it holds its
- * weighted share of the queue, so one tenant's burst cannot starve
- * another (per-tenant dispositions and latency digests land in
- * EngineStatsSnapshot::tenants, keyed by SearchRequest::tag) — and
- * each
- * batch groups compatible requests — identical k, with per-request
- * nprobe passed straight through to the batch search — ordered
- * earliest-deadline-first within a priority class (deadline-free
- * requests follow in admission order). Under overload the dispatcher
+ * share of the queue, so one tenant's burst cannot starve another
+ * (per-tenant dispositions, scanned work and latency digests land in
+ * EngineStatsSnapshot::tenants, keyed by SearchRequest::tenant) — and
+ * each batch groups compatible requests — identical k, with
+ * per-request nprobe passed straight through to the batch search —
+ * ordered earliest-deadline-first within a priority class
+ * (deadline-free requests follow in admission order). With
+ * TenantPolicy::fairService the cross-tenant order is weighted fair
+ * queueing instead: batch slots are granted by per-tenant virtual
+ * finish times (cost = effective nprobe / weight), bounding each
+ * backlogged tenant's long-run share of scanned work by its weight,
+ * while EDF still orders requests within a tenant's grant. Under
+ * overload the dispatcher
  * can degrade gracefully: when the backlog exceeds the configured
  * pressure it serves batches at a proportionally reduced nprobe
  * (never below the DegradationPolicy floor) instead of letting queued
@@ -115,11 +120,15 @@ struct EngineStatsSnapshot
     std::size_t autopilotRepartitions = 0;
     /** Recent autopilot decisions, oldest first (bounded history). */
     std::vector<AutopilotDecision> autopilotTrace;
+    /** Scanned work served: sum of effective nprobe over served
+     *  requests (the quantity weighted fair batching partitions). */
+    std::size_t servedWork = 0;
     /**
-     * Per-tenant slices keyed by SearchRequest::tag, ascending;
+     * Per-tenant slices keyed by SearchRequest::tenant, ascending;
      * populated only while TenantPolicy is enabled. Within every
-     * snapshot the per-tenant disposition counts sum exactly to the
-     * global submitted/served/expired/rejected/degradedServed totals.
+     * snapshot the per-tenant counts sum exactly to the global
+     * submitted/served/expired/rejected/degradedServed/servedWork
+     * totals.
      */
     std::vector<TenantStatsSnapshot> tenants;
 };
@@ -213,11 +222,27 @@ class RetrievalEngine
 
     bool accepting() const;
     std::size_t pendingQueries() const;
-    /** Queued requests carrying @p tenant's tag (0 unless the tenant
-     *  policy is enabled). */
-    std::size_t pendingForTenant(std::uint64_t tenant) const;
+    /** Queued requests for @p tenant (0 unless the tenant policy is
+     *  enabled). */
+    std::size_t pendingForTenant(TenantId tenant) const;
     EngineStatsSnapshot stats() const;
     const EngineConfig &config() const { return config_; }
+
+    /** Tenant registry resolved from config().tenants. */
+    const TenantTable &tenantTable() const { return tenantTable_; }
+
+    /**
+     * Live admission share for @p tenant — the configured
+     * TenantClass::share unless the adaptive share controller has
+     * moved it.
+     */
+    double tenantShare(TenantId tenant) const;
+    /**
+     * Re-point @p tenant's live admission share (the autopilot's
+     * adaptive-share actuation). Clamped to the tenant's
+     * [minShare, maxShare]; takes effect at the next admission.
+     */
+    void setTenantShare(TenantId tenant, double share);
 
     /**
      * Dispatcher batch cap currently in effect. Starts at
@@ -254,6 +279,7 @@ class RetrievalEngine
         std::size_t k = 0;
         std::size_t nprobe = 0;
         int priority = 0;
+        TenantId tenant;
         std::uint64_t tag = 0;
         /** Admission order; tie-break within equal priority. */
         std::uint64_t seq = 0;
@@ -297,6 +323,8 @@ class RetrievalEngine
         std::size_t expired = 0;
         std::size_t rejected = 0;
         std::size_t degradedServed = 0;
+        /** Sum of effective nprobe over served requests. */
+        std::size_t servedWork = 0;
         Reservoir queueSamples{Reservoir::kTenantCapacity};
         Reservoir totalSamples{Reservoir::kTenantCapacity};
     };
@@ -305,9 +333,12 @@ class RetrievalEngine
     Pending makePending(const SearchRequest &request) const;
     /**
      * Queued-slot bound for one tenant under the TenantPolicy: its
-     * share (override or default) of batching.maxQueue, at least 1.
+     * live share of batching.maxQueue, at least 1. Caller holds
+     * statsMutex_ (live shares are guarded by it).
      */
-    std::size_t tenantQueueBound(std::uint64_t tenant) const;
+    std::size_t tenantQueueBound(TenantId tenant) const;
+    /** Live share for @p tenant; caller holds statsMutex_. */
+    double liveShareLocked(TenantId tenant) const;
     /** Queue one Pending or resolve it kRejected; returns future. */
     void admit(Pending p);
     /** Fulfil promise or invoke callback. */
@@ -322,12 +353,32 @@ class RetrievalEngine
     void resolveExpired(std::vector<Pending> expired);
 
     /**
-     * Indices (into queue_) of the next batch: requests sharing the
-     * lead's k, in EDF order — priority desc, then deadlined requests
-     * by earliest deadline, then deadline-free requests in admission
-     * order — capped at the current batch cap. Caller holds mutex_.
+     * Indices (into queue_) of the next batch, capped at the current
+     * batch cap. Caller holds mutex_.
+     *
+     * Default order: requests sharing the lead's k, in EDF order —
+     * priority desc, then deadlined requests by earliest deadline,
+     * then deadline-free requests in admission order.
+     *
+     * With TenantPolicy::fairService the cross-tenant order is
+     * weighted fair queueing: slots go to the tenant with the
+     * smallest would-be virtual finish time (start = max(engine
+     * virtual time, tenant's last finish); finish = start + effective
+     * nprobe / effective weight; ties to the smaller tenant id), and
+     * the EDF order above applies within each tenant's grant. The
+     * selection is speculative — it simulates virtual time on local
+     * copies; chargeGroupLocked() commits the charges when the batch
+     * actually dispatches, so a group that is formed but then skipped
+     * (cap not met, not forced) charges nothing.
      */
     std::vector<std::size_t> formGroupLocked() const;
+    /**
+     * Commit the WFQ virtual-time charges for a group that is about
+     * to dispatch, replaying grants in group order (deterministically
+     * identical to the simulation in formGroupLocked). No-op unless
+     * fair service is on. Caller holds mutex_.
+     */
+    void chargeGroupLocked(const std::vector<std::size_t> &group);
 
     void dispatcherLoop();
     /** @param backlog requests still queued when the batch left. */
@@ -353,6 +404,8 @@ class RetrievalEngine
     OnlineUpdater *updater_ = nullptr;
     SloAutopilot *autopilot_ = nullptr;
     EngineConfig config_;
+    /** Validated registry over config_.tenants (immutable). */
+    TenantTable tenantTable_;
     ThreadPool pool_;
     /** Live dispatcher batch cap (autopilot actuation target). */
     std::atomic<std::size_t> batchCap_{1};
@@ -365,7 +418,20 @@ class RetrievalEngine
     std::deque<Pending> queue_;
     /** Queued requests per tenant; maintained only when
      *  config_.tenants.enable (guarded by mutex_). */
-    std::unordered_map<std::uint64_t, std::size_t> queuedPerTenant_;
+    std::map<TenantId, std::size_t> queuedPerTenant_;
+    /** Adaptive-share overrides (guarded by statsMutex_ so stats()
+     *  and the autopilot's share actuation never take mutex_); absent
+     *  tenants use their TenantClass::share. */
+    std::map<TenantId, double> liveShare_;
+    /**
+     * Weighted-fair-queueing state (guarded by mutex_): the engine
+     * virtual time — the start tag of the last granted slot — and
+     * each tenant's last virtual finish time. A tenant whose finish
+     * lags the virtual time (it went idle) restarts at the virtual
+     * time, so idle periods are not banked as credit.
+     */
+    double virtualTime_ = 0.0;
+    std::map<TenantId, double> virtualFinish_;
     std::uint64_t nextSeq_ = 0;
     bool accepting_ = true;
     bool stop_ = false;
@@ -386,13 +452,15 @@ class RetrievalEngine
     std::size_t batches_ = 0;
     std::size_t degradedServed_ = 0;
     std::size_t degradedBatches_ = 0;
+    /** Sum of effective nprobe over served requests. */
+    std::size_t servedWork_ = 0;
     std::size_t autopilotCycles_ = 0;
     std::size_t autopilotRepartitions_ = 0;
     static constexpr std::size_t kTraceCapacity = 256;
     std::deque<AutopilotDecision> decisionTrace_;
     /** Per-tenant accounting; populated only when
      *  config_.tenants.enable (guarded by statsMutex_). */
-    std::map<std::uint64_t, TenantCounters> tenantStats_;
+    std::map<TenantId, TenantCounters> tenantStats_;
 
     std::thread dispatcher_;
 

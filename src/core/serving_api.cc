@@ -1,6 +1,8 @@
 #include "core/serving_api.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace vlr::core
 {
@@ -17,6 +19,59 @@ dispositionName(Disposition d)
         return "rejected";
     }
     return "unknown";
+}
+
+void
+TenantClass::validate(const char *what) const
+{
+    const auto fail = [&](const std::string &msg) {
+        throw std::invalid_argument("EngineConfig: " +
+                                    std::string(what) + " " + msg);
+    };
+    if (share <= 0.0 || share > 1.0)
+        fail("share must be in (0, 1] — it is the fraction of "
+             "BatchPolicy::maxQueue the tenant may occupy");
+    if (minShare <= 0.0 || maxShare > 1.0 || minShare > maxShare)
+        fail("share clamp must satisfy 0 < minShare <= maxShare <= 1 "
+             "(the adaptive controller moves shares inside it)");
+    if (share < minShare || share > maxShare)
+        fail("share must lie inside its own [minShare, maxShare] "
+             "clamp, or the first adaptive cycle would snap it");
+    if (weight <= 0.0)
+        fail("weight must be > 0 — a tenant with no weight could "
+             "never be granted a batch slot (use TenantPolicy::"
+             "weightFloor for best-effort classes)");
+    if (slo.missRateTarget < 0.0 || slo.missRateTarget > 1.0)
+        fail("slo.missRateTarget must be in [0, 1]");
+    if (slo.p99TargetSeconds < 0.0)
+        fail("slo.p99TargetSeconds must be >= 0 (0 disables the "
+             "latency target)");
+}
+
+TenantTable::TenantTable(const TenantPolicy &policy) : policy_(policy)
+{
+    for (std::size_t i = 0; i < policy_.classes.size(); ++i)
+        byId_.emplace(policy_.classes[i].id, i);
+}
+
+const TenantClass *
+TenantTable::find(TenantId id) const
+{
+    const auto it = byId_.find(id);
+    return it == byId_.end() ? nullptr : &policy_.classes[it->second];
+}
+
+const TenantClass &
+TenantTable::resolve(TenantId id) const
+{
+    const TenantClass *c = find(id);
+    return c != nullptr ? *c : policy_.defaults;
+}
+
+double
+TenantTable::weight(TenantId id) const
+{
+    return std::max(resolve(id).weight, policy_.weightFloor);
 }
 
 void
@@ -53,20 +108,27 @@ EngineConfig::validate() const
             throw std::invalid_argument(
                 "EngineConfig: tenant admission needs a bounded queue "
                 "(batching.maxQueue > 0 defines the shares)");
-        if (tenants.defaultShare <= 0.0 || tenants.defaultShare > 1.0)
+        if (tenants.weightFloor <= 0.0 || tenants.weightFloor > 1.0)
             throw std::invalid_argument(
-                "EngineConfig: tenants.defaultShare must be in (0, 1]");
-        for (std::size_t i = 0; i < tenants.shares.size(); ++i) {
-            const TenantShare &s = tenants.shares[i];
-            if (s.share <= 0.0 || s.share > 1.0)
-                throw std::invalid_argument(
-                    "EngineConfig: tenant share must be in (0, 1]");
-            for (std::size_t j = i + 1; j < tenants.shares.size(); ++j)
-                if (tenants.shares[j].tenant == s.tenant)
+                "EngineConfig: tenants.weightFloor must be in (0, 1] — "
+                "it is the minimum effective WFQ weight and guarantees "
+                "starvation-freedom");
+        tenants.defaults.validate("tenants.defaults:");
+        for (std::size_t i = 0; i < tenants.classes.size(); ++i) {
+            const TenantClass &c = tenants.classes[i];
+            c.validate("tenant class:");
+            for (std::size_t j = i + 1; j < tenants.classes.size(); ++j)
+                if (tenants.classes[j].id == c.id)
                     throw std::invalid_argument(
-                        "EngineConfig: duplicate tenant share "
-                        "override");
+                        "EngineConfig: duplicate TenantClass for tenant "
+                        "id " + std::to_string(c.id.value) +
+                        " — each tenant may have exactly one class");
         }
+        if (tenants.adaptiveShares && !autopilot.enable)
+            throw std::invalid_argument(
+                "EngineConfig: tenants.adaptiveShares needs "
+                "autopilot.enable — the share controller runs inside "
+                "the autopilot control cycle");
     }
     if (autopilot.enable) {
         if (autopilot.controlIntervalSeconds < 0.0)
@@ -90,6 +152,12 @@ EngineConfig::validate() const
         if (autopilot.maxShards == 0)
             throw std::invalid_argument(
                 "EngineConfig: autopilot.maxShards must be >= 1");
+        if (autopilot.shareSmoothing < 0.0 ||
+            autopilot.shareSmoothing >= 1.0)
+            throw std::invalid_argument(
+                "EngineConfig: autopilot.shareSmoothing must be in "
+                "[0, 1) — 0 tracks arrivals instantly, values near 1 "
+                "react slowly");
     }
 }
 

@@ -20,8 +20,11 @@
 #ifndef VLR_CORE_SERVING_API_H
 #define VLR_CORE_SERVING_API_H
 
+#include <compare>
 #include <cstdint>
+#include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -31,6 +34,33 @@
 
 namespace vlr::core
 {
+
+/**
+ * Typed tenant identity. Requests carry it in SearchRequest::tenant;
+ * everything tenant-scoped — TenantPolicy classes, weighted fair
+ * batching, EngineStatsSnapshot::tenants, the autopilot's per-tenant
+ * targets and the workload harness — keys on it. Id 0 is the
+ * anonymous tenant: requests that never set an identity all land in
+ * its bucket.
+ *
+ * TenantId replaces the former dual use of the opaque
+ * SearchRequest::tag as a tenant key; tag is a free-form annotation
+ * again (echoed verbatim in the response, never interpreted).
+ */
+struct TenantId
+{
+    std::uint64_t value = 0;
+
+    /** True for the id-0 bucket requests without an identity use. */
+    constexpr bool
+    anonymous() const
+    {
+        return value == 0;
+    }
+
+    friend constexpr auto operator<=>(const TenantId &,
+                                      const TenantId &) = default;
+};
 
 /** How a submitted request left the engine. Every request resolves
  *  with exactly one disposition. */
@@ -71,10 +101,22 @@ struct SearchRequest
      * Dispatch priority: higher-priority requests lead batch
      * formation. Equal priorities dispatch in admission order; a
      * sustained stream of higher-priority work can delay lower
-     * priorities past the batch timeout.
+     * priorities past the batch timeout. With weighted fair batching
+     * (TenantPolicy::fairService) priority orders requests *within*
+     * the tenant; across tenants, service order is the fair-queueing
+     * grant.
      */
     int priority = 0;
-    /** Opaque client tag echoed verbatim in the response. */
+    /**
+     * Tenant identity (TenantPolicy keys admission, fair batching and
+     * accounting on it). Leave default for untenanted traffic.
+     */
+    TenantId tenant;
+    /**
+     * Opaque client tag echoed verbatim in the response — a free-form
+     * annotation (request id, correlation token), never interpreted
+     * by the engine. Tenant identity moved to `tenant`.
+     */
     std::uint64_t tag = 0;
 };
 
@@ -103,6 +145,8 @@ struct SearchResponse
     /** Effective ranking parameters after defaulting. */
     std::size_t k = 0;
     std::size_t nprobe = 0;
+    /** Tenant identity from the request. */
+    TenantId tenant;
     /** Client tag from the request. */
     std::uint64_t tag = 0;
 
@@ -138,38 +182,144 @@ struct DegradationPolicy
     double queuePressure = 2.0;
 };
 
-/** Per-tenant admission share override (see TenantPolicy). */
-struct TenantShare
+/** Per-tenant SLO targets consumed by the tenant-aware autopilot. */
+struct TenantSloTarget
 {
-    /** Tenant id (SearchRequest::tag). */
-    std::uint64_t tenant = 0;
-    /** Fraction of BatchPolicy::maxQueue this tenant may occupy. */
-    double share = 1.0;
+    /** Tolerated (expired + rejected) / resolved fraction per control
+     *  window before the autopilot escalates on this tenant's behalf
+     *  (in [0, 1]). */
+    double missRateTarget = 0.01;
+    /** p99 total-latency bound in seconds; 0 disables the latency
+     *  target. */
+    double p99TargetSeconds = 0.0;
 };
 
 /**
- * Weighted per-tenant admission + accounting (multi-tenant isolation):
- * when enabled, SearchRequest::tag is interpreted as a tenant id. A
- * tenant may occupy at most `share * BatchPolicy::maxQueue` queued
- * slots (its override in `shares`, else `defaultShare`; always at
- * least one slot) — submissions beyond that resolve kRejected even
- * while the global queue has room, so one tenant's burst cannot
- * starve the others out of the admission queue. The engine also keeps
- * per-tenant disposition counts and latency digests
- * (EngineStatsSnapshot::tenants), which sum exactly to the global
- * totals. Requires a bounded queue (BatchPolicy::maxQueue > 0).
+ * One tenant's complete service contract — the single validated spec
+ * that replaced the former parallel share maps. Everything the engine
+ * and autopilot know about a tenant lives here:
  *
- * Tags should come from a small, stable set of tenant ids while the
- * policy is enabled: the engine tracks one accounting bucket per
- * distinct tag for its lifetime.
+ *  - `share` / `minShare` / `maxShare`: admission — the fraction of
+ *    BatchPolicy::maxQueue the tenant may occupy (the adaptive share
+ *    controller refits the live share inside [minShare, maxShare]);
+ *  - `weight`: service — its weighted-fair-queueing weight in batch
+ *    formation (long-run scanned-work share is proportional to it
+ *    while the tenant stays backlogged);
+ *  - `slo`: the autopilot targets;
+ *  - `degradable`: whether overload nprobe degradation may shave this
+ *    tenant's requests (premium classes opt out, so best-effort
+ *    tenants absorb degradation first).
+ */
+struct TenantClass
+{
+    TenantId id;
+    /** Label for logs and bench tables (optional). */
+    std::string name;
+    /** Admission share of BatchPolicy::maxQueue, in (0, 1]. */
+    double share = 1.0;
+    /** Adaptive-share clamp: the share controller never moves the
+     *  live share outside [minShare, maxShare] (0 < min <= share <=
+     *  max <= 1). */
+    double minShare = 0.05;
+    double maxShare = 1.0;
+    /** WFQ service weight (> 0); see TenantPolicy::weightFloor. */
+    double weight = 1.0;
+    /** Per-tenant autopilot targets. */
+    TenantSloTarget slo;
+    /** Eligible for overload nprobe degradation. */
+    bool degradable = true;
+
+    /** @throws std::invalid_argument naming the offending field. */
+    void validate(const char *what) const;
+};
+
+/**
+ * Multi-tenant service policy: typed per-tenant admission, weighted
+ * fair batching and accounting. When enabled, a request's
+ * SearchRequest::tenant selects its TenantClass (`classes` by id,
+ * else `defaults`):
+ *
+ *  - **Admission**: a tenant may occupy at most `share *
+ *    BatchPolicy::maxQueue` queued slots (always at least one) —
+ *    submissions beyond that resolve kRejected even while the global
+ *    queue has room, so one tenant's burst cannot starve the others
+ *    out of the admission queue. Requires a bounded queue.
+ *  - **Service** (`fairService`): batch slots are granted by weighted
+ *    fair queueing over virtual finish times, so a tenant's long-run
+ *    share of *scanned work* (sum of effective nprobe) is bounded by
+ *    its weight — not just its queue occupancy. EDF still orders
+ *    requests within a tenant's grant. Off, batch formation is the
+ *    global priority/EDF order.
+ *  - **Accounting**: per-tenant disposition counts, scanned work and
+ *    latency digests (EngineStatsSnapshot::tenants) that sum exactly
+ *    to the global totals in every snapshot.
+ *
+ * Tenant ids should come from a small, stable set while the policy is
+ * enabled: the engine tracks one accounting bucket per distinct id
+ * for its lifetime.
  */
 struct TenantPolicy
 {
     bool enable = false;
-    /** Queue share for tenants without an override (in (0, 1]). */
-    double defaultShare = 1.0;
-    /** Per-tenant share overrides (unique tenant ids, each (0, 1]). */
-    std::vector<TenantShare> shares;
+    /** Service class applied to tenants without a registered class
+     *  (its id and name are ignored). */
+    TenantClass defaults;
+    /** Registered per-tenant classes (unique ids). */
+    std::vector<TenantClass> classes;
+    /** Weighted fair batching over EDF (see above). */
+    bool fairService = false;
+    /**
+     * Starvation-freedom floor: every tenant's effective WFQ weight
+     * is at least this (in (0, 1]), so even a zero-ish-weight tenant
+     * makes progress while backlogged.
+     */
+    double weightFloor = 0.05;
+    /**
+     * Let the autopilot's share controller refit each tenant's live
+     * admission share from its measured arrival rate every control
+     * cycle, clamped to the class's [minShare, maxShare]. Requires
+     * the autopilot.
+     */
+    bool adaptiveShares = false;
+};
+
+/**
+ * Validated read-only view of a TenantPolicy — the registry the
+ * dispatcher, autopilot and benches resolve tenant identities
+ * against. resolve() never fails: unknown tenants get the defaults
+ * class.
+ */
+class TenantTable
+{
+  public:
+    TenantTable() = default;
+    /** @p policy must have passed EngineConfig::validate(). */
+    explicit TenantTable(const TenantPolicy &policy);
+
+    bool enabled() const { return policy_.enable; }
+    bool fairService() const
+    {
+        return policy_.enable && policy_.fairService;
+    }
+    bool adaptiveShares() const
+    {
+        return policy_.enable && policy_.adaptiveShares;
+    }
+
+    /** Registered class for @p id, or nullptr. */
+    const TenantClass *find(TenantId id) const;
+    /** Registered class for @p id, else the defaults class. */
+    const TenantClass &resolve(TenantId id) const;
+    /** Effective WFQ weight: max(resolve(id).weight, weightFloor). */
+    double weight(TenantId id) const;
+    const std::vector<TenantClass> &classes() const
+    {
+        return policy_.classes;
+    }
+
+  private:
+    TenantPolicy policy_;
+    std::map<TenantId, std::size_t> byId_;
 };
 
 /**
@@ -179,14 +329,24 @@ struct TenantPolicy
  */
 struct TenantStatsSnapshot
 {
-    /** Tenant id (SearchRequest::tag). */
-    std::uint64_t tenant = 0;
+    TenantId tenant;
     std::size_t submitted = 0;
     std::size_t served = 0;
     std::size_t expired = 0;
     std::size_t rejected = 0;
     /** Served at a degraded (reduced) nprobe. */
     std::size_t degradedServed = 0;
+    /**
+     * Scanned work served on this tenant's behalf: the sum of
+     * effective nprobe over its served requests — the quantity WFQ
+     * bounds by the tenant's weight.
+     */
+    std::size_t servedWork = 0;
+    /** Live admission share (the adaptive controller may have moved
+     *  it off the configured TenantClass::share). */
+    double share = 1.0;
+    /** Effective WFQ weight (after the weight floor). */
+    double weight = 1.0;
     /** Served requests: admission to batch start. */
     LatencySummary queueLatency;
     /** Served requests: admission to completion. */
@@ -260,6 +420,36 @@ struct AutopilotPolicy
     /** Shard-count actuation clamp (>= 1; also capped by the tiered
      *  index's own maxShards). */
     std::size_t maxShards = 8;
+    /**
+     * Adaptive-share smoothing (in [0, 1)): each cycle the share
+     * controller moves a tenant's live admission share toward its
+     * measured demand fraction by a (1 - shareSmoothing) step, so one
+     * noisy window cannot slam the caps around. Only used with
+     * TenantPolicy::adaptiveShares.
+     */
+    double shareSmoothing = 0.5;
+};
+
+/**
+ * One tenant's slice of an autopilot control decision: what the
+ * controller measured for the tenant over the window and the
+ * admission share it actuated.
+ */
+struct TenantDecision
+{
+    TenantId tenant;
+    /** Measured submissions/s over the control window. */
+    double arrivalRate = 0.0;
+    /** (expired + rejected) / resolved over the control window. */
+    double missRate = 0.0;
+    /** p99 total latency of served requests (running digest). */
+    double p99Seconds = 0.0;
+    /** Live admission share after this cycle. */
+    double share = 0.0;
+    /** True when the share controller moved the share this cycle. */
+    bool shareChanged = false;
+    /** True when this tenant's own SLO targets were in breach. */
+    bool sloBreached = false;
 };
 
 /**
@@ -285,6 +475,14 @@ struct AutopilotDecision
     std::size_t batchCap = 0;
     /** True when this decision launched a background repartition. */
     bool repartitioned = false;
+    /**
+     * Weighted per-tenant miss objective the cycle optimized
+     * (sum_t w_t * miss_t / sum_t w_t); equals missRate when the
+     * tenant policy is off.
+     */
+    double weightedMissRate = 0.0;
+    /** Per-tenant measurements + share actuation (tenant policy on). */
+    std::vector<TenantDecision> tenants;
 };
 
 /**

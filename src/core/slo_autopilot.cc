@@ -106,6 +106,65 @@ SloAutopilot::runControlCycle()
     lastRejected_ = s.rejected;
     lastCompleted_ = s.completed;
 
+    const double dt_arrival = dt;
+
+    // Per-tenant windowed observations (tenant policy on): the same
+    // delta-since-last-cycle treatment as the globals, taken from the
+    // per-tenant stat slices. Windows advance even on cycles that
+    // bail early below, keeping them aligned with the global window.
+    const TenantTable &table = engine_.tenantTable();
+    std::vector<TenantDecision> tenant_decisions;
+    double weighted_miss = 0.0;
+    bool class_breach = false;
+    if (table.enabled() && !s.tenants.empty()) {
+        double weight_sum = 0.0;
+        for (const TenantStatsSnapshot &ts : s.tenants) {
+            TenantWindow &w = tenantWindows_[ts.tenant];
+            const std::size_t t_sub = ts.submitted - w.lastSubmitted;
+            const std::size_t t_res =
+                (ts.served + ts.expired + ts.rejected) -
+                (w.lastServed + w.lastExpired + w.lastRejected);
+            const std::size_t t_miss =
+                (ts.expired + ts.rejected) -
+                (w.lastExpired + w.lastRejected);
+            w.lastSubmitted = ts.submitted;
+            w.lastServed = ts.served;
+            w.lastExpired = ts.expired;
+            w.lastRejected = ts.rejected;
+
+            TenantDecision td;
+            td.tenant = ts.tenant;
+            td.arrivalRate =
+                dt_arrival > 0.0
+                    ? static_cast<double>(t_sub) / dt_arrival
+                    : 0.0;
+            td.missRate = t_res > 0
+                              ? static_cast<double>(t_miss) /
+                                    static_cast<double>(t_res)
+                              : 0.0;
+            td.p99Seconds = ts.totalLatency.p99;
+            td.share = ts.share;
+
+            const TenantClass &cls = table.resolve(ts.tenant);
+            const double tw = table.weight(ts.tenant);
+            weight_sum += tw;
+            weighted_miss += tw * td.missRate;
+            // A tenant with no resolved traffic this window cannot
+            // breach: its miss rate is vacuous and its p99 digest is
+            // stale.
+            if (t_res > 0) {
+                td.sloBreached =
+                    td.missRate > cls.slo.missRateTarget ||
+                    (cls.slo.p99TargetSeconds > 0.0 &&
+                     td.p99Seconds > cls.slo.p99TargetSeconds);
+                class_breach = class_breach || td.sloBreached;
+            }
+            tenant_decisions.push_back(td);
+        }
+        weighted_miss =
+            weight_sum > 0.0 ? weighted_miss / weight_sum : 0.0;
+    }
+
     // Live access profile: drain the index's counters and fold them
     // into the exponentially decayed history.
     const std::vector<double> drained = index_.drainAccessCounts();
@@ -183,8 +242,17 @@ SloAutopilot::runControlCycle()
     double rho =
         std::clamp(pr.rho, policy_.minRho, policy_.maxRho);
     // SLO-attainment feedback: misses above target escalate coverage
-    // one step beyond the model's pick.
-    if (miss_rate > policy_.missRateTarget)
+    // one step beyond the model's pick. With tenants the objective is
+    // the weight-averaged per-tenant miss rate, and any single tenant
+    // breaching its own targets escalates too — a premium tenant's
+    // SLO cannot be averaged away by a healthy majority.
+    const bool tenants_on =
+        table.enabled() && !tenant_decisions.empty();
+    const bool slo_breach =
+        tenants_on ? weighted_miss > policy_.missRateTarget ||
+                         class_breach
+                   : miss_rate > policy_.missRateTarget;
+    if (slo_breach)
         rho = std::clamp(std::max(rho, cur_rho + policy_.rhoStep),
                          policy_.minRho, policy_.maxRho);
 
@@ -230,6 +298,34 @@ SloAutopilot::runControlCycle()
         repartitioned =
             updater_.requestRepartition(std::move(hot), shards);
 
+    // 5d. Adaptive admission shares: move each tenant's live share
+    // toward its measured demand fraction (EWMA-smoothed so one noisy
+    // window cannot slam the caps), clamped to the class's
+    // [minShare, maxShare]. The engine applies the clamp too; doing
+    // it here keeps the recorded share honest.
+    if (tenants_on && table.adaptiveShares()) {
+        double total_arrival = 0.0;
+        for (const TenantDecision &td : tenant_decisions)
+            total_arrival += td.arrivalRate;
+        if (total_arrival > 0.0) {
+            for (TenantDecision &td : tenant_decisions) {
+                const TenantClass &cls = table.resolve(td.tenant);
+                const double demand =
+                    td.arrivalRate / total_arrival;
+                const double cur = engine_.tenantShare(td.tenant);
+                const double next = std::clamp(
+                    policy_.shareSmoothing * cur +
+                        (1.0 - policy_.shareSmoothing) * demand,
+                    cls.minShare, cls.maxShare);
+                if (std::fabs(next - cur) > 1e-12) {
+                    engine_.setTenantShare(td.tenant, next);
+                    td.shareChanged = true;
+                }
+                td.share = next;
+            }
+        }
+    }
+
     AutopilotDecision decision;
     decision.arrivalRate = arrival;
     decision.missRate = miss_rate;
@@ -238,6 +334,8 @@ SloAutopilot::runControlCycle()
     decision.hotShards = shards;
     decision.batchCap = cap;
     decision.repartitioned = repartitioned;
+    decision.weightedMissRate = tenants_on ? weighted_miss : miss_rate;
+    decision.tenants = std::move(tenant_decisions);
     engine_.recordAutopilotDecision(decision);
     return repartitioned;
 }

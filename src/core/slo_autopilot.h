@@ -27,6 +27,20 @@
  * overlap check triggers rebuilds on hotspot flips that move cluster
  * membership without moving rho.
  *
+ * With the TenantPolicy enabled the attainment signal is
+ * tenant-aware: each cycle takes per-tenant windowed miss/latency
+ * observations from the per-tenant stat slices, the escalation
+ * objective becomes the weight-averaged per-tenant miss rate
+ * (AutopilotDecision::weightedMissRate) — and any single tenant
+ * breaching its own TenantSloTarget (window miss rate or running p99)
+ * escalates too, so a premium tenant's SLO cannot be averaged away by
+ * a healthy majority. With TenantPolicy::adaptiveShares the cycle
+ * also refits each tenant's live admission share toward its measured
+ * demand fraction (EWMA-smoothed by AutopilotPolicy::shareSmoothing,
+ * clamped to the class's [minShare, maxShare]) through
+ * RetrievalEngine::setTenantShare; every per-tenant measurement and
+ * share move is recorded in AutopilotDecision::tenants.
+ *
  * Scan-time normalization: observed scan wall time is divided by the
  * batch's miss fraction (clamped away from 0) to recover the
  * full-miss T_LUT the perf model expects — this assumes hot-shard
@@ -43,6 +57,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -133,6 +148,16 @@ class SloAutopilot
     std::size_t reservoirSeen_ = 0;
     Rng rng_{0xa0707110};
 
+    /** Per-tenant counter positions at the last cycle, so each cycle
+     *  sees windowed (not lifetime) per-tenant observations. */
+    struct TenantWindow
+    {
+        std::size_t lastSubmitted = 0;
+        std::size_t lastServed = 0;
+        std::size_t lastExpired = 0;
+        std::size_t lastRejected = 0;
+    };
+
     /** Control-cycle state (cycle side; cycleMutex_ serializes). */
     mutable std::mutex cycleMutex_;
     std::vector<double> counts_;
@@ -140,6 +165,7 @@ class SloAutopilot
     std::size_t lastExpired_ = 0;
     std::size_t lastRejected_ = 0;
     std::size_t lastCompleted_ = 0;
+    std::map<TenantId, TenantWindow> tenantWindows_;
     Clock::time_point lastCycle_;
     std::size_t cycles_ = 0;
 

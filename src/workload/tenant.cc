@@ -30,6 +30,12 @@ mix64(std::uint64_t x)
 double
 rateAt(const TenantSpec &spec, double t)
 {
+    // Tenant churn: outside the active window the tenant is absent
+    // entirely (end 0 = active to the horizon).
+    if (t < spec.activeStartSeconds)
+        return 0.0;
+    if (spec.activeEndSeconds > 0.0 && t >= spec.activeEndSeconds)
+        return 0.0;
     double r = spec.arrivalRate;
     if (spec.diurnalAmplitude > 0.0 && spec.diurnalPeriodSeconds > 0.0)
         r *= 1.0 + spec.diurnalAmplitude *
@@ -99,6 +105,14 @@ TenantSpec::validate() const
     if (burstEndSeconds < burstStartSeconds)
         throw std::invalid_argument(
             "TenantSpec: burst window must not end before it starts");
+    if (activeStartSeconds < 0.0)
+        throw std::invalid_argument(
+            "TenantSpec: activeStartSeconds must be >= 0");
+    if (activeEndSeconds != 0.0 &&
+        activeEndSeconds <= activeStartSeconds)
+        throw std::invalid_argument(
+            "TenantSpec: active window must end after it starts "
+            "(activeEndSeconds 0 means the horizon)");
     if (zipfTheta < 0.0)
         throw std::invalid_argument(
             "TenantSpec: zipfTheta must be >= 0");
@@ -151,7 +165,7 @@ WorkloadTrace::generate(const WorkloadScript &script,
     for (const TenantSpec &spec : script.tenants) {
         // Independent stream per tenant, keyed by the tenant id so
         // adding or reordering tenants never perturbs the others.
-        Rng rng(mix64(seed) ^ mix64(spec.tenant));
+        Rng rng(mix64(seed) ^ mix64(spec.tenant.value));
         const ZipfSampler zipf(dspec.numClusters, spec.zipfTheta);
 
         // Popularity rank -> cluster id, biased toward larger
@@ -222,7 +236,7 @@ WorkloadTrace::generate(const WorkloadScript &script,
 }
 
 std::size_t
-WorkloadTrace::countForTenant(std::uint64_t tenant) const
+WorkloadTrace::countForTenant(core::TenantId tenant) const
 {
     std::size_t n = 0;
     for (const ScriptedRequest &r : requests_)
@@ -241,7 +255,7 @@ WorkloadTrace::request(std::size_t i) const
     req.nprobe = r.nprobe;
     req.deadlineSeconds = r.deadlineSeconds;
     req.priority = r.priority;
-    req.tag = r.tenant;
+    req.tenant = r.tenant;
     return req;
 }
 
@@ -253,7 +267,9 @@ WorkloadTrace::save(std::ostream &os) const
     writePod(os, static_cast<std::uint64_t>(requests_.size()));
     for (const ScriptedRequest &r : requests_) {
         writePod(os, r.atSeconds);
-        writePod(os, r.tenant);
+        // The typed id serializes as its raw u64, so traces written
+        // before TenantId load unchanged.
+        writePod(os, r.tenant.value);
         writePod(os, static_cast<std::uint64_t>(r.k));
         writePod(os, static_cast<std::uint64_t>(r.nprobe));
         writePod(os, r.deadlineSeconds);
@@ -295,7 +311,7 @@ WorkloadTrace::load(std::istream &is)
     for (std::size_t i = 0; i < count; ++i) {
         ScriptedRequest r;
         r.atSeconds = readPod<double>(is);
-        r.tenant = readPod<std::uint64_t>(is);
+        r.tenant.value = readPod<std::uint64_t>(is);
         r.k = static_cast<std::size_t>(readPod<std::uint64_t>(is));
         r.nprobe =
             static_cast<std::size_t>(readPod<std::uint64_t>(is));

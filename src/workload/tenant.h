@@ -5,7 +5,8 @@
  *
  * A WorkloadScript declares a set of tenants, each a TenantSpec: its
  * own Zipf popularity skew over the dataset's clusters, a baseline
- * Poisson arrival rate shaped by diurnal drift, burst windows and
+ * Poisson arrival rate shaped by diurnal drift, burst windows, an
+ * optional active window (tenant churn: join/leave mid-trace) and
  * scheduled hotspot flips, and the SLO class (k, nprobe, deadline,
  * priority) every one of its requests carries. WorkloadTrace::generate
  * expands a script into a time-ordered request trace that is fully
@@ -13,10 +14,13 @@
  * byte-identical trace — and save()/load() serialize the trace so any
  * run can be replayed exactly, on any engine configuration.
  *
- * The tenant id rides the engine's opaque SearchRequest::tag field;
- * with EngineConfig::tenants enabled the dispatcher keys weighted
- * admission and per-tenant disposition/latency accounting off the
- * same id (see core/serving_api.h).
+ * The tenant identity rides the typed SearchRequest::tenant field
+ * (core::TenantId); with EngineConfig::tenants enabled the dispatcher
+ * keys admission, weighted fair batching and per-tenant
+ * disposition/latency accounting off the same id (see
+ * core/serving_api.h). Traces written before the typed id carried the
+ * tenant in SearchRequest::tag; the on-disk format is unchanged, only
+ * the in-memory field moved.
  */
 
 #ifndef VLR_WORKLOAD_TENANT_H
@@ -41,8 +45,9 @@ struct TenantSpec
 {
     /** Label for tables and JSON snapshots. */
     std::string name;
-    /** Tenant id carried as SearchRequest::tag (unique per script). */
-    std::uint64_t tenant = 0;
+    /** Tenant identity carried as SearchRequest::tenant (unique per
+     *  script). */
+    core::TenantId tenant;
 
     // --- arrival process ---
     /** Baseline Poisson arrival rate (req/s, > 0). */
@@ -59,6 +64,14 @@ struct TenantSpec
     double burstFactor = 1.0;
     double burstStartSeconds = 0.0;
     double burstEndSeconds = 0.0;
+    /**
+     * Active window (tenant churn): the tenant submits nothing before
+     * activeStartSeconds or at/after activeEndSeconds. An end of 0
+     * means active to the horizon, so specs that never set the window
+     * behave as before.
+     */
+    double activeStartSeconds = 0.0;
+    double activeEndSeconds = 0.0;
 
     // --- popularity over clusters ---
     /** Zipf exponent of this tenant's cluster popularity (>= 0). */
@@ -100,7 +113,7 @@ struct ScriptedRequest
 {
     /** Arrival offset from trace start (seconds). */
     double atSeconds = 0.0;
-    std::uint64_t tenant = 0;
+    core::TenantId tenant;
     std::size_t k = 0;
     std::size_t nprobe = 0;
     double deadlineSeconds = 0.0;
@@ -139,7 +152,7 @@ class WorkloadTrace
     std::size_t dim() const { return dim_; }
 
     /** Scripted requests carrying @p tenant's id. */
-    std::size_t countForTenant(std::uint64_t tenant) const;
+    std::size_t countForTenant(core::TenantId tenant) const;
 
     /**
      * Typed engine request for entry @p i: the query span aliases the

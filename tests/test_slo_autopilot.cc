@@ -2,10 +2,14 @@
  * @file
  * Tests for the closed-loop control surface: EDF ordering inside a
  * priority class, graceful nprobe degradation under queue pressure
- * (never below the floor, parity when idle or disabled), the
- * SloAutopilot re-picking the hot set after a hotspot flip through the
- * OnlineUpdater snapshot swap, and EngineBuilder validation of the
- * degradation / autopilot policy knobs.
+ * (never below the floor, parity when idle or disabled, and scoped to
+ * degradable tenant classes), the SloAutopilot re-picking the hot set
+ * after a hotspot flip through the OnlineUpdater snapshot swap, the
+ * tenant-aware control cycle (adaptive admission shares tracking
+ * measured demand inside each class's clamp, per-tenant SLO breaches
+ * escalating coverage and the weighted miss objective), and
+ * EngineBuilder validation of the degradation / autopilot policy
+ * knobs.
  */
 
 #include <algorithm>
@@ -385,6 +389,224 @@ TEST_F(AutopilotFixture, AutopilotCycleWithoutTrafficIsANoOp)
     EXPECT_EQ(s.autopilotCycles, 1u);
     EXPECT_EQ(s.autopilotRepartitions, 0u);
     EXPECT_TRUE(s.autopilotTrace.empty());
+}
+
+// --- Tenant-aware control ---------------------------------------------
+
+/** Per-tenant slice of a decision, or nullptr if absent. */
+const TenantDecision *
+decisionFor(const AutopilotDecision &d, TenantId id)
+{
+    for (const auto &t : d.tenants)
+        if (t.tenant == id)
+            return &t;
+    return nullptr;
+}
+
+TEST_F(AutopilotFixture, AdaptiveSharesTrackDemandInsideClamp)
+{
+    // Demand split 3:1 between two tenants configured at share 0.5
+    // each. One control cycle must move each live share halfway (the
+    // default shareSmoothing of 0.5) from 0.5 toward its measured
+    // demand fraction — except where the class clamp caps the move —
+    // and record the actuation in the decision trace.
+    const auto profile = makeProfile();
+    TenantPolicy tenants;
+    tenants.enable = true;
+    tenants.adaptiveShares = true;
+    tenants.classes = {{.id = TenantId{1},
+                        .share = 0.5,
+                        .minShare = 0.1,
+                        .maxShare = 0.9},
+                       {.id = TenantId{2},
+                        .share = 0.5,
+                        .minShare = 0.45,
+                        .maxShare = 0.9}};
+    AutopilotPolicy pilot;
+    pilot.enable = true;
+    pilot.controlIntervalSeconds = 0.0; // manual cycles only
+    pilot.minBatchObservations = 2;
+    pilot.queryReservoir = 32;
+    pilot.minRho = 0.25;
+    const auto engine = EngineBuilder(*index_)
+                            .tieredFromProfile(profile, 0.25)
+                            .searchThreads(2)
+                            .batching({.maxBatch = 8,
+                                       .timeoutSeconds = 1e-3})
+                            .admissionQueueBound(4096)
+                            .tenantIsolation(tenants)
+                            .autopilot(pilot)
+                            .build();
+
+    std::vector<SearchRequest> requests(128);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        requests[i].query = query(i % nq_);
+        // 96 submissions for tenant 1, 32 for tenant 2.
+        requests[i].tenant = TenantId{i % 4 == 3 ? 2u : 1u};
+    }
+    auto futures = engine->submitMany(requests);
+    engine->drain();
+    for (auto &f : futures)
+        ASSERT_EQ(f.get().disposition, Disposition::kServed);
+
+    engine->autopilot()->runControlCycle();
+    const auto s = engine->stats();
+    ASSERT_EQ(s.autopilotTrace.size(), 1u);
+    const auto &d = s.autopilotTrace.back();
+    const auto *t1 = decisionFor(d, TenantId{1});
+    const auto *t2 = decisionFor(d, TenantId{2});
+    ASSERT_NE(t1, nullptr);
+    ASSERT_NE(t2, nullptr);
+    EXPECT_GT(t1->arrivalRate, 0.0);
+    EXPECT_GT(t1->arrivalRate, t2->arrivalRate);
+
+    // Demand fractions are exactly 0.75 / 0.25 (same window), so the
+    // smoothed targets are 0.625 and 0.375 — the latter stopped at
+    // its class's minShare clamp.
+    EXPECT_NEAR(t1->share, 0.625, 1e-9);
+    EXPECT_NEAR(t2->share, 0.45, 1e-9);
+    EXPECT_TRUE(t1->shareChanged);
+    EXPECT_TRUE(t2->shareChanged);
+    EXPECT_FALSE(t1->sloBreached);
+    EXPECT_FALSE(t2->sloBreached);
+    EXPECT_EQ(d.weightedMissRate, 0.0);
+
+    // The engine actuated the shares, not just the trace: the next
+    // stats snapshot reports the live values.
+    for (const auto &ts : s.tenants) {
+        if (ts.tenant == TenantId{1})
+            EXPECT_NEAR(ts.share, 0.625, 1e-9);
+        if (ts.tenant == TenantId{2})
+            EXPECT_NEAR(ts.share, 0.45, 1e-9);
+    }
+}
+
+TEST_F(AutopilotFixture, PerTenantSloBreachEscalatesCoverage)
+{
+    // Tenant 1 stays healthy while tenant 2's tight deadlines expire
+    // in a throttled backlog. The cycle must record the breach on
+    // tenant 2 alone, fold it into the weighted miss objective, and
+    // escalate coverage by at least rhoStep — a single tenant's
+    // breach cannot be averaged away by the healthy majority.
+    const auto profile = makeProfile();
+    TenantPolicy tenants;
+    tenants.enable = true;
+    tenants.classes = {
+        {.id = TenantId{1}, .slo = {.missRateTarget = 0.5}},
+        {.id = TenantId{2}, .slo = {.missRateTarget = 0.0}}};
+    AutopilotPolicy pilot;
+    pilot.enable = true;
+    pilot.controlIntervalSeconds = 0.0;
+    pilot.minBatchObservations = 2;
+    pilot.queryReservoir = 32;
+    pilot.minRho = 0.25;
+    pilot.maxRho = 0.5;
+    const auto engine =
+        EngineBuilder(*index_)
+            .tieredFromProfile(profile, 0.25)
+            .hotShards(1)
+            .shardBackend(throttledShardFactory(2e-3))
+            .searchThreads(2)
+            .batching({.maxBatch = 8, .timeoutSeconds = 1e-3})
+            .admissionQueueBound(4096)
+            .tenantIsolation(tenants)
+            .autopilot(pilot)
+            .build();
+
+    // Tenant 1 first (no deadline, all served); tenant 2 lands behind
+    // a multi-batch throttled backlog with deadlines that cannot
+    // survive it.
+    std::vector<SearchRequest> requests(96);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        requests[i].query = query(i % nq_);
+        if (i < 64) {
+            requests[i].tenant = TenantId{1};
+        } else {
+            requests[i].tenant = TenantId{2};
+            requests[i].deadlineSeconds = 1e-4;
+        }
+    }
+    auto futures = engine->submitMany(requests);
+    engine->drain();
+    for (auto &f : futures)
+        f.get();
+
+    engine->autopilot()->runControlCycle();
+    const auto s = engine->stats();
+    ASSERT_EQ(s.autopilotTrace.size(), 1u);
+    const auto &d = s.autopilotTrace.back();
+    const auto *t1 = decisionFor(d, TenantId{1});
+    const auto *t2 = decisionFor(d, TenantId{2});
+    ASSERT_NE(t1, nullptr);
+    ASSERT_NE(t2, nullptr);
+    EXPECT_EQ(t1->missRate, 0.0);
+    EXPECT_FALSE(t1->sloBreached);
+    EXPECT_GT(t2->missRate, 0.0);
+    EXPECT_TRUE(t2->sloBreached);
+    // Equal weights: the objective averages the two miss rates.
+    EXPECT_GT(d.weightedMissRate, 0.0);
+    EXPECT_LT(d.weightedMissRate, t2->missRate);
+    // Coverage escalated off the 0.25 floor by at least one step.
+    EXPECT_GE(d.rho, 0.25 + pilot.rhoStep - 1e-9);
+}
+
+TEST_F(AutopilotFixture, DegradationSkipsNonDegradableTenants)
+{
+    // Same overload as the degradation test above, but the premium
+    // tenant's class opts out: every premium request must be served
+    // at its requested depth while the best-effort tenant absorbs the
+    // nprobe shaving.
+    const auto profile = makeProfile();
+    TieredIndex tiered(*index_, profile, 1.0,
+                       TieredOptions{1, throttledShardFactory(2e-3)});
+    DegradationPolicy degrade;
+    degrade.enable = true;
+    degrade.nprobeFloor = 4;
+    degrade.queuePressure = 1.0;
+    TenantPolicy tenants;
+    tenants.enable = true;
+    tenants.classes = {
+        {.id = TenantId{1}, .name = "premium", .degradable = false},
+        {.id = TenantId{2}, .name = "best-effort"}};
+    const auto engine = EngineBuilder(tiered)
+                            .searchThreads(2)
+                            .batching({.maxBatch = 8,
+                                       .timeoutSeconds = 1e-3})
+                            .admissionQueueBound(4096)
+                            .tenantIsolation(tenants)
+                            .degradation(degrade)
+                            .build();
+
+    std::vector<SearchRequest> requests(96);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        requests[i].query = query(i % nq_);
+        requests[i].tenant = TenantId{i % 2 == 0 ? 1u : 2u};
+        requests[i].nprobe = 16;
+    }
+    auto futures = engine->submitMany(requests);
+    engine->drain();
+
+    std::size_t best_effort_degraded = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto r = futures[i].get();
+        ASSERT_EQ(r.disposition, Disposition::kServed);
+        if (i % 2 == 0) {
+            EXPECT_EQ(r.nprobe, 16u) << "premium request " << i;
+            EXPECT_FALSE(r.degraded) << "premium request " << i;
+        } else if (r.degraded) {
+            ++best_effort_degraded;
+        }
+    }
+    EXPECT_GT(best_effort_degraded, 0u);
+
+    const auto s = engine->stats();
+    EXPECT_EQ(s.degradedServed, best_effort_degraded);
+    for (const auto &ts : s.tenants) {
+        if (ts.tenant == TenantId{1})
+            EXPECT_EQ(ts.degradedServed, 0u);
+        if (ts.tenant == TenantId{2})
+            EXPECT_EQ(ts.degradedServed, best_effort_degraded);
+    }
 }
 
 // --- Builder validation of the control policies -----------------------

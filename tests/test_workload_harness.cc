@@ -1,22 +1,29 @@
 /**
  * @file
- * Tests for the multi-tenant replayable workload harness: deterministic
- * trace generation (same script + seed is the identical trace, per
- * tenant streams independent of each other), binary save/load
- * round-trips, script and TenantPolicy validation, deterministic
- * per-tenant served counts across engine runs, weighted-admission
- * isolation under a sustained one-tenant flood (demonstrably failing
- * with isolation off), and the per-tenant-counts-sum-to-globals
+ * Tests for the multi-tenant replayable workload harness and the
+ * tenant service contract: deterministic trace generation (same
+ * script + seed is the identical trace, per tenant streams
+ * independent of each other), tenant churn via active windows, binary
+ * save/load round-trips, script and TenantClass/TenantPolicy
+ * validation (with actionable messages), deterministic per-tenant
+ * served counts across engine runs, weighted-admission isolation
+ * under a sustained one-tenant flood and under correlated bursts
+ * (demonstrably failing with isolation off), the weighted-fair
+ * batching work-share bound under weight skew (a regression for the
+ * finish-time-tie lock-out), and the per-tenant-counts-sum-to-globals
  * invariant under concurrent submit/drain (exercised under the CI
  * sanitizer configs).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -55,7 +62,7 @@ struct WorkloadHarnessFixture : public ::testing::Test
         script.horizonSeconds = 0.5;
         TenantSpec a;
         a.name = "a";
-        a.tenant = 1;
+        a.tenant = core::TenantId{1};
         a.arrivalRate = 400.0;
         a.zipfTheta = 1.2;
         a.k = 5;
@@ -65,7 +72,7 @@ struct WorkloadHarnessFixture : public ::testing::Test
         script.tenants.push_back(a);
         TenantSpec b;
         b.name = "b";
-        b.tenant = 2;
+        b.tenant = core::TenantId{2};
         b.arrivalRate = 300.0;
         b.diurnalAmplitude = 0.5;
         b.diurnalPeriodSeconds = 0.5;
@@ -91,9 +98,11 @@ TEST_F(WorkloadHarnessFixture, GenerateIsDeterministic)
     EXPECT_TRUE(t1 == t2);
     EXPECT_GT(t1.size(), 0u);
     EXPECT_EQ(t1.dim(), spec_.dim);
-    EXPECT_GT(t1.countForTenant(1), 0u);
-    EXPECT_GT(t1.countForTenant(2), 0u);
-    EXPECT_EQ(t1.countForTenant(1) + t1.countForTenant(2), t1.size());
+    EXPECT_GT(t1.countForTenant(core::TenantId{1}), 0u);
+    EXPECT_GT(t1.countForTenant(core::TenantId{2}), 0u);
+    EXPECT_EQ(t1.countForTenant(core::TenantId{1}) +
+                  t1.countForTenant(core::TenantId{2}),
+              t1.size());
 
     // A different seed must not reproduce the trace.
     const auto t3 = WorkloadTrace::generate(script, *dataset_, 8);
@@ -107,7 +116,7 @@ TEST_F(WorkloadHarnessFixture, GenerateIsDeterministic)
         EXPECT_LT(r.atSeconds, script.horizonSeconds);
         prev = r.atSeconds;
         const TenantSpec &spec =
-            script.tenants[r.tenant == 1 ? 0 : 1];
+            script.tenants[r.tenant == core::TenantId{1} ? 0 : 1];
         EXPECT_EQ(r.k, spec.k);
         EXPECT_EQ(r.nprobe, spec.nprobe);
         EXPECT_EQ(r.deadlineSeconds, spec.deadlineSeconds);
@@ -130,7 +139,7 @@ TEST_F(WorkloadHarnessFixture, TenantStreamsAreIndependent)
 
     std::vector<ScriptedRequest> of_a;
     for (const ScriptedRequest &r : both.requests())
-        if (r.tenant == 1)
+        if (r.tenant == core::TenantId{1})
             of_a.push_back(r);
     ASSERT_EQ(of_a.size(), alone.size());
     for (std::size_t i = 0; i < of_a.size(); ++i)
@@ -147,9 +156,11 @@ TEST_F(WorkloadHarnessFixture, SaveLoadRoundTripsExactly)
     const auto reloaded = WorkloadTrace::load(ss);
     EXPECT_TRUE(trace == reloaded);
 
-    // request(i) exposes the reloaded entries unchanged.
+    // request(i) exposes the reloaded entries unchanged; the tenant
+    // identity rides the typed field, leaving tag free for callers.
     const core::SearchRequest req = reloaded.request(0);
-    EXPECT_EQ(req.tag, reloaded.requests()[0].tenant);
+    EXPECT_EQ(req.tenant, reloaded.requests()[0].tenant);
+    EXPECT_EQ(req.tag, 0u);
     EXPECT_EQ(req.k, reloaded.requests()[0].k);
     EXPECT_EQ(req.query.size(), reloaded.dim());
 
@@ -190,7 +201,59 @@ TEST_F(WorkloadHarnessFixture, ScriptValidationRejectsBadSpecs)
     EXPECT_THROW(script.validate(), std::invalid_argument);
 }
 
+TEST_F(WorkloadHarnessFixture, ActiveWindowScopesTenantChurn)
+{
+    // Tenant churn: a tenant with an active window joins and leaves
+    // mid-trace — every one of its arrivals lands inside the window,
+    // while the always-on tenant spans the horizon.
+    auto script = makeScript();
+    script.tenants[1].activeStartSeconds = 0.2;
+    script.tenants[1].activeEndSeconds = 0.4;
+    const auto trace = WorkloadTrace::generate(script, *dataset_, 13);
+    std::size_t churned = 0;
+    double a_first = 1e9, a_last = -1.0;
+    for (const ScriptedRequest &r : trace.requests()) {
+        if (r.tenant == core::TenantId{2}) {
+            ++churned;
+            EXPECT_GE(r.atSeconds, 0.2);
+            EXPECT_LT(r.atSeconds, 0.4);
+        } else {
+            a_first = std::min(a_first, r.atSeconds);
+            a_last = std::max(a_last, r.atSeconds);
+        }
+    }
+    EXPECT_GT(churned, 0u);
+    EXPECT_EQ(churned, trace.countForTenant(core::TenantId{2}));
+    EXPECT_LT(a_first, 0.2);
+    EXPECT_GE(a_last, 0.4);
+
+    // An end of 0 means active to the horizon (join-only churn).
+    script.tenants[1].activeEndSeconds = 0.0;
+    const auto joined = WorkloadTrace::generate(script, *dataset_, 13);
+    for (const ScriptedRequest &r : joined.requests())
+        if (r.tenant == core::TenantId{2})
+            EXPECT_GE(r.atSeconds, 0.2);
+    EXPECT_GT(joined.countForTenant(core::TenantId{2}), churned);
+
+    // Bad windows are rejected up front.
+    script.tenants[1].activeStartSeconds = -0.1;
+    EXPECT_THROW(script.validate(), std::invalid_argument);
+    script.tenants[1].activeStartSeconds = 0.3;
+    script.tenants[1].activeEndSeconds = 0.3;
+    EXPECT_THROW(script.validate(), std::invalid_argument);
+}
+
 // --- Engine-side tests -----------------------------------------------
+
+/** Per-tenant slice of a snapshot, or nullptr if absent. */
+const core::TenantStatsSnapshot *
+tenantSlice(const core::EngineStatsSnapshot &s, core::TenantId id)
+{
+    for (const auto &t : s.tenants)
+        if (t.tenant == id)
+            return &t;
+    return nullptr;
+}
 
 /** Adds a trained fast-scan index over the generated corpus. */
 struct TenantEngineFixture : public WorkloadHarnessFixture
@@ -230,6 +293,104 @@ struct TenantEngineFixture : public WorkloadHarnessFixture
         }
         return core::AccessProfile(std::move(counts), std::move(work),
                                    std::move(bytes));
+    }
+
+    /** Scanned-work deltas over a steady window of a two-tenant duel. */
+    struct ShareOutcome
+    {
+        std::size_t heavyWork = 0;
+        std::size_t lightWork = 0;
+        std::size_t lightServed = 0;
+    };
+
+    /**
+     * Tenant 1 ("heavy") and tenant 2 ("light") flood a throttled
+     * one-shard engine from closed-loop submitters so both stay
+     * continuously backlogged; the heavy tenant also submits at a
+     * higher dispatch priority. Returns per-tenant servedWork deltas
+     * over a window that starts only after a warmup, so ramp-up noise
+     * never enters the ratio.
+     */
+    ShareOutcome
+    measureWorkShares(const core::TenantPolicy &tenants)
+    {
+        const auto profile = makeProfile();
+        const auto engine =
+            core::EngineBuilder(*index_)
+                .tieredFromProfile(profile, 1.0)
+                .hotShards(1)
+                .shardBackend(core::throttledShardFactory(1e-3))
+                .defaultK(5)
+                .defaultNprobe(8)
+                .searchThreads(1)
+                .batching({.maxBatch = 4, .timeoutSeconds = 5e-4})
+                .admissionQueueBound(16)
+                .tenantIsolation(tenants)
+                .build();
+
+        std::atomic<bool> stop{false};
+        const auto flood =
+            [&](core::TenantId tenant, int priority,
+                std::vector<std::future<core::SearchResponse>> &fs) {
+                std::size_t i = 0;
+                while (!stop.load()) {
+                    // Bursts of four keep the tenant backlogged even
+                    // when sanitizer overhead stretches the loop.
+                    for (int b = 0; b < 4; ++b) {
+                        core::SearchRequest r;
+                        r.query = query(i++);
+                        r.tenant = tenant;
+                        r.priority = priority;
+                        fs.push_back(engine->submit(r));
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+                }
+            };
+        std::vector<std::future<core::SearchResponse>> f1, f2;
+        std::thread heavy([&] { flood(core::TenantId{1}, 1, f1); });
+        std::thread light([&] { flood(core::TenantId{2}, 0, f2); });
+
+        const auto wait_served = [&](std::size_t target) {
+            const auto deadline = std::chrono::steady_clock::now() +
+                                  std::chrono::seconds(20);
+            auto s = engine->stats();
+            while (s.served < target &&
+                   std::chrono::steady_clock::now() < deadline) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                s = engine->stats();
+            }
+            return s;
+        };
+        const auto warm = wait_served(300);
+        const auto done = wait_served(1500);
+        stop.store(true);
+        heavy.join();
+        light.join();
+        engine->drain();
+        EXPECT_GE(done.served, 1500u) << "engine never reached the "
+                                         "measurement window";
+
+        ShareOutcome out;
+        const auto *h0 = tenantSlice(warm, core::TenantId{1});
+        const auto *l0 = tenantSlice(warm, core::TenantId{2});
+        const auto *h1 = tenantSlice(done, core::TenantId{1});
+        const auto *l1 = tenantSlice(done, core::TenantId{2});
+        if (h1 != nullptr)
+            out.heavyWork =
+                h1->servedWork - (h0 != nullptr ? h0->servedWork : 0);
+        if (l1 != nullptr) {
+            out.lightWork =
+                l1->servedWork - (l0 != nullptr ? l0->servedWork : 0);
+            out.lightServed =
+                l1->served - (l0 != nullptr ? l0->served : 0);
+        }
+        for (auto &f : f1)
+            f.get();
+        for (auto &f : f2)
+            f.get();
+        return out;
     }
 
     const std::size_t nq_ = 64;
@@ -300,7 +461,7 @@ TEST_F(TenantEngineFixture, WeightedAdmissionPreventsStarvation)
     const auto victim_miss_rate = [&](bool isolated) {
         core::TenantPolicy tenants;
         tenants.enable = true;
-        tenants.defaultShare = isolated ? 0.5 : 1.0;
+        tenants.defaults.share = isolated ? 0.5 : 1.0;
         const auto engine =
             core::EngineBuilder(*index_)
                 .tieredFromProfile(profile, 1.0)
@@ -321,7 +482,7 @@ TEST_F(TenantEngineFixture, WeightedAdmissionPreventsStarvation)
             while (!stop.load()) {
                 core::SearchRequest r;
                 r.query = query(i++);
-                r.tag = 1;
+                r.tenant = core::TenantId{1};
                 flood.push_back(engine->submit(r));
                 std::this_thread::sleep_for(
                     std::chrono::microseconds(200));
@@ -332,7 +493,8 @@ TEST_F(TenantEngineFixture, WeightedAdmissionPreventsStarvation)
         // starts (8 queued when isolated, the full queue when not).
         const auto deadline = std::chrono::steady_clock::now() +
                               std::chrono::seconds(5);
-        while (engine->pendingForTenant(1) < kQueue / 2 &&
+        while (engine->pendingForTenant(core::TenantId{1}) <
+                   kQueue / 2 &&
                std::chrono::steady_clock::now() < deadline)
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
 
@@ -340,7 +502,7 @@ TEST_F(TenantEngineFixture, WeightedAdmissionPreventsStarvation)
         for (std::size_t i = 0; i < kVictim; ++i) {
             core::SearchRequest r;
             r.query = query(i);
-            r.tag = 2;
+            r.tenant = core::TenantId{2};
             r.priority = 2;
             victim.push_back(engine->submit(r));
             std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -376,7 +538,7 @@ TEST_F(TenantEngineFixture, TenantCountsSumToGlobalsUnderConcurrency)
 
     core::TenantPolicy tenants;
     tenants.enable = true;
-    tenants.defaultShare = 0.6;
+    tenants.defaults.share = 0.6;
     const auto engine = core::EngineBuilder(*index_)
                             .defaultK(5)
                             .defaultNprobe(4)
@@ -389,19 +551,21 @@ TEST_F(TenantEngineFixture, TenantCountsSumToGlobalsUnderConcurrency)
 
     const auto check_sums = [](const core::EngineStatsSnapshot &s) {
         std::size_t submitted = 0, served = 0, expired = 0,
-                    rejected = 0, degraded = 0;
+                    rejected = 0, degraded = 0, work = 0;
         for (const auto &t : s.tenants) {
             submitted += t.submitted;
             served += t.served;
             expired += t.expired;
             rejected += t.rejected;
             degraded += t.degradedServed;
+            work += t.servedWork;
         }
         EXPECT_EQ(submitted, s.submitted);
         EXPECT_EQ(served, s.served);
         EXPECT_EQ(expired, s.expired);
         EXPECT_EQ(rejected, s.rejected);
         EXPECT_EQ(degraded, s.degradedServed);
+        EXPECT_EQ(work, s.servedWork);
     };
 
     std::vector<std::thread> workers;
@@ -411,7 +575,7 @@ TEST_F(TenantEngineFixture, TenantCountsSumToGlobalsUnderConcurrency)
             for (std::size_t i = 0; i < kPerTenant; ++i) {
                 core::SearchRequest r;
                 r.query = query(i);
-                r.tag = t + 1;
+                r.tenant = core::TenantId{t + 1};
                 // Every third request gets a deadline tight enough to
                 // expire in a backed-up queue.
                 if (i % 3 == 0)
@@ -440,8 +604,186 @@ TEST_F(TenantEngineFixture, TenantCountsSumToGlobalsUnderConcurrency)
     }
 }
 
+TEST_F(TenantEngineFixture, FairServiceBoundsWorkShareUnderWeightSkew)
+{
+    // Regression for the weight-skew lock-out: with equal-cost
+    // requests and 2:1 weights every virtual-finish increment is
+    // commensurate, so granting batch slots by finish time ties every
+    // round and a deterministic tie-break hands each grant to the
+    // same tenant — the light tenant (larger id, lower weight) would
+    // starve. Start-time fair queueing must hold its long-run
+    // scanned-work share near the 1/3 entitlement even though the
+    // heavy tenant floods at a higher dispatch priority; with fair
+    // service off the same duel collapses to the priority order.
+    core::TenantPolicy tenants;
+    tenants.enable = true;
+    tenants.defaults.share = 0.5;
+    tenants.classes = {
+        {.id = core::TenantId{1}, .share = 0.5, .weight = 2.0},
+        {.id = core::TenantId{2}, .share = 0.5, .weight = 1.0}};
+
+    tenants.fairService = true;
+    const auto fair = measureWorkShares(tenants);
+    ASSERT_GT(fair.heavyWork + fair.lightWork, 0u);
+    const double fair_light =
+        static_cast<double>(fair.lightWork) /
+        static_cast<double>(fair.heavyWork + fair.lightWork);
+    EXPECT_GT(fair_light, 0.23);
+    EXPECT_LT(fair_light, 0.43);
+
+    tenants.fairService = false;
+    const auto skewed = measureWorkShares(tenants);
+    ASSERT_GT(skewed.heavyWork + skewed.lightWork, 0u);
+    const double skewed_light =
+        static_cast<double>(skewed.lightWork) /
+        static_cast<double>(skewed.heavyWork + skewed.lightWork);
+    EXPECT_LT(skewed_light, 0.2);
+}
+
+TEST_F(TenantEngineFixture, WeightFloorPreventsStarvationUnderSkew)
+{
+    // A near-zero-weight best-effort tenant still makes progress
+    // while backlogged: weightFloor lower-bounds its effective WFQ
+    // weight, so it keeps landing batch slots — but its work share
+    // stays far below the heavy tenant's.
+    core::TenantPolicy tenants;
+    tenants.enable = true;
+    tenants.fairService = true;
+    tenants.defaults.share = 0.5;
+    tenants.weightFloor = 0.05;
+    tenants.classes = {
+        {.id = core::TenantId{1}, .share = 0.5, .weight = 1.0},
+        {.id = core::TenantId{2}, .share = 0.5, .weight = 0.001}};
+    const auto out = measureWorkShares(tenants);
+    ASSERT_GT(out.heavyWork + out.lightWork, 0u);
+    EXPECT_GE(out.lightServed, 10u);
+    const double light_share =
+        static_cast<double>(out.lightWork) /
+        static_cast<double>(out.heavyWork + out.lightWork);
+    EXPECT_LT(light_share, 0.25);
+}
+
+TEST_F(TenantEngineFixture, CorrelatedBurstsClipWithoutHarmingPremium)
+{
+    // Two best-effort tenants burst in the SAME window (correlated
+    // overload) while a premium tenant keeps a modest paced stream.
+    // With admission shares and fair service the correlated burst is
+    // clipped inside the bursty tenants' own queue shares; the
+    // premium tenant rides through with nothing rejected or expired.
+    WorkloadScript script;
+    script.horizonSeconds = 0.5;
+    TenantSpec prem;
+    prem.name = "premium";
+    prem.tenant = core::TenantId{1};
+    prem.arrivalRate = 150.0;
+    prem.priority = 1;
+    prem.k = 5;
+    prem.nprobe = 8;
+    script.tenants.push_back(prem);
+    for (std::uint64_t id : {2u, 3u}) {
+        TenantSpec b;
+        b.name = id == 2 ? "burst-a" : "burst-b";
+        b.tenant = core::TenantId{id};
+        b.arrivalRate = 80.0;
+        b.burstFactor = 25.0;
+        b.burstStartSeconds = 0.2;
+        b.burstEndSeconds = 0.35;
+        b.k = 5;
+        b.nprobe = 8;
+        script.tenants.push_back(b);
+    }
+    const auto trace = WorkloadTrace::generate(script, *dataset_, 23);
+
+    // Correlation sanity: the bulk of each bursty tenant's arrivals
+    // lands inside the shared window.
+    for (std::uint64_t id : {2u, 3u}) {
+        std::size_t total = 0, windowed = 0;
+        for (const ScriptedRequest &r : trace.requests())
+            if (r.tenant == core::TenantId{id}) {
+                ++total;
+                if (r.atSeconds >= 0.2 && r.atSeconds < 0.35)
+                    ++windowed;
+            }
+        ASSERT_GT(total, 0u);
+        EXPECT_GE(static_cast<double>(windowed), 0.5 * total);
+    }
+
+    core::TenantPolicy tenants;
+    tenants.enable = true;
+    tenants.fairService = true;
+    tenants.defaults.share = 0.25;
+    tenants.classes = {{.id = core::TenantId{1},
+                        .name = "premium",
+                        .share = 0.5,
+                        .weight = 4.0,
+                        .degradable = false}};
+    const auto engine =
+        core::EngineBuilder(*index_)
+            .tieredFromProfile(makeProfile(), 1.0)
+            .hotShards(1)
+            .shardBackend(core::throttledShardFactory(2e-3))
+            .defaultK(5)
+            .defaultNprobe(8)
+            .searchThreads(1)
+            .batching({.maxBatch = 4, .timeoutSeconds = 5e-4})
+            .admissionQueueBound(16)
+            .tenantIsolation(tenants)
+            .build();
+
+    std::vector<std::future<core::SearchResponse>> futures;
+    futures.reserve(trace.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            trace.requests()[i].atSeconds)));
+        futures.push_back(engine->submit(trace.request(i)));
+    }
+    engine->drain();
+    for (auto &f : futures)
+        f.get();
+
+    const auto s = engine->stats();
+    const auto *p = tenantSlice(s, core::TenantId{1});
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->rejected, 0u);
+    EXPECT_EQ(p->expired, 0u);
+    EXPECT_EQ(p->served, p->submitted);
+    for (std::uint64_t id : {2u, 3u}) {
+        const auto *b = tenantSlice(s, core::TenantId{id});
+        ASSERT_NE(b, nullptr);
+        EXPECT_GT(b->rejected, 0u)
+            << "correlated burst of tenant " << id
+            << " was not clipped";
+    }
+}
+
 TEST_F(TenantEngineFixture, TenantPolicyValidation)
 {
+    // Every rejection must name the offending field so a misconfigured
+    // TenantClass is actionable, not just "invalid config".
+    const auto build_error =
+        [&](const core::TenantPolicy &p) -> std::string {
+        try {
+            core::EngineBuilder(*index_)
+                .admissionQueueBound(16)
+                .tenantIsolation(p)
+                .build();
+        } catch (const std::invalid_argument &e) {
+            return e.what();
+        }
+        return {};
+    };
+    const auto expect_rejects = [&](const core::TenantPolicy &p,
+                                    std::string_view needle) {
+        const std::string msg = build_error(p);
+        EXPECT_NE(msg.find(needle), std::string::npos)
+            << "expected rejection mentioning '" << needle
+            << "', got: " << (msg.empty() ? "<no throw>" : msg);
+    };
+
     core::TenantPolicy tenants;
     tenants.enable = true;
 
@@ -451,37 +793,88 @@ TEST_F(TenantEngineFixture, TenantPolicyValidation)
                      .build(),
                  std::invalid_argument);
 
-    tenants.defaultShare = 0.0;
-    EXPECT_THROW(core::EngineBuilder(*index_)
-                     .admissionQueueBound(16)
-                     .tenantIsolation(tenants)
-                     .build(),
-                 std::invalid_argument);
+    auto p = tenants;
+    p.defaults.share = 0.0;
+    expect_rejects(p, "share must be in (0, 1]");
 
-    tenants.defaultShare = 0.5;
-    tenants.shares = {{1, 1.5}};
-    EXPECT_THROW(core::EngineBuilder(*index_)
-                     .admissionQueueBound(16)
-                     .tenantIsolation(tenants)
-                     .build(),
-                 std::invalid_argument);
+    p = tenants;
+    p.classes = {{.id = core::TenantId{1}, .share = 1.5}};
+    expect_rejects(p, "share must be in (0, 1]");
 
-    tenants.shares = {{1, 0.5}, {1, 0.25}};
-    EXPECT_THROW(core::EngineBuilder(*index_)
-                     .admissionQueueBound(16)
-                     .tenantIsolation(tenants)
-                     .build(),
-                 std::invalid_argument);
+    p = tenants;
+    p.classes = {
+        {.id = core::TenantId{1}, .minShare = 0.6, .maxShare = 0.4}};
+    expect_rejects(p, "minShare <= maxShare");
 
-    // A valid policy builds; disabled policies need no bounded queue.
-    tenants.shares = {{1, 0.5}};
+    p = tenants;
+    p.classes = {{.id = core::TenantId{1}, .share = 0.2,
+                  .minShare = 0.4, .maxShare = 0.8}};
+    expect_rejects(p, "[minShare, maxShare]");
+
+    p = tenants;
+    p.classes = {{.id = core::TenantId{1}, .weight = 0.0}};
+    expect_rejects(p, "weight must be > 0");
+
+    p = tenants;
+    p.classes = {{.id = core::TenantId{1},
+                  .slo = {.missRateTarget = 1.5}}};
+    expect_rejects(p, "missRateTarget");
+
+    p = tenants;
+    p.classes = {{.id = core::TenantId{1}, .weight = 2.0},
+                 {.id = core::TenantId{1}, .weight = 1.0}};
+    expect_rejects(p, "duplicate TenantClass");
+
+    p = tenants;
+    p.weightFloor = 0.0;
+    expect_rejects(p, "weightFloor");
+
+    // Adaptive shares run inside the autopilot control cycle.
+    p = tenants;
+    p.adaptiveShares = true;
+    expect_rejects(p, "adaptiveShares");
+
+    // A valid classed policy builds; disabled policies need no
+    // bounded queue.
+    p = tenants;
+    p.fairService = true;
+    p.classes = {
+        {.id = core::TenantId{1}, .share = 0.5, .weight = 2.0},
+        {.id = core::TenantId{2}, .share = 0.5, .weight = 1.0}};
     EXPECT_NO_THROW(core::EngineBuilder(*index_)
                         .admissionQueueBound(16)
-                        .tenantIsolation(tenants)
+                        .tenantIsolation(p)
                         .build());
-    tenants.enable = false;
+    p.enable = false;
     EXPECT_NO_THROW(
-        core::EngineBuilder(*index_).tenantIsolation(tenants).build());
+        core::EngineBuilder(*index_).tenantIsolation(p).build());
+}
+
+TEST_F(TenantEngineFixture, TenantClassBuilderReplacesById)
+{
+    // tenantClass() enables the policy and replaces an earlier class
+    // with the same id (last registration wins), so call sites can
+    // layer a preset and then override one tenant.
+    const auto engine =
+        core::EngineBuilder(*index_)
+            .defaultK(5)
+            .defaultNprobe(4)
+            .admissionQueueBound(16)
+            .tenantClass({.id = core::TenantId{7},
+                          .name = "first",
+                          .weight = 2.0})
+            .tenantClass({.id = core::TenantId{7},
+                          .name = "second",
+                          .weight = 5.0})
+            .tenantClass({.id = core::TenantId{8}, .weight = 0.5})
+            .build();
+    const auto &table = engine->tenantTable();
+    EXPECT_TRUE(table.enabled());
+    ASSERT_EQ(table.classes().size(), 2u);
+    EXPECT_EQ(table.resolve(core::TenantId{7}).name, "second");
+    EXPECT_EQ(table.weight(core::TenantId{7}), 5.0);
+    // Unregistered tenants resolve to the defaults class.
+    EXPECT_EQ(table.resolve(core::TenantId{9}).weight, 1.0);
 }
 
 } // namespace
